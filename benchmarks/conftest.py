@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs an experiment (or kernel) in quick mode exactly once
+per round; experiment benches use a single round since their cost is
+seconds, kernel benches let pytest-benchmark calibrate.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark clock."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, iterations=1, rounds=1, warmup_rounds=0
+        )
+
+    return runner

@@ -1,0 +1,47 @@
+"""Kernel benchmarks: the primitives every experiment leans on.
+
+These guard the performance assumptions of the vectorised engine: the
+closed-form spiral hit time and exact ball sampling must stay in the
+tens-of-millions-of-cells-per-second range for the paper-scale sweeps to
+run in minutes.
+"""
+
+import numpy as np
+
+from repro.algorithms import NonUniformSearch
+from repro.core.geometry import sample_uniform_ball
+from repro.core.spiral import spiral_hit_time_array, spiral_position_array
+from repro.sim.events import simulate_find_times
+from repro.sim.world import place_treasure
+
+N = 1_000_000
+
+
+def test_spiral_hit_time_array(benchmark):
+    rng = np.random.default_rng(0)
+    dx = rng.integers(-10_000, 10_000, N)
+    dy = rng.integers(-10_000, 10_000, N)
+    out = benchmark(spiral_hit_time_array, dx, dy)
+    assert out.shape == (N,)
+    assert int(out.min()) >= 0
+
+
+def test_spiral_position_array(benchmark):
+    ts = np.arange(N, dtype=np.int64)
+    xs, ys = benchmark(spiral_position_array, ts)
+    assert xs.shape == (N,)
+
+
+def test_sample_uniform_ball(benchmark):
+    rng = np.random.default_rng(1)
+    x, y = benchmark(sample_uniform_ball, rng, 1000, N)
+    assert int(np.max(np.abs(x) + np.abs(y))) <= 1000
+
+
+def test_simulate_one_cell(benchmark):
+    """One full (D=64, k=16, 100 trials) cell through the fast engine."""
+    world = place_treasure(64, "offaxis")
+    times = benchmark(
+        simulate_find_times, NonUniformSearch(k=16), world, 16, 100, 12345
+    )
+    assert np.all(np.isfinite(times))

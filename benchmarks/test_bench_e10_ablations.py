@@ -1,0 +1,25 @@
+"""Bench E10 — regenerates the ablation tables and asserts their claims."""
+
+from repro.experiments.e10_ablations import run
+
+SEED = 20120716
+
+
+def test_e10_ablations(once):
+    eps_table, place_table, disp_table, budget_table = once(
+        run, quick=True, seed=SEED
+    )
+    print("\n" + eps_table.to_text())
+    print(place_table.to_text())
+    print(disp_table.to_text())
+    print(budget_table.to_text())
+
+    # Dispersion is the point: randomised A_k beats the clone control.
+    assert disp_table.rows[-1]["speedup_vs_k1"] > 2.0
+    # Budget constant only perturbs constants.
+    phis = budget_table.column("phi")
+    assert max(phis) / min(phis) < 4.0
+    # phi grows with k for every eps (the uniform penalty is real).
+    for eps in {r["eps"] for r in eps_table.rows}:
+        rows = [r["phi"] for r in eps_table.rows if r["eps"] == eps]
+        assert rows[-1] > rows[0]

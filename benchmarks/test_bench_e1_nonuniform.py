@@ -1,0 +1,17 @@
+"""Bench E1 — regenerates the Theorem 3.1 table and asserts its shape."""
+
+from repro.experiments.e1_optimal_known_k import run
+
+SEED = 20120716
+
+
+def test_e1_optimal_known_k(once):
+    tables = once(run, quick=True, seed=SEED)
+    grid, summary = tables
+    print("\n" + grid.to_text())
+    print(summary.to_text())
+
+    ratios = grid.column("ratio")
+    # Theorem 3.1 shape: bounded constant, flat across the whole grid.
+    assert max(ratios) < 40
+    assert max(ratios) / min(ratios) < 3.0

@@ -1,0 +1,16 @@
+"""Bench E2 — regenerates the Corollary 3.2 table and asserts its shape."""
+
+from repro.experiments.e2_rho_approximation import run
+
+SEED = 20120716
+
+
+def test_e2_rho_approximation(once):
+    (table,) = once(run, quick=True, seed=SEED)
+    print("\n" + table.to_text())
+
+    base = min(r["ratio"] for r in table.rows if r["rho"] == 1.0)
+    for row in table.rows:
+        # Corollary 3.2 envelope: at most rho^2 times the exact-k constant
+        # (x3 slack for Monte-Carlo noise).
+        assert row["ratio"] <= 3.0 * row["rho"] ** 2 * base

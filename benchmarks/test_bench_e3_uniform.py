@@ -1,0 +1,23 @@
+"""Bench E3 — regenerates the Theorem 3.3 table and asserts its shape."""
+
+import math
+
+from repro.experiments.e3_uniform_competitiveness import run
+
+SEED = 20120716
+
+
+def test_e3_uniform_competitiveness(once):
+    table, fits = once(run, quick=True, seed=SEED)
+    print("\n" + table.to_text())
+    print(fits.to_text())
+
+    # Theorem 3.3 shape: polylog growth — far below any power of k.  The
+    # comparison starts at k=4 because log^b separates from k^0.75 only
+    # past the constant-dominated head of the curve.
+    for eps in {r["eps"] for r in table.rows}:
+        rows = [r for r in table.rows if r["eps"] == eps and r["k"] >= 4]
+        growth = rows[-1]["phi"] / rows[0]["phi"]
+        assert growth < (rows[-1]["k"] / rows[0]["k"]) ** 0.75
+    for fit in fits.rows:
+        assert fit["r2"] > 0.8

@@ -1,0 +1,23 @@
+"""Bench E4 — regenerates the Theorem 4.1 mechanism tables, asserts shapes."""
+
+from repro.experiments.e4_lower_bound_uniform import run
+
+SEED = 20120716
+
+
+def test_e4_lower_bound_uniform(once):
+    divergence, coverage, loads = once(run, quick=True, seed=SEED)
+    print("\n" + divergence.to_text())
+    print(coverage.to_text())
+    print(loads.to_text())
+
+    # Measured phi keeps the reciprocal sum small (the legitimacy
+    # condition), and grows with k (the log penalty is real).
+    assert divergence.rows[-1]["sum_measured"] < 0.5
+    phis = divergence.column("phi_measured")
+    assert phis[-1] > phis[0]
+
+    # Markov premise instrumented: near balls get >= 1/2 coverage.
+    for row in coverage.rows:
+        if row["radius"] <= 4:
+            assert row["coverage_fraction"] >= 0.5

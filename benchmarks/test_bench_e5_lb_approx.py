@@ -1,0 +1,19 @@
+"""Bench E5 — regenerates the Theorem 4.2 bracket table, asserts shapes."""
+
+from repro.experiments.e5_lower_bound_approx import run
+
+SEED = 20120716
+
+
+def test_e5_lower_bound_approx(once):
+    (table,) = once(run, quick=True, seed=SEED)
+    print("\n" + table.to_text())
+
+    first, last = table.rows[0], table.rows[-1]
+    # Naive trust pays a polynomial penalty at the bottom of the range...
+    assert first["naive_phi"] > 3 * first["oracle_phi"]
+    # ...and recovers once the estimate is nearly exact.
+    assert last["naive_phi"] < first["naive_phi"] / 2
+    # Hedging stays within a log-like factor of the oracle everywhere.
+    for row in table.rows:
+        assert row["hedged_phi"] < 10 * row["oracle_phi"]

@@ -1,0 +1,25 @@
+"""Bench E6 — regenerates the Theorem 5.1 tables and asserts their shape."""
+
+import math
+
+from repro.experiments.e6_harmonic import run
+
+SEED = 20120716
+
+
+def test_e6_harmonic(once):
+    success, sweep = once(run, quick=True, seed=SEED)
+    print("\n" + success.to_text())
+    print(sweep.to_text())
+
+    rates = success.column("success_within_bound")
+    # The sigmoid: low at k=1, saturated at the top of the sweep.
+    assert rates[0] < 0.5
+    assert rates[-1] > 0.9
+    # Dominates the proof's lower bound (Monte-Carlo slack 0.08).
+    for row in success.rows:
+        assert row["success_within_bound"] >= row["theory_lower_bound"] - 0.08
+    # Conditional time within the O() envelope.
+    for row in success.rows:
+        if math.isfinite(row["time_ratio"]):
+            assert row["time_ratio"] <= 10.0

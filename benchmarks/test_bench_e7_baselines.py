@@ -1,0 +1,29 @@
+"""Bench E7 — regenerates the baseline showdown and asserts the ordering."""
+
+from repro.experiments.e7_baselines import run
+
+SEED = 20120716
+
+
+def test_e7_baselines(once):
+    (table,) = once(run, quick=True, seed=SEED)
+    print("\n" + table.to_text())
+
+    by_prefix = {}
+    for row in table.rows:
+        by_prefix[row["algorithm"].split(" ")[0]] = row
+
+    known_d = by_prefix["known-D"]
+    a_k = by_prefix["A_k"]
+    uniform = by_prefix["A_uniform(eps=0.5)"]
+    spiral = by_prefix["single"]
+    control = by_prefix["k-spiral"]
+    walk = by_prefix["random"]
+
+    # The paper's ordering: information ceiling < optimal-with-k <
+    # spiral/uniform; the random walk fails within the horizon sometimes.
+    assert known_d["mean_time"] < a_k["mean_time"]
+    assert a_k["mean_time"] < spiral["mean_time"]
+    assert a_k["mean_time"] < uniform["mean_time"]
+    assert control["mean_time"] == spiral["mean_time"]  # zero speed-up
+    assert walk["success"] < 1.0

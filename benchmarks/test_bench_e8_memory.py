@@ -1,0 +1,15 @@
+"""Bench E8 — regenerates the Section 6 memory table and asserts its shape."""
+
+from repro.experiments.e8_memory import run
+
+SEED = 20120716
+
+
+def test_e8_memory(once):
+    (table,) = once(run, quick=True, seed=SEED)
+    print("\n" + table.to_text())
+
+    for row in table.rows:
+        assert abs(row["mean_distance"] - row["target"]) < 0.4 * row["target"]
+        assert row["rel_spread_median3"] < row["rel_spread"]
+        assert row["bits_used"] < row["exact_odometer_bits"]

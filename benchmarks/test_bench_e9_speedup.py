@@ -1,0 +1,19 @@
+"""Bench E9 — regenerates the speed-up curve and asserts the barrier."""
+
+from repro.experiments.e9_speedup import run
+
+SEED = 20120716
+
+
+def test_e9_speedup(once):
+    (table,) = once(run, quick=True, seed=SEED)
+    print("\n" + table.to_text())
+
+    for row in table.rows:
+        # Section 2 barrier: no mean may beat max(D, D^2/4k).
+        assert row["mean_time"] >= row["barrier"]
+    speedups = table.column("speedup")
+    assert speedups[-1] > 4.0
+    # Efficiency decays once k grows past ~D (saturation).
+    efficiency = table.column("efficiency")
+    assert efficiency[-1] < efficiency[0]

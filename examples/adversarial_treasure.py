@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The adversary at work: where should the treasure hide?
+
+Section 2 lets an adversary place the treasure.  This example makes the
+adversary concrete: it estimates, for the uniform algorithm, the
+probability that each cell at distance D is visited within a time budget,
+hides the treasure in the least-covered cell, and shows how much that
+placement costs compared to naive placements.
+
+It also demonstrates why the repository's canonical adversarial stand-in
+is the *off-axis* cell: deterministic Manhattan commutes cover the axes
+incidentally, so the real argmin avoids them.
+
+Run:  python examples/adversarial_treasure.py [--fast]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import UniformSearch, place_treasure, simulate_find_times
+from repro.analysis.lower_bounds import adversarial_treasure, visit_probability_map
+from repro.core.geometry import l1_norm
+from repro.sim.rng import spawn_seeds
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    distance = 6
+    k = 2
+    cutoff = 400
+    runs = 10 if fast else 40
+    trials = 60 if fast else 200
+
+    alg = UniformSearch(eps=0.5)
+    seeds = spawn_seeds(7, 6)
+
+    print(f"Estimating visit probabilities of ring D={distance} cells")
+    print(f"for {alg.describe()} with k={k} agents by t={cutoff}...\n")
+
+    probs = visit_probability_map(alg, k, distance, cutoff, runs, seeds[0])
+    ring = sorted(
+        ((cell, p) for cell, p in probs.items() if l1_norm(*cell) == distance),
+        key=lambda item: item[1],
+    )
+    print("least covered cells        most covered cells")
+    for (lo_cell, lo_p), (hi_cell, hi_p) in zip(ring[:5], ring[-5:]):
+        print(f"{str(lo_cell):>10}  p={lo_p:4.2f}       {str(hi_cell):>10}  p={hi_p:4.2f}")
+
+    world_adv, p_min = adversarial_treasure(alg, k, distance, cutoff, runs, seeds[1])
+    print(f"\nAdversary hides the treasure at {world_adv.treasure} (p={p_min:.2f}).\n")
+
+    rows = []
+    for name, world in (
+        ("axis       (D,0)", place_treasure(distance, "axis")),
+        ("corner     (0,-D)", place_treasure(distance, "corner")),
+        ("offaxis", place_treasure(distance, "offaxis")),
+        ("adversarial argmin", world_adv),
+    ):
+        times = simulate_find_times(alg, world, k, trials, seeds[2])
+        rows.append((name, float(times.mean())))
+    worst = max(t for _, t in rows)
+    print(f"{'placement':<22} {'mean find time':>15}")
+    print("-" * 40)
+    for name, t in rows:
+        marker = "  <- worst" if t == worst else ""
+        print(f"{name:<22} {t:>15.1f}{marker}")
+    print("\nReading: axis cells sit on the agents' commuting highways and are")
+    print("found early; the argmin placement (always off-axis) is the one the")
+    print("Section 2 adversary would choose.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Central-place foraging: a desert-ant colony scenario.
+
+The paper's biological motivation (Sections 1 and 6): desert ants
+(*Cataglyphis*) forage around their nest with no pheromone trails and no
+communication during the search, and food sources near the nest matter
+more than distant ones.
+
+This example mimics a colony that sends out waves of foragers of growing
+size towards food items scattered at different distances, and compares two
+"ant programs" the paper deems biologically plausible:
+
+* the **harmonic** strategy (Algorithm 2) — exactly the ingredients
+  observed in real ants: a compass-directed straight run to a power-law
+  distance, a tortuous local search, and a straight run home;
+* the **correlated-walk** strategy fitted to the Harkness–Maroudas desert
+  ant data [24] — our :class:`BiasedWalkSearch`.
+
+Output: per food distance, the colony sizes at which each strategy finds
+the food within a "season" time budget with >= 75% probability.
+
+Run:  python examples/ant_foraging.py [--fast]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import HarmonicSearch, place_treasure, simulate_find_times
+from repro.algorithms import BiasedWalkSearch
+from repro.sim.engine import run_search
+from repro.sim.rng import spawn_seeds
+
+DELTA = 0.5  # harmonic tail exponent: ants' power-law flight lengths
+TARGET_SUCCESS = 0.75
+
+
+def harmonic_success(world, colony, budget, trials, seed) -> float:
+    times = simulate_find_times(
+        HarmonicSearch(DELTA), world, colony, trials, seed, horizon=budget
+    )
+    return float(np.mean(np.isfinite(times)))
+
+
+def biased_walk_success(world, colony, budget, trials, seed) -> float:
+    found = 0
+    for run_seed in spawn_seeds(seed, trials):
+        result = run_search(
+            BiasedWalkSearch(persistence=0.9), world, colony, run_seed, horizon=budget
+        ).result
+        found += result.found
+    return found / trials
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    distances = (8, 16, 32) if fast else (8, 16, 32, 64)
+    colonies = (4, 16, 64, 256)
+    trials_h = 40 if fast else 150
+    trials_b = 6 if fast else 20
+
+    print("Desert-ant colony, no communication, food at distance D.")
+    print(f"Season budget: 40 * D^2 steps; success target {TARGET_SUCCESS:.0%}.\n")
+    header = f"{'D':>4} {'colony':>7} {'harmonic':>10} {'biased walk':>12}"
+    print(header)
+    print("-" * len(header))
+
+    seeds = spawn_seeds(2012, 2 * len(distances) * len(colonies))
+    idx = 0
+    for distance in distances:
+        world = place_treasure(distance, "offaxis")
+        budget = 40 * distance * distance
+        for colony in colonies:
+            p_h = harmonic_success(world, colony, budget, trials_h, seeds[idx])
+            p_b = biased_walk_success(world, colony, budget, trials_b, seeds[idx + 1])
+            idx += 2
+            flag = " <- harmonic reaches target" if p_h >= TARGET_SUCCESS else ""
+            print(f"{distance:>4} {colony:>7} {p_h:>10.0%} {p_b:>12.0%}{flag}")
+        print()
+
+    print("Reading: the harmonic colony hits nearby food reliably once the")
+    print(f"colony outgrows ~alpha*D^{DELTA:g} (Theorem 5.1); the correlated walk")
+    print("wanders — more legs help it slowly, with no guarantee shape.")
+
+
+if __name__ == "__main__":
+    main()

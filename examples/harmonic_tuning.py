@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Tuning the harmonic algorithm's delta: reach vs reliability.
+
+Theorem 5.1 exposes one dial, delta in (0, 0.8]:
+
+* the agent count needed for reliability scales like ``alpha * D^delta``
+  (smaller delta = fewer agents needed for far treasures);
+* the collective time envelope is ``D + D^(2+delta)/k``
+  (smaller delta = better asymptotic time too — but the normalising
+  constant c shrinks, so *nearby* treasures get less probability mass and
+  the constants bite).
+
+This example sweeps delta for several (D, k) scenarios and prints the
+success probability within the theorem's envelope, next to the theoretical
+minimum agent count alpha(eps=0.1) * D^delta.
+
+Run:  python examples/harmonic_tuning.py [--fast]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import HarmonicSearch, place_treasure, simulate_find_times
+from repro.analysis.theory import harmonic_alpha, harmonic_time_bound
+from repro.sim.rng import spawn_seeds
+
+DELTAS = (0.2, 0.4, 0.6, 0.8)
+HORIZON_FACTOR = 10.0
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    trials = 100 if fast else 400
+    scenarios = ((16, 32), (16, 256), (64, 32), (64, 256))
+
+    print("One-shot harmonic search: success within 10x the Thm 5.1 envelope.\n")
+    header = f"{'D':>4} {'k':>5} " + " ".join(f"d={d:<11g}" for d in DELTAS)
+    print(header + "   (cells: success% / alpha*D^delta)")
+    print("-" * (len(header) + 30))
+
+    seeds = spawn_seeds(99, len(scenarios) * len(DELTAS))
+    idx = 0
+    for distance, k in scenarios:
+        world = place_treasure(distance, "offaxis")
+        cells = []
+        for delta in DELTAS:
+            envelope = harmonic_time_bound(distance, k, delta)
+            times = simulate_find_times(
+                HarmonicSearch(delta), world, k, trials, seeds[idx]
+            )
+            idx += 1
+            ok = np.isfinite(times) & (times <= HORIZON_FACTOR * envelope)
+            need = harmonic_alpha(0.1, delta) * distance**delta
+            cells.append(f"{ok.mean():4.0%}/{need:6.0f}")
+        print(f"{distance:>4} {k:>5} " + "  ".join(f"{c:<11}" for c in cells))
+
+    print("\nReading: raising delta concentrates effort near the nest — it")
+    print("needs more agents (alpha*D^delta grows with delta) but, once")
+    print("saturated, wastes less time overshooting distant rings.")
+
+
+if __name__ == "__main__":
+    main()

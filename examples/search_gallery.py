@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""A gallery of search patterns, rendered in ASCII.
+
+Runs one agent of each strategy for a fixed step budget and draws the
+cells it visited (darker = later).  The shapes tell the paper's story at a
+glance:
+
+* the spiral is a dense square — exhaustive but slow to reach out;
+* an ``A_k`` agent draws spokes with spiral blobs at their tips —
+  dispersion plus local thoroughness;
+* the harmonic agent is one spoke and one blob, sized by a power law;
+* the random walk is a shapeless smudge hugging the source.
+
+Run:  python examples/search_gallery.py
+"""
+
+import itertools
+
+import numpy as np
+
+from repro.algorithms import (
+    HarmonicSearch,
+    NonUniformSearch,
+    RandomWalkSearch,
+    SingleSpiralSearch,
+)
+from repro.viz.ascii_map import render_trajectory
+
+RADIUS = 14
+STEPS = 900
+
+
+def trajectory(alg, seed: int):
+    program = alg.step_program(np.random.default_rng(seed))
+    return list(itertools.islice(program, STEPS))
+
+
+def main() -> None:
+    strategies = [
+        ("single spiral (cow-path)", SingleSpiralSearch(), 0),
+        ("A_k excursions (k=4)", NonUniformSearch(k=4), 3),
+        ("harmonic (delta=0.5)", HarmonicSearch(0.5), 11),
+        ("simple random walk", RandomWalkSearch(), 1),
+    ]
+    for name, alg, seed in strategies:
+        print(f"--- {name}: first {STEPS} steps "
+              f"(viewport [{-RADIUS}, {RADIUS}]^2, darker = later) ---")
+        print(render_trajectory(trajectory(alg, seed), radius=RADIUS))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Search-and-rescue drone swarm: how many drones, and what do they need to know?
+
+An engineering reading of the paper: a swarm of k identical drones must
+locate a target at unknown distance D from the launch pad, radios are
+jammed (no communication), and mission control wants the expected
+time-to-find.
+
+Three procurement questions the theorems answer:
+
+1. "We know how many drones we launched" — fly ``A_k``: expected time
+   within a constant of the physical optimum D + D^2/k (Theorem 3.1).
+2. "Drones may join/drop out and nobody knows k" — fly ``A_uniform``:
+   only a polylog(k) penalty (Theorem 3.3), and that penalty is provably
+   unavoidable (Theorem 4.1).
+3. "We only know k within a factor of a few" — feed the estimate to the
+   rho-approximate variant: constant competitiveness again (Cor 3.2).
+
+Run:  python examples/swarm_robotics.py [--fast]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    NonUniformSearch,
+    RhoApproxSearch,
+    UniformSearch,
+    optimal_time,
+    place_treasure,
+    simulate_find_times,
+)
+from repro.sim.rng import spawn_seeds
+
+
+def mission_time(alg, world, k, trials, seed) -> float:
+    times = simulate_find_times(alg, world, k, trials, seed)
+    return float(times.mean())
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    distance = 96
+    swarm_sizes = (4, 16, 64) if fast else (4, 8, 16, 32, 64)
+    trials = 60 if fast else 250
+
+    world = place_treasure(distance, "offaxis")
+    print(f"Target at unknown distance (actually D={distance}); jammed radios.\n")
+    header = (
+        f"{'drones':>7} {'optimal':>9} {'knows k':>10} "
+        f"{'k within 3x':>12} {'k unknown':>10} {'penalty':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    seeds = spawn_seeds(41, 3 * len(swarm_sizes))
+    for i, k in enumerate(swarm_sizes):
+        t_known = mission_time(NonUniformSearch(k=k), world, k, trials, seeds[3 * i])
+        t_approx = mission_time(
+            RhoApproxSearch(k_a=3 * k, rho=3), world, k, trials, seeds[3 * i + 1]
+        )
+        t_uniform = mission_time(UniformSearch(0.5), world, k, trials, seeds[3 * i + 2])
+        opt = optimal_time(distance, k)
+        print(
+            f"{k:>7} {opt:>9.0f} {t_known:>10.0f} {t_approx:>12.0f} "
+            f"{t_uniform:>10.0f} {t_uniform / t_known:>7.1f}x"
+        )
+
+    print("\nReading: knowing k (even to a factor 3) keeps missions within a")
+    print("constant of optimal at every swarm size; flying uniform costs the")
+    print("polylog factor — and Theorem 4.1 says no firmware can avoid it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Compatibility shim for environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables legacy
+(`--no-use-pep517`) editable installs on offline machines whose setuptools
+cannot build PEP 660 wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""repro — reproduction of *Collaborative Search on the Plane without Communication*.
+
+Feinerman, Korman, Lotker, Sereni (PODC 2012): ``k`` identical,
+non-communicating probabilistic agents search the grid ``Z^2`` for an
+adversarially placed treasure at unknown distance ``D``.
+
+Quickstart::
+
+    from repro import NonUniformSearch, UniformSearch, place_treasure, simulate_find_times
+
+    world = place_treasure(distance=64, placement="corner")
+    times = simulate_find_times(NonUniformSearch(k=16), world, k=16, trials=100, seed=0)
+    print(times.mean())          # ~ O(D + D^2/k)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+theorem-by-theorem reproduction results.
+"""
+
+from .algorithms import (
+    BiasedWalkSearch,
+    ExcursionAlgorithm,
+    ExcursionFamily,
+    HarmonicSearch,
+    HedgedApproxSearch,
+    KnownDSearch,
+    LevyFlightSearch,
+    NaiveTrustSearch,
+    NonUniformSearch,
+    RandomWalkSearch,
+    RestartingHarmonicSearch,
+    RhoApproxSearch,
+    SearchAlgorithm,
+    SingleSpiralSearch,
+    UniformSearch,
+)
+from .analysis.competitiveness import competitiveness, optimal_time
+from .sim import (
+    Result,
+    World,
+    excursion_find_time,
+    expected_find_time,
+    make_rng,
+    place_treasure,
+    run_search,
+    simulate_find_times,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BiasedWalkSearch",
+    "ExcursionAlgorithm",
+    "ExcursionFamily",
+    "HarmonicSearch",
+    "HedgedApproxSearch",
+    "KnownDSearch",
+    "LevyFlightSearch",
+    "NaiveTrustSearch",
+    "NonUniformSearch",
+    "RandomWalkSearch",
+    "Result",
+    "RestartingHarmonicSearch",
+    "RhoApproxSearch",
+    "SearchAlgorithm",
+    "SingleSpiralSearch",
+    "UniformSearch",
+    "World",
+    "competitiveness",
+    "excursion_find_time",
+    "expected_find_time",
+    "make_rng",
+    "optimal_time",
+    "place_treasure",
+    "run_search",
+    "simulate_find_times",
+    "__version__",
+]

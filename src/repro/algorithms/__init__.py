@@ -1,0 +1,65 @@
+"""The paper's search algorithms and the baselines they are compared against.
+
+Upper-bound constructions (Sections 3 and 5):
+
+* :class:`NonUniformSearch` — Algorithm 3 (``A_k``), Theorem 3.1;
+* :class:`RhoApproxSearch` — Corollary 3.2;
+* :class:`UniformSearch` — Algorithm 1 (``A_uniform``), Theorem 3.3;
+* :class:`HarmonicSearch` / :class:`RestartingHarmonicSearch` — Section 5;
+* :class:`HedgedApproxSearch` / :class:`NaiveTrustSearch` — the
+  approximate-knowledge setting of Theorem 4.2.
+
+Baselines: :class:`SingleSpiralSearch`, :class:`KnownDSearch`,
+:class:`RandomWalkSearch`, :class:`BiasedWalkSearch`,
+:class:`LevyFlightSearch`.
+"""
+
+from .approximate import (
+    HedgedApproxSearch,
+    NaiveTrustSearch,
+    RhoApproxSearch,
+    one_sided_guesses,
+)
+from .base import ExcursionAlgorithm, ExcursionFamily, SearchAlgorithm, UniformBallFamily
+from .baselines import (
+    BiasedWalkSearch,
+    KnownDSearch,
+    LevyFlightSearch,
+    RandomWalkSearch,
+    SingleSpiralSearch,
+    random_walk_find_times,
+)
+from .harmonic import (
+    HarmonicSearch,
+    PowerLawRingFamily,
+    RestartingHarmonicSearch,
+    harmonic_normalizing_constant,
+)
+from .nonuniform import NonUniformSearch
+from .sector import SectorSearch, sector_find_times
+from .uniform import UniformSearch
+
+__all__ = [
+    "BiasedWalkSearch",
+    "ExcursionAlgorithm",
+    "ExcursionFamily",
+    "HarmonicSearch",
+    "HedgedApproxSearch",
+    "KnownDSearch",
+    "LevyFlightSearch",
+    "NaiveTrustSearch",
+    "NonUniformSearch",
+    "PowerLawRingFamily",
+    "RandomWalkSearch",
+    "RestartingHarmonicSearch",
+    "RhoApproxSearch",
+    "SearchAlgorithm",
+    "SectorSearch",
+    "SingleSpiralSearch",
+    "UniformBallFamily",
+    "UniformSearch",
+    "harmonic_normalizing_constant",
+    "one_sided_guesses",
+    "random_walk_find_times",
+    "sector_find_times",
+]

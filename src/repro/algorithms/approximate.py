@@ -1,0 +1,162 @@
+"""Search with approximate knowledge of ``k`` (Corollary 3.2, Theorem 4.2).
+
+Three regimes of approximation are modelled:
+
+* **Constant-factor** (Corollary 3.2): each agent ``a`` receives ``k_a``
+  with ``k/rho <= k_a <= k*rho`` for a constant ``rho >= 1``.
+  :class:`RhoApproxSearch` runs ``A_k`` with parameter ``k_a / rho``
+  (exactly the corollary's construction); the running time grows by at most
+  ``rho^2``, so the algorithm stays ``O(1)``-competitive.
+
+* **Naive trust under polynomial approximation** (Theorem 4.2 setting):
+  each agent receives a one-sided estimate ``k_tilde`` with
+  ``k_tilde^(1-eps) <= k <= k_tilde``.  :class:`NaiveTrustSearch` simply
+  runs ``A_{k_tilde}``.  Its spiral budgets are a factor ``k_tilde/k``
+  (up to ``k_tilde^eps``) too small, so its competitiveness degrades
+  *polynomially* — experiment E5 exhibits this.
+
+* **Hedging** (our upper-bound companion to Theorem 4.2):
+  :class:`HedgedApproxSearch` cycles through the ``O(eps * log k_tilde)``
+  candidate magnitudes ``k_tilde^(1-eps) * 2^t`` and interleaves one
+  ``A_guess`` stage for each.  Whatever the true ``k`` in the allowed
+  range, one guess is within a factor 2, so the competitiveness is
+  ``O(eps * log k_tilde)`` — matching the paper's ``Omega(eps(k) log k)``
+  lower bound shape and showing the bound is essentially tight.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..core.schedule import PhaseSpec, guess_cycle_schedule, nonuniform_schedule
+from .base import ExcursionAlgorithm, ExcursionFamily, UniformBallFamily
+
+__all__ = [
+    "RhoApproxSearch",
+    "NaiveTrustSearch",
+    "HedgedApproxSearch",
+    "one_sided_guesses",
+]
+
+
+class RhoApproxSearch(ExcursionAlgorithm):
+    """Corollary 3.2: run ``A_k`` with parameter ``k_a / rho``.
+
+    Parameters
+    ----------
+    k_a:
+        The approximation of ``k`` handed to the agent
+        (``k/rho <= k_a <= k*rho``).
+    rho:
+        The guaranteed approximation ratio (``>= 1``).
+    """
+
+    uses_k = True
+
+    def __init__(self, k_a: float, rho: float):
+        if rho < 1:
+            raise ValueError(f"rho must be >= 1, got {rho}")
+        if k_a <= 0:
+            raise ValueError(f"k_a must be positive, got {k_a}")
+        self.k_a = float(k_a)
+        self.rho = float(rho)
+        self.effective_k = self.k_a / self.rho
+        self.name = f"A_rho(k_a={k_a:g}, rho={rho:g})"
+
+    def families(self) -> Iterator[ExcursionFamily]:
+        for spec in nonuniform_schedule(self.effective_k):
+            yield UniformBallFamily(spec.radius, spec.budget)
+
+    def phases(self) -> Iterator[PhaseSpec]:
+        return nonuniform_schedule(self.effective_k)
+
+    def describe(self) -> str:
+        return (
+            f"Corollary 3.2: A_k with k_a/rho = {self.effective_k:g} "
+            f"(O(rho^2)-competitive)"
+        )
+
+
+class NaiveTrustSearch(ExcursionAlgorithm):
+    """Run ``A_{k_tilde}`` trusting a one-sided estimate ``k_tilde >= k``.
+
+    Under the Theorem 4.2 approximation model
+    (``k_tilde^(1-eps) <= k <= k_tilde``) this algorithm's budgets are up to
+    ``k_tilde^eps`` times too small, and its competitiveness is
+    ``Theta(k_tilde / k)`` — polynomially bad.  It is the strawman E5
+    contrasts with :class:`HedgedApproxSearch`.
+    """
+
+    uses_k = True
+
+    def __init__(self, k_tilde: float):
+        if k_tilde <= 0:
+            raise ValueError(f"k_tilde must be positive, got {k_tilde}")
+        self.k_tilde = float(k_tilde)
+        self.name = f"A_naive(k~={k_tilde:g})"
+
+    def families(self) -> Iterator[ExcursionFamily]:
+        for spec in nonuniform_schedule(self.k_tilde):
+            yield UniformBallFamily(spec.radius, spec.budget)
+
+    def phases(self) -> Iterator[PhaseSpec]:
+        return nonuniform_schedule(self.k_tilde)
+
+    def describe(self) -> str:
+        return f"A_k run blindly with the upper estimate k~={self.k_tilde:g}"
+
+
+def one_sided_guesses(k_tilde: float, eps: float) -> List[float]:
+    """Candidate magnitudes for ``k`` given a one-sided ``k^eps``-approximation.
+
+    Theorem 4.2's model guarantees ``k in [k_tilde^(1-eps), k_tilde]``; the
+    doubling guesses ``k_tilde^(1-eps) * 2^t`` (clamped to ``k_tilde``) cover
+    the range with ``ceil(eps * log2 k_tilde) + 1`` values, one of which is
+    within a factor 2 of the true ``k``.
+    """
+    if k_tilde < 1:
+        raise ValueError(f"k_tilde must be >= 1, got {k_tilde}")
+    if not 0 < eps <= 1:
+        raise ValueError(f"eps must be in (0, 1], got {eps}")
+    low = k_tilde ** (1.0 - eps)
+    guesses = []
+    guess = low
+    while guess < k_tilde:
+        guesses.append(guess)
+        guess *= 2.0
+    guesses.append(float(k_tilde))
+    return guesses
+
+
+class HedgedApproxSearch(ExcursionAlgorithm):
+    """Hedge over the candidate magnitudes of a one-sided ``k^eps``-approximation.
+
+    Stage ``m`` of the interleaved schedule runs stage ``m`` of ``A_g`` for
+    every guess ``g`` in :func:`one_sided_guesses`.  Since some guess ``g*``
+    satisfies ``g* <= k < 2 g*``, the sub-schedule for ``g*`` alone finds
+    the treasure in expected time ``O(D + D^2/k)``, and the interleaving
+    dilutes it by the number of guesses — giving competitiveness
+    ``O(eps * log k_tilde)``, the matching upper bound for Theorem 4.2.
+    """
+
+    uses_k = True
+
+    def __init__(self, k_tilde: float, eps: float):
+        self.k_tilde = float(k_tilde)
+        self.eps = float(eps)
+        self.guesses = one_sided_guesses(k_tilde, eps)
+        self.name = f"A_hedge(k~={k_tilde:g}, eps={eps:g})"
+
+    def families(self) -> Iterator[ExcursionFamily]:
+        for spec in guess_cycle_schedule(self.guesses):
+            yield UniformBallFamily(spec.radius, spec.budget)
+
+    def phases(self) -> Iterator[PhaseSpec]:
+        return guess_cycle_schedule(self.guesses)
+
+    def describe(self) -> str:
+        return (
+            f"Hedged A_k over {len(self.guesses)} guesses in "
+            f"[{self.guesses[0]:.3g}, {self.guesses[-1]:.3g}] "
+            f"(O(eps log k~)-competitive)"
+        )

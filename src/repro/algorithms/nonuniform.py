@@ -1,0 +1,64 @@
+"""Algorithm 3 of the paper: the non-uniform search ``A_k`` (Theorem 3.1).
+
+Each agent knows (a parameter standing for) the total number of agents ``k``
+and runs the double loop::
+
+    for j = 1, 2, ...:          # stage j
+        for i = 1 .. j:         # phase i
+            go to u ~ Uniform(B(2^i))
+            spiral for t_i = 2^(2i+2) / k steps
+            return to the source
+
+Theorem 3.1: the expected time to find a treasure at distance ``D`` is
+``O(D + D^2/k)`` — asymptotically optimal by the ``Omega(D + D^2/k)``
+observation of Section 2.
+
+The proof's mechanism, which experiment E1 instruments: once ``2^i >= D``,
+a phase-``i`` excursion lands within distance ``sqrt(t_i)/2`` of the
+treasure with probability ``Omega(t_i / |B(2^i)|) = Omega(1/k)`` (the ball
+of radius ``sqrt(t_i)/2`` around the treasure overlaps ``B(2^i)`` in a
+constant fraction), so ``k`` agents succeed per phase with constant
+probability, and stage times ``O(2^j + 2^{2j}/k)`` form a geometric series
+dominated by the first stage with ``2^j >= D``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.schedule import PhaseSpec, nonuniform_schedule
+from .base import ExcursionAlgorithm, ExcursionFamily, UniformBallFamily
+
+__all__ = ["NonUniformSearch"]
+
+
+class NonUniformSearch(ExcursionAlgorithm):
+    """``A_k``: optimal collaborative search with knowledge of ``k``.
+
+    Parameters
+    ----------
+    k:
+        The agent-count parameter used to size spiral budgets.  Theorem 3.1
+        assumes it equals the true number of agents; Corollary 3.2 (see
+        :class:`repro.algorithms.approximate.RhoApproxSearch`) feeds it an
+        approximation instead.
+    """
+
+    uses_k = True
+
+    def __init__(self, k: float):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = float(k)
+        self.name = f"A_k(k={k:g})"
+
+    def families(self) -> Iterator[ExcursionFamily]:
+        for spec in nonuniform_schedule(self.k):
+            yield UniformBallFamily(spec.radius, spec.budget)
+
+    def phases(self) -> Iterator[PhaseSpec]:
+        """The underlying deterministic phase schedule (for tests/analysis)."""
+        return nonuniform_schedule(self.k)
+
+    def describe(self) -> str:
+        return f"Algorithm 3 (A_k) with k={self.k:g} (Theorem 3.1, O(D + D^2/k))"

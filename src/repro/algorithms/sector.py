@@ -1,0 +1,197 @@
+"""Sector-sweep search: the engineer's obvious strategy, and why it loses.
+
+The paper's introduction notes that to avoid overlaps, dispersed searchers
+would need coordination they don't have.  The obvious coordination-free
+attempt is *sector sweeping*: each agent picks a random direction and
+exhaustively sweeps a wedge of fixed angular width ``w``, doubling its
+sweep radius each round.  With luck the ``k`` wedges tile the plane; in
+reality (no communication ⇒ independent angles) they collide, and
+coverage has coupon-collector gaps: the treasure's direction is missed by
+every agent with probability ``(1 - w)^k``, so per-round success saturates
+while effort per round keeps doubling.
+
+Model
+-----
+
+Angles are measured in *taxicab* form: position on the L1 ring of radius
+``r`` is the ring index ``m in [0, 4r)`` (see
+:func:`repro.core.geometry.ring_cell_from_index`), normalised to the
+fraction ``u = m / 4r``.  A wedge is an interval ``[u0, u0 + w) mod 1``.
+
+Rounds ``j = 1, 2, ...``: draw ``u0`` uniformly, sweep rings
+``r = 1 .. 2^j`` restricted to the wedge, return to the source.  Sweeping
+an arc of ``c`` cells costs ``2c`` steps (ring cells are zig-zagged
+through the inner ring, as in :func:`repro.core.walks.diamond_tour`) plus
+2 steps per ring transition; reaching and leaving the wedge costs one
+radius each way.
+
+This module provides a *closed-form* vectorised simulator rather than a
+step program: the cost model above is exact for the intended comparisons
+and keeps the strategy out of the hot engines' interface (it is a
+comparator, not a paper algorithm — documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+import numpy as np
+
+from ..core.geometry import l1_norm
+from ..sim.rng import SeedLike, make_rng
+from ..sim.world import World
+
+__all__ = [
+    "SectorSearch",
+    "ring_fraction",
+    "sector_round_duration",
+    "sector_find_times",
+    "expected_covering_agents",
+    "miss_probability",
+]
+
+
+def ring_fraction(x: int, y: int) -> float:
+    """Taxicab angle of cell ``(x, y)`` as a fraction of its ring, in [0, 1).
+
+    Inverse of the ring parameterisation: ``(r, 0) -> 0``, counter-clockwise.
+    """
+    r = l1_norm(x, y)
+    if r == 0:
+        raise ValueError("the source has no ring fraction")
+    if x > 0 and y >= 0:
+        m = y
+    elif x <= 0 and y > 0:
+        m = r - x  # q1 offset i = -x
+    elif x < 0 and y <= 0:
+        m = 2 * r - y
+    else:
+        m = 3 * r + x
+    return m / (4 * r)
+
+
+def _sweep_cost(reach: int, width: float) -> int:
+    """Steps to sweep the wedge over rings ``1 .. reach`` (closed form).
+
+    The wedge holds ``ceil(width * 2 * reach * (reach + 1))`` ring cells in
+    total (a ``width`` fraction of ``sum 4r``); each costs two steps
+    (zig-zag through the inner ring) plus two steps per ring transition.
+    Closed form, so round durations stay O(1) even for the huge late
+    rounds a slow-to-finish simulation walks through.
+    """
+    if reach < 0:
+        raise ValueError(f"reach must be non-negative, got {reach}")
+    cells = math.ceil(width * 2 * reach * (reach + 1))
+    return 2 * cells + 2 * reach
+
+
+def sector_round_duration(round_index: int, width: float) -> int:
+    """Deterministic duration of round ``j``: sweep rings ``1 .. 2^j``.
+
+    Sweep cost (see :func:`_sweep_cost`) plus the radial legs out and home.
+    """
+    if round_index < 1:
+        raise ValueError(f"round index must be >= 1, got {round_index}")
+    if not 0 < width <= 1:
+        raise ValueError(f"width must be in (0, 1], got {width}")
+    reach = 2**round_index
+    return _sweep_cost(reach, width) + 2 * reach
+
+
+class SectorSearch:
+    """Doubling sector sweep with angular width ``width`` (a wedge fraction).
+
+    Not a :class:`repro.algorithms.base.SearchAlgorithm` — it is simulated
+    by the closed-form :func:`sector_find_times` under the documented cost
+    model.  ``uses_k`` is False: the width is fixed, which is precisely its
+    flaw (too narrow wastes rounds; too wide duplicates effort — and the
+    right width would require knowing ``k``).
+    """
+
+    uses_k = False
+
+    def __init__(self, width: float = 0.125):
+        if not 0 < width <= 1:
+            raise ValueError(f"width must be in (0, 1], got {width}")
+        self.width = float(width)
+        self.name = f"sector(w={width:g})"
+
+    def describe(self) -> str:
+        return (
+            f"Doubling sector sweep, wedge width {self.width:g} of the ring "
+            "(coordination-free direction splitting)"
+        )
+
+
+def sector_find_times(
+    algorithm: SectorSearch,
+    world: World,
+    k: int,
+    trials: int,
+    seed: SeedLike = None,
+    *,
+    max_rounds: int = 60,
+) -> np.ndarray:
+    """First find times of ``k`` independent sector sweepers (vectorised).
+
+    The treasure at taxicab fraction ``u*`` and distance ``D`` is found in
+    an agent's round ``j`` iff ``2^j >= D`` and ``u*`` falls in the round's
+    wedge; within the round it is reached after sweeping rings ``< D`` plus
+    the partial arc of ring ``D`` up to the treasure.
+    """
+    if k < 1 or trials < 1:
+        raise ValueError("k and trials must be >= 1")
+    rng = make_rng(seed)
+    width = algorithm.width
+    tx, ty = world.treasure
+    distance = world.distance
+    u_star = ring_fraction(tx, ty)
+
+    first_round = max(1, math.ceil(math.log2(max(distance, 1))))
+    # Time to sweep rings below the treasure's, within a covering round.
+    partial_sweep = _sweep_cost(distance - 1, width)
+
+    best = np.full(trials, np.inf)
+    elapsed = 0.0
+    for j in range(1, max_rounds + 1):
+        duration = sector_round_duration(j, width)
+        if j >= first_round and 2**j >= distance:
+            u0 = rng.random((trials, k))
+            offset = (u_star - u0) % 1.0
+            covered = offset < width
+            if covered.any():
+                # Steps into the treasure's arc: the wedge is swept from
+                # u0 upward; two steps per cell on the treasure's ring.
+                arc_steps = 2.0 * np.floor(offset * 4 * distance)
+                t_hit = elapsed + distance + partial_sweep + arc_steps
+                t_hit = np.where(covered, t_hit, np.inf)
+                best = np.minimum(best, t_hit.min(axis=1))
+        elapsed += duration
+        if np.all(np.isfinite(best)) and elapsed > np.max(best):
+            break
+    return best
+
+
+def expected_covering_agents(k: int, width: float) -> float:
+    """Expected number of agents whose wedge covers a fixed direction: ``k*w``."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not 0 < width <= 1:
+        raise ValueError(f"width must be in (0, 1], got {width}")
+    return k * width
+
+
+def miss_probability(k: int, width: float) -> float:
+    """Probability a fixed direction is covered by *no* agent in one round.
+
+    ``(1 - w)^k`` — the overlap problem in one number: even with
+    ``k * w >> 1`` expected coverage, independent wedges leave
+    ``e^{-kw}``-sized gaps, so sector sweeping must re-randomise every
+    round and pays for full re-sweeps.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if not 0 < width <= 1:
+        raise ValueError(f"width must be in (0, 1], got {width}")
+    return (1.0 - width) ** k

@@ -1,0 +1,71 @@
+"""Algorithm 1 of the paper: the uniform search ``A_uniform`` (Theorem 3.3).
+
+A *uniform* algorithm gives agents no information about their total number
+``k``.  Each agent runs the triple loop::
+
+    for l = 0, 1, ...:              # big-stage l
+        for i = 0 .. l:             # stage i
+            for j = 0 .. i:         # phase j
+                k_j   = 2^j                       (the phase's implicit guess)
+                D_ij  = sqrt(2^(i+j) / j^(1+eps))
+                go to u ~ Uniform(B(D_ij))
+                spiral for t_ij = 2^(i+2) / j^(1+eps) steps
+                return to the source
+
+Theorem 3.3: for every constant ``eps > 0`` this is
+``O(log^(1+eps) k)``-competitive.  The price of uniformity is real:
+Theorem 4.1 shows no uniform algorithm is ``O(log k)``-competitive, so the
+exponent ``1 + eps`` cannot be improved to ``1``.
+
+The proof's two assertions, which the test suite checks directly:
+
+* Assertion 1 — stage ``i`` takes ``O(2^i)`` time, hence big-stage ``l``
+  completes by ``O(2^l)``;
+* Assertion 2 — once ``i >= s = ceil(log(D^2 log^(1+eps) k / k)) + 1`` and
+  ``2^j <= k < 2^(j+1)``, phase ``j`` of stage ``i`` finds the treasure
+  with probability ``Omega(2^-j)`` per agent, hence constant probability
+  over ``k >= 2^j`` agents.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.schedule import PhaseSpec, uniform_schedule
+from .base import ExcursionAlgorithm, ExcursionFamily, UniformBallFamily
+
+__all__ = ["UniformSearch"]
+
+
+class UniformSearch(ExcursionAlgorithm):
+    """``A_uniform(eps)``: no knowledge of ``k``, ``O(log^(1+eps) k)``-competitive.
+
+    Parameters
+    ----------
+    eps:
+        The positive constant of Theorem 3.3.  Smaller values give better
+        asymptotic competitiveness but larger constants (the schedule
+        spends relatively more time on small-``j`` phases).
+    """
+
+    uses_k = False
+
+    def __init__(self, eps: float = 0.5):
+        if eps <= 0:
+            raise ValueError(f"eps must be positive, got {eps}")
+        self.eps = float(eps)
+        self.name = f"A_uniform(eps={eps:g})"
+
+    def families(self) -> Iterator[ExcursionFamily]:
+        for spec in uniform_schedule(self.eps):
+            yield UniformBallFamily(spec.radius, spec.budget)
+
+    def phases(self) -> Iterator[PhaseSpec]:
+        """The underlying deterministic phase schedule (for tests/analysis)."""
+        return uniform_schedule(self.eps)
+
+    def describe(self) -> str:
+        return (
+            f"Algorithm 1 (A_uniform) with eps={self.eps:g} "
+            f"(Theorem 3.3, O(log^(1+eps) k)-competitive)"
+        )

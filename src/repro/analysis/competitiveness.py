@@ -1,0 +1,142 @@
+"""Competitive analysis against the ``Omega(D + D^2/k)`` barrier.
+
+Section 2 of the paper measures every algorithm against the universal lower
+bound: any algorithm — even with free communication — needs expected time
+``Omega(D + D^2/k)``.  An algorithm ``A`` is ``phi(k)``-competitive when
+``T_A(D, k) <= phi(k) * (D + D^2/k)`` for all ``D`` and ``k``.
+
+This module provides the normalisation and tabulation helpers used by all
+experiments: :func:`optimal_time`, per-run :func:`competitiveness`, and
+grid sweeps returning one row per ``(D, k)`` cell.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..algorithms.base import ExcursionAlgorithm
+from ..sim.events import simulate_find_times
+from ..sim.rng import SeedLike, spawn_seeds
+from ..sim.world import place_treasure
+
+__all__ = [
+    "optimal_time",
+    "competitiveness",
+    "CompetitivenessCell",
+    "measure_competitiveness",
+    "sweep_competitiveness",
+]
+
+
+def optimal_time(distance: float, k: float) -> float:
+    """The benchmark ``D + D^2/k`` every competitiveness ratio divides by."""
+    if distance <= 0:
+        raise ValueError(f"distance must be positive, got {distance}")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    return distance + distance * distance / k
+
+
+def competitiveness(time: float, distance: float, k: float) -> float:
+    """Ratio of a (mean) running time to :func:`optimal_time`."""
+    return time / optimal_time(distance, k)
+
+
+@dataclass(frozen=True)
+class CompetitivenessCell:
+    """One measured grid cell of a competitiveness sweep."""
+
+    distance: int
+    k: int
+    trials: int
+    mean_time: float
+    stderr: float
+    ratio: float
+
+    @property
+    def optimal(self) -> float:
+        return optimal_time(self.distance, self.k)
+
+
+def measure_competitiveness(
+    algorithm_factory: Callable[[int], ExcursionAlgorithm],
+    distance: int,
+    k: int,
+    trials: int,
+    seed: SeedLike = None,
+    *,
+    placement: str = "offaxis",
+    horizon: Optional[float] = None,
+) -> CompetitivenessCell:
+    """Measure one ``(D, k)`` cell.
+
+    ``algorithm_factory(k)`` builds the algorithm instance — non-uniform
+    algorithms use ``k``, uniform ones ignore it.  The treasure placement
+    defaults to ``offaxis``: late in the spiral order *and* away from the
+    deterministic Manhattan-leg "highways" (see
+    :func:`repro.sim.world.place_treasure`); true argmin placement lives in
+    ``analysis.lower_bounds``.
+    """
+    placement_seed, sim_seed = spawn_seeds(seed, 2)
+    world = place_treasure(distance, placement, seed=placement_seed)
+    algorithm = algorithm_factory(k)
+    times = simulate_find_times(
+        algorithm, world, k, trials, sim_seed, horizon=horizon
+    )
+    finite = np.isfinite(times)
+    mean = float(np.mean(times))
+    stderr = (
+        float(np.std(times, ddof=1) / math.sqrt(trials))
+        if trials > 1 and bool(np.all(finite))
+        else math.inf
+    )
+    return CompetitivenessCell(
+        distance=distance,
+        k=k,
+        trials=trials,
+        mean_time=mean,
+        stderr=stderr,
+        ratio=competitiveness(mean, distance, k),
+    )
+
+
+def sweep_competitiveness(
+    algorithm_factory: Callable[[int], ExcursionAlgorithm],
+    distances: Sequence[int],
+    ks: Sequence[int],
+    trials: int,
+    seed: SeedLike = None,
+    *,
+    placement: str = "offaxis",
+    require_k_le_d: bool = False,
+) -> List[CompetitivenessCell]:
+    """Measure a full ``(D, k)`` grid; one cell per combination.
+
+    ``require_k_le_d`` skips cells with ``k > D`` — the regime the paper's
+    analyses reduce away (Theorem 3.3's proof starts by replacing ``k`` with
+    ``D`` when ``k > D``, since extra agents cannot help below time ``D``).
+    """
+    cells: List[CompetitivenessCell] = []
+    seeds = spawn_seeds(seed, len(distances) * len(ks))
+    index = 0
+    for distance in distances:
+        for k in ks:
+            cell_seed = seeds[index]
+            index += 1
+            if require_k_le_d and k > distance:
+                continue
+            cells.append(
+                measure_competitiveness(
+                    algorithm_factory,
+                    distance,
+                    k,
+                    trials,
+                    cell_seed,
+                    placement=placement,
+                )
+            )
+    return cells

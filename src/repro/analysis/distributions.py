@@ -1,0 +1,122 @@
+"""Find-time distribution tools: tails are where the theory shows.
+
+The proofs do not just bound expectations — they imply distribution
+shapes, which make sharper empirical targets:
+
+* **Iterated algorithms** (Theorems 3.1/3.3): the probability of surviving
+  stage ``s + l`` without a find is at most ``gamma^(-l^2/2)`` — a
+  *super-geometric* (doubly exponential in ``l``, i.e. faster than any
+  geometric in ``l``) tail over the doubling time scale
+  ``t ~ 2^(s+l)``.  :func:`doubling_tail` measures
+  ``P(T > t0 * 2^l)`` and :func:`tail_is_geometric` checks the decay
+  dominates a geometric envelope.
+
+* **Heavy-tailed baselines**: the simple random walk's hitting time on
+  ``Z^2`` has a log-corrected ``1/t`` tail (hence an infinite mean);
+  one-shot harmonic find times inherit a power tail from the zipf radius.
+  :func:`hill_estimator` estimates the tail exponent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "empirical_cdf",
+    "survival_at",
+    "doubling_tail",
+    "tail_is_geometric",
+    "hill_estimator",
+]
+
+
+def empirical_cdf(samples: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF over the finite samples: returns ``(x, F(x))``.
+
+    Non-finite samples (censored runs) are excluded from ``x`` but *do*
+    count in the denominator, so ``F`` tops out below 1 for defective
+    distributions — the honest convention for one-shot algorithms.
+    """
+    data = np.asarray(samples, dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("need at least one sample")
+    finite = np.sort(data[np.isfinite(data)])
+    if finite.size == 0:
+        return np.array([]), np.array([])
+    return finite, np.arange(1, finite.size + 1) / data.size
+
+
+def survival_at(samples: Sequence[float], t: float) -> float:
+    """``P(T > t)`` under the empirical distribution (censored counted as > t)."""
+    data = np.asarray(samples, dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("need at least one sample")
+    return float(np.mean(~np.isfinite(data) | (data > t)))
+
+
+def doubling_tail(
+    samples: Sequence[float], t0: float, levels: int
+) -> List[Tuple[float, float]]:
+    """Survival probabilities on the doubling scale: ``P(T > t0 * 2^l)``.
+
+    Returns ``[(t0*2^l, survival)]`` for ``l = 0..levels-1`` — the scale on
+    which the stage-structure proofs bound the tail.
+    """
+    if t0 <= 0:
+        raise ValueError(f"t0 must be positive, got {t0}")
+    if levels < 1:
+        raise ValueError(f"levels must be >= 1, got {levels}")
+    return [
+        (t0 * 2.0**level, survival_at(samples, t0 * 2.0**level))
+        for level in range(levels)
+    ]
+
+
+def tail_is_geometric(
+    samples: Sequence[float], t0: float, levels: int, ratio: float = 0.6
+) -> bool:
+    """Check the doubling-scale tail decays at least geometrically.
+
+    True iff ``P(T > t0*2^(l+1)) <= ratio * P(T > t0*2^l)`` whenever the
+    level has statistical support (survival counts of at least 5 samples).
+    The proofs imply decay *faster* than any fixed geometric, so any
+    ``ratio < 1`` should pass for iterated algorithms once ``t0`` is at
+    the find-time scale.
+    """
+    if not 0 < ratio < 1:
+        raise ValueError(f"ratio must be in (0, 1), got {ratio}")
+    data = np.asarray(samples, dtype=np.float64)
+    n = data.size
+    tail = doubling_tail(samples, t0, levels)
+    for (_, p_now), (_, p_next) in zip(tail, tail[1:]):
+        if p_now * n < 5:  # no support left; tail is already resolved
+            break
+        if p_next > ratio * p_now + 1e-12:
+            return False
+    return True
+
+
+def hill_estimator(samples: Sequence[float], tail_fraction: float = 0.1) -> float:
+    """Hill estimator of the tail index ``alpha`` (``P(T > t) ~ t^-alpha``).
+
+    Uses the upper ``tail_fraction`` of the finite order statistics.
+    Small values (``alpha <= 1``) diagnose an infinite mean — the random
+    walk's signature on ``Z^2``.
+    """
+    data = np.asarray(samples, dtype=np.float64)
+    finite = np.sort(data[np.isfinite(data) & (data > 0)])
+    if finite.size < 10:
+        raise ValueError("need at least 10 finite positive samples")
+    if not 0 < tail_fraction < 1:
+        raise ValueError(f"tail_fraction must be in (0, 1), got {tail_fraction}")
+    k = max(2, int(tail_fraction * finite.size))
+    top = finite[-k:]
+    threshold = top[0]
+    logs = np.log(top / threshold)
+    mean_log = float(np.mean(logs[1:])) if k > 2 else float(np.mean(logs))
+    if mean_log <= 0:
+        return math.inf
+    return 1.0 / mean_log

@@ -1,0 +1,184 @@
+"""Statistical estimators for Monte-Carlo search experiments.
+
+Find-time distributions range from well-concentrated (the iterated
+algorithms, whose stage structure gives geometric tails) to heavy-tailed or
+defective (random walks on ``Z^2`` have *infinite* expected hitting time;
+one-shot harmonic search fails outright with positive probability).  The
+estimators here are chosen accordingly:
+
+* :func:`mean_with_ci` — bootstrap percentile intervals, no normality
+  assumption;
+* :func:`truncated_mean` — the honest summary for capped runs: mean with
+  censored values pinned at the horizon, reported with the censoring rate;
+* :func:`success_rate` / :func:`wilson_interval` — for probability-of-find
+  experiments (Theorem 5.1);
+* :class:`Welford` — streaming moments for long instrumentation runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..sim.rng import SeedLike, make_rng
+
+__all__ = [
+    "mean_with_ci",
+    "truncated_mean",
+    "success_rate",
+    "wilson_interval",
+    "quantiles",
+    "Welford",
+]
+
+
+def mean_with_ci(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    seed: SeedLike = None,
+) -> Tuple[float, Tuple[float, float]]:
+    """Sample mean with a bootstrap percentile confidence interval.
+
+    Requires all samples to be finite — censored data should go through
+    :func:`truncated_mean` instead.
+    """
+    data = np.asarray(samples, dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("need at least one sample")
+    if not np.all(np.isfinite(data)):
+        raise ValueError("samples contain non-finite values; use truncated_mean")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    mean = float(data.mean())
+    if data.size == 1:
+        return mean, (mean, mean)
+    rng = make_rng(seed)
+    idx = rng.integers(0, data.size, size=(n_boot, data.size))
+    boot_means = data[idx].mean(axis=1)
+    lo, hi = np.quantile(boot_means, [(1 - confidence) / 2, (1 + confidence) / 2])
+    return mean, (float(lo), float(hi))
+
+
+@dataclass(frozen=True)
+class TruncatedMean:
+    """Mean of censored samples (non-finite values pinned at the horizon)."""
+
+    mean: float
+    censored_fraction: float
+    horizon: float
+
+    @property
+    def is_lower_bound(self) -> bool:
+        """True when any censoring occurred: the true mean is at least this."""
+        return self.censored_fraction > 0
+
+
+def truncated_mean(samples: Sequence[float], horizon: float) -> TruncatedMean:
+    """Mean with values ``> horizon`` (or non-finite) replaced by ``horizon``.
+
+    For capped simulations this is a valid *lower bound* on the true
+    expectation — exactly the right direction for reporting how badly the
+    random-walk baseline loses.
+    """
+    data = np.asarray(samples, dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("need at least one sample")
+    if not math.isfinite(horizon) or horizon <= 0:
+        raise ValueError(f"horizon must be positive and finite, got {horizon}")
+    censored = ~np.isfinite(data) | (data > horizon)
+    clipped = np.where(censored, horizon, data)
+    return TruncatedMean(
+        mean=float(clipped.mean()),
+        censored_fraction=float(censored.mean()),
+        horizon=float(horizon),
+    )
+
+
+def success_rate(samples: Sequence[float], horizon: float = math.inf) -> float:
+    """Fraction of runs that found the treasure by ``horizon``."""
+    data = np.asarray(samples, dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("need at least one sample")
+    return float(np.mean(np.isfinite(data) & (data <= horizon)))
+
+
+def wilson_interval(
+    successes: int, total: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Better behaved than the normal approximation at the extremes — which is
+    where Theorem 5.1's success-probability curves live.
+    """
+    if total <= 0:
+        raise ValueError(f"total must be positive, got {total}")
+    if not 0 <= successes <= total:
+        raise ValueError(f"need 0 <= successes <= total, got {successes}/{total}")
+    from scipy import stats as _stats
+
+    z = float(_stats.norm.ppf((1 + confidence) / 2))
+    p = successes / total
+    denom = 1 + z * z / total
+    centre = (p + z * z / (2 * total)) / denom
+    margin = z * math.sqrt(p * (1 - p) / total + z * z / (4 * total * total)) / denom
+    return max(0.0, centre - margin), min(1.0, centre + margin)
+
+
+def quantiles(
+    samples: Sequence[float], qs: Sequence[float] = (0.25, 0.5, 0.75, 0.9)
+) -> Tuple[float, ...]:
+    """Empirical quantiles; infinite samples are allowed and sort last."""
+    data = np.asarray(samples, dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("need at least one sample")
+    ordered = np.sort(data)
+    out = []
+    for q in qs:
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        idx = min(int(q * (ordered.size - 1) + 0.5), ordered.size - 1)
+        out.append(float(ordered[idx]))
+    return tuple(out)
+
+
+class Welford:
+    """Streaming mean/variance accumulator (numerically stable)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the running moments."""
+        if not math.isfinite(value):
+            raise ValueError(f"Welford requires finite values, got {value}")
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    def extend(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no observations")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (needs at least two observations)."""
+        if self.count < 2:
+            raise ValueError("variance needs at least two observations")
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stderr(self) -> float:
+        return math.sqrt(self.variance / self.count)

@@ -1,0 +1,89 @@
+"""Scaling-law fits used to compare measurements with theorem predictions.
+
+Two families cover every experiment:
+
+* **poly-log**: ``phi(k) = a * log(k)^b`` — Theorem 3.3 predicts the
+  uniform algorithm's competitiveness has ``b ~ 1 + eps``; Theorem 4.1 says
+  no uniform algorithm achieves ``b <= 1`` with bounded ``a``.
+* **power law**: ``T(D) = a * D^b`` — Theorem 3.1 predicts ``b ~ 2`` for
+  fixed ``k`` in the ``D^2/k``-dominated regime and ``b ~ 1`` once
+  ``k >~ D``; the cow-path baseline has ``b = 2`` always.
+
+Both reduce to linear least squares after taking logs; fits report ``R^2``
+so tests can insist the model actually explains the data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FitResult", "fit_power_law", "fit_polylog", "r_squared"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Result of a two-parameter scaling fit ``y = a * f(x)^b``."""
+
+    a: float
+    b: float
+    r2: float
+    model: str
+
+    def predict(self, x: float) -> float:
+        if self.model == "power":
+            return self.a * x**self.b
+        if self.model == "polylog":
+            return self.a * math.log(x) ** self.b
+        raise ValueError(f"unknown model {self.model!r}")
+
+
+def r_squared(y: np.ndarray, y_hat: np.ndarray) -> float:
+    """Coefficient of determination of predictions ``y_hat`` against ``y``."""
+    y = np.asarray(y, dtype=np.float64)
+    y_hat = np.asarray(y_hat, dtype=np.float64)
+    ss_res = float(np.sum((y - y_hat) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def _loglinear_fit(log_x: np.ndarray, log_y: np.ndarray) -> Tuple[float, float, float]:
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    pred = slope * log_x + intercept
+    return float(math.exp(intercept)), float(slope), r_squared(log_y, pred)
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Fit ``y = a * x^b`` by least squares in log-log space."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need two same-length samples of size >= 2")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fits need positive data")
+    a, b, r2 = _loglinear_fit(np.log(x), np.log(y))
+    return FitResult(a=a, b=b, r2=r2, model="power")
+
+
+def fit_polylog(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Fit ``y = a * log(x)^b`` by least squares in log(log)-log space.
+
+    Requires ``x > 1`` so that ``log x > 0``; callers drop the ``k = 1``
+    cell (where the competitiveness of any sane algorithm is ``Theta(1)``
+    and the model is degenerate anyway).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need two same-length samples of size >= 2")
+    if np.any(x <= 1):
+        raise ValueError("polylog fits need x > 1 (log x must be positive)")
+    if np.any(y <= 0):
+        raise ValueError("polylog fits need positive y")
+    a, b, r2 = _loglinear_fit(np.log(np.log(x)), np.log(y))
+    return FitResult(a=a, b=b, r2=r2, model="polylog")

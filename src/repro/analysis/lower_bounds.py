@@ -1,0 +1,178 @@
+"""Empirical machinery of the lower-bound proofs (Theorems 4.1 and 4.2).
+
+A lower bound cannot be "run", but its *mechanism* can be measured.  Both
+proofs follow the same counting template:
+
+1. pretend the treasure is far away (``D = 2T + 1``), run the algorithm
+   with ``k_i`` agents to the cutoff ``2T``;
+2. for balls ``B(D_i)`` whose cells the assumed competitiveness ``phi``
+   forces to be found quickly, Markov's inequality gives
+   ``Pr[cell visited by 2T] >= 1/2``;
+3. summing over disjoint annuli ``S_i``, each agent must visit
+   ``Omega(|S_i| / k_i) = Omega(T / phi(k_i))`` distinct cells per annulus
+   — but an agent can visit at most ``2T`` cells total, so
+   ``sum_i 1/phi(2^i)`` must converge.  ``phi = O(log k)`` diverges:
+   contradiction.
+
+This module measures steps (2) and (3) on real executions:
+:func:`annulus_load_profile` instruments the per-annulus per-agent loads,
+:func:`harmonic_sum_divergence` exhibits the divergent sum for a measured
+``phi``, and :func:`adversarial_treasure` implements the adversary itself —
+the argmin-visit-probability placement used to stress upper-bound
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..algorithms.base import SearchAlgorithm
+from ..core.geometry import ball_cells, l1_norm
+from ..sim.engine import first_visit_times
+from ..sim.metrics import AnnulusCoverage, coverage_by_annulus, distinct_nodes_visited
+from ..sim.rng import SeedLike, spawn_seeds
+from ..sim.world import World
+
+__all__ = [
+    "AnnulusLoad",
+    "annulus_load_profile",
+    "harmonic_sum_divergence",
+    "visit_probability_map",
+    "adversarial_treasure",
+]
+
+Point = Tuple[int, int]
+
+#: A placement far beyond any cutoff, standing in for "D = 2T + 1".
+def _far_treasure(cutoff: int) -> World:
+    return World((2 * cutoff + 1, 0))
+
+
+@dataclass(frozen=True)
+class AnnulusLoad:
+    """Measured per-annulus load for one agent population ``k``."""
+
+    k: int
+    coverage: List[AnnulusCoverage]
+    per_agent_distinct: float
+    cutoff: int
+
+    @property
+    def total_per_agent_annulus_load(self) -> float:
+        """``sum_i`` per-agent cells visited in annulus ``S_i``."""
+        return sum(c.per_agent_mean for c in self.coverage)
+
+
+def annulus_load_profile(
+    algorithm_factory: Callable[[int], SearchAlgorithm],
+    ks: Sequence[int],
+    boundaries: Sequence[int],
+    cutoff: int,
+    seed: SeedLike = None,
+) -> List[AnnulusLoad]:
+    """Run the algorithm with each ``k`` to ``cutoff`` and measure annulus loads.
+
+    Mirrors the proof's experiment: no treasure is findable (it is placed at
+    ``2*cutoff + 1``), agents walk the full window, and we record for every
+    annulus between consecutive ``boundaries`` the union coverage
+    ``chi(S_i)`` and the mean per-agent distinct-cell load.
+    """
+    world = _far_treasure(cutoff)
+    seeds = spawn_seeds(seed, len(ks))
+    profiles: List[AnnulusLoad] = []
+    for k, k_seed in zip(ks, seeds):
+        maps = first_visit_times(algorithm_factory(k), world, k, k_seed, cutoff)
+        coverage = coverage_by_annulus(maps, list(boundaries), cutoff)
+        distinct = distinct_nodes_visited(maps, cutoff)
+        profiles.append(
+            AnnulusLoad(
+                k=k,
+                coverage=coverage,
+                per_agent_distinct=float(np.mean(distinct)),
+                cutoff=cutoff,
+            )
+        )
+    return profiles
+
+
+def harmonic_sum_divergence(phi_values: Dict[int, float]) -> List[Tuple[int, float]]:
+    """Partial sums of ``sum_i 1 / phi(2^i)`` for measured competitiveness.
+
+    Theorem 4.1's contradiction: if ``phi(k) = O(log k)`` the sum diverges,
+    so the partial sums must grow without bound; an algorithm can only be
+    legitimate if its measured ``phi`` makes these partial sums converge.
+    Input maps ``k = 2^i`` to measured ``phi(k)``; output is the running
+    partial sum in increasing ``i``.
+    """
+    if not phi_values:
+        raise ValueError("need at least one measured phi value")
+    partial = 0.0
+    out: List[Tuple[int, float]] = []
+    for k in sorted(phi_values):
+        phi = phi_values[k]
+        if phi <= 0:
+            raise ValueError(f"phi must be positive, got phi({k}) = {phi}")
+        partial += 1.0 / phi
+        out.append((k, partial))
+    return out
+
+
+def visit_probability_map(
+    algorithm: SearchAlgorithm,
+    k: int,
+    radius: int,
+    cutoff: int,
+    runs: int,
+    seed: SeedLike = None,
+) -> Dict[Point, float]:
+    """Estimate ``Pr[cell visited by cutoff]`` for every cell of ``B(radius)``.
+
+    Probability is over the algorithm's randomness, with the union taken
+    over the ``k`` agents — the quantity Markov's inequality bounds in the
+    proofs.  Estimated from ``runs`` independent executions.
+    """
+    if runs < 1:
+        raise ValueError(f"runs must be >= 1, got {runs}")
+    world = _far_treasure(cutoff)
+    counts: Dict[Point, int] = {cell: 0 for cell in ball_cells(radius)}
+    seeds = spawn_seeds(seed, runs)
+    for run_seed in seeds:
+        maps = first_visit_times(algorithm, world, k, run_seed, cutoff)
+        seen: set = set()
+        for visits in maps:
+            for cell, t in visits.items():
+                if t <= cutoff:
+                    seen.add(cell)
+        for cell in seen:
+            if cell in counts:
+                counts[cell] += 1
+    return {cell: c / runs for cell, c in counts.items()}
+
+
+def adversarial_treasure(
+    algorithm: SearchAlgorithm,
+    k: int,
+    distance: int,
+    cutoff: int,
+    runs: int,
+    seed: SeedLike = None,
+) -> Tuple[World, float]:
+    """The adversary of Section 2: place the treasure where it is least covered.
+
+    Estimates the visit-probability map of the ring at ``distance`` by
+    ``cutoff`` and returns the world with the treasure at the argmin cell,
+    together with that cell's estimated visit probability.  Placing the
+    treasure there maximises the algorithm's expected find time among
+    distance-``distance`` placements (up to estimation error).
+    """
+    probabilities = visit_probability_map(algorithm, k, distance, cutoff, runs, seed)
+    ring = {
+        cell: p
+        for cell, p in probabilities.items()
+        if l1_norm(cell[0], cell[1]) == distance
+    }
+    worst_cell = min(sorted(ring), key=lambda cell: ring[cell])
+    return World(worst_cell), ring[worst_cell]

@@ -1,0 +1,120 @@
+"""Command-line interface: ``repro-ants`` / ``python -m repro``.
+
+Examples::
+
+    repro-ants list                      # show the experiment index
+    repro-ants run E1 E3 --quick         # run experiments, print tables
+    repro-ants run all --full --csv out/ # full scale, archive CSVs
+    repro-ants demo                      # 30-second guided demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ants",
+        description=(
+            "Reproduction of 'Collaborative Search on the Plane without "
+            "Communication' (Feinerman, Korman, Lotker, Sereni; PODC 2012)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run experiments and print their tables")
+    run_p.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (E1..E10) or 'all'",
+    )
+    mode = run_p.add_mutually_exclusive_group()
+    mode.add_argument("--quick", action="store_true", help="small grids (default)")
+    mode.add_argument("--full", action="store_true", help="paper-scale grids")
+    run_p.add_argument("--seed", type=int, default=None, help="override root seed")
+    run_p.add_argument(
+        "--csv", metavar="DIR", default=None, help="also write tables as CSV here"
+    )
+
+    sub.add_parser("list", help="list registered experiments")
+    sub.add_parser("demo", help="run a small end-to-end demonstration")
+    return parser
+
+
+def _cmd_list() -> int:
+    from .experiments.registry import list_experiments
+
+    for info in list_experiments():
+        print(f"{info.experiment_id:<4} [{info.paper_result}] {info.title}")
+    return 0
+
+
+def _cmd_run(
+    ids: List[str], quick: bool, seed: Optional[int], csv_dir: Optional[str]
+) -> int:
+    from .experiments.registry import list_experiments, run_experiment
+
+    if any(x.lower() == "all" for x in ids):
+        ids = [info.experiment_id for info in list_experiments()]
+    if csv_dir:
+        os.makedirs(csv_dir, exist_ok=True)
+    for experiment_id in ids:
+        started = time.perf_counter()
+        tables = run_experiment(experiment_id, quick=quick, seed=seed)
+        elapsed = time.perf_counter() - started
+        for i, table in enumerate(tables):
+            print(table.to_text())
+            print()
+            if csv_dir:
+                name = f"{experiment_id.lower()}_{i}.csv"
+                table.to_csv(os.path.join(csv_dir, name))
+        print(f"[{experiment_id} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+def _cmd_demo() -> int:
+    from .algorithms import HarmonicSearch, NonUniformSearch, UniformSearch
+    from .analysis.competitiveness import optimal_time
+    from .sim.events import simulate_find_times
+    from .sim.world import place_treasure
+
+    distance, k = 64, 16
+    world = place_treasure(distance, "corner")
+    print(f"Treasure at distance D={distance}; k={k} agents; 100 trials each.")
+    print(f"Optimal benchmark D + D^2/k = {optimal_time(distance, k):.0f}\n")
+    for alg in (NonUniformSearch(k=k), UniformSearch(0.5), HarmonicSearch(0.5)):
+        times = simulate_find_times(alg, world, k, 100, seed=0)
+        import numpy as np
+
+        found = np.isfinite(times)
+        mean = times[found].mean() if found.any() else float("inf")
+        print(
+            f"{alg.describe():<75} "
+            f"mean={mean:9.1f}  success={found.mean():.2f}"
+        )
+    print("\nSee `repro-ants list` for the full experiment index.")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "run":
+        quick = not args.full
+        return _cmd_run(args.experiments, quick, args.seed, args.csv)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

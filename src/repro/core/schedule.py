@@ -1,0 +1,190 @@
+"""Deterministic phase schedules of the paper's iterated algorithms.
+
+Both upper-bound constructions of the paper are *iterated excursion*
+algorithms: an agent repeatedly (i) draws a node ``u`` uniformly from a ball
+``B(radius)``, (ii) walks to ``u``, (iii) runs a spiral search from ``u``
+for a prescribed number of steps, and (iv) walks back to the source.  The
+per-phase ``(radius, budget)`` pairs form a deterministic schedule shared by
+all agents; the only randomness is the drawn node.
+
+* :func:`nonuniform_schedule` — Algorithm 3 (``A_k``, Theorem 3.1):
+  stages ``j = 1, 2, ...``; within stage ``j``, phases ``i = 1..j`` with
+  ball radius ``2^i`` and spiral budget ``t_i = 2^{2i+2} / k``.
+
+* :func:`uniform_schedule` — Algorithm 1 (``A_uniform``, Theorem 3.3):
+  big-stages ``l = 0, 1, ...``; stages ``i = 0..l``; phases ``j = 0..i``
+  with ``D_{i,j} = sqrt(2^{i+j} / j^{1+eps})`` and budget
+  ``t_{i,j} = 2^{i+2} / j^{1+eps}``.
+
+Rounding conventions (constants only; covered by unit tests):
+
+* real-valued radii are floored, real-valued budgets are ceiled, and both
+  are clamped to be at least 1;
+* the paper's ``j^{1+eps}`` at ``j = 0`` is read as ``max(j, 1)^{1+eps}``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from .spiral import spiral_position
+
+__all__ = [
+    "PhaseSpec",
+    "phase_max_duration",
+    "nonuniform_schedule",
+    "nonuniform_stage_phases",
+    "uniform_schedule",
+    "uniform_stage_phases",
+    "uniform_big_stage_phases",
+    "guess_cycle_schedule",
+]
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One excursion phase: draw from ``B(radius)``, spiral for ``budget`` steps.
+
+    ``label`` carries the loop indices that produced the phase — ``("stage",
+    j, "phase", i)`` style tuples — so tests and instrumentation can locate
+    phases inside the schedule without re-deriving the loop structure.
+    """
+
+    radius: int
+    budget: int
+    label: Tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.radius < 1:
+            raise ValueError(f"phase radius must be >= 1, got {self.radius}")
+        if self.budget < 1:
+            raise ValueError(f"phase budget must be >= 1, got {self.budget}")
+
+
+def phase_max_duration(spec: PhaseSpec) -> int:
+    """Worst-case duration of one execution of ``spec``.
+
+    Travel out (``<= radius``) + spiral (``budget``) + travel back from the
+    spiral's final cell (``<= radius + |spiral_position(budget)|``).
+    """
+    ex, ey = spiral_position(spec.budget)
+    return 2 * spec.radius + spec.budget + abs(ex) + abs(ey)
+
+
+def _ceil_at_least_one(value: float) -> int:
+    return max(1, math.ceil(value))
+
+
+def _floor_at_least_one(value: float) -> int:
+    return max(1, math.floor(value))
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 3 (A_k) — Theorem 3.1
+# ---------------------------------------------------------------------------
+
+
+def nonuniform_stage_phases(stage: int, k: float) -> List[PhaseSpec]:
+    """Phases of stage ``j = stage`` of ``A_k`` with agent-count parameter ``k``."""
+    if stage < 1:
+        raise ValueError(f"stage index must be >= 1, got {stage}")
+    if k <= 0:
+        raise ValueError(f"agent count parameter must be positive, got {k}")
+    phases = []
+    for i in range(1, stage + 1):
+        radius = 2**i
+        budget = _ceil_at_least_one(2 ** (2 * i + 2) / k)
+        phases.append(PhaseSpec(radius, budget, label=("stage", stage, "phase", i)))
+    return phases
+
+
+def nonuniform_schedule(k: float) -> Iterator[PhaseSpec]:
+    """Infinite phase schedule of Algorithm 3 (``A_k``).
+
+    ``k`` is the agent-count parameter the algorithm *believes*; Corollary
+    3.2 runs the same schedule with ``k_a / rho``.
+    """
+    stage = 0
+    while True:
+        stage += 1
+        yield from nonuniform_stage_phases(stage, k)
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 1 (A_uniform) — Theorem 3.3
+# ---------------------------------------------------------------------------
+
+
+def _uniform_denominator(j: int, eps: float) -> float:
+    return float(max(j, 1)) ** (1.0 + eps)
+
+
+def uniform_phase(i: int, j: int, eps: float) -> PhaseSpec:
+    """Phase ``j`` of stage ``i`` of ``A_uniform(eps)``."""
+    if not 0 <= j <= i:
+        raise ValueError(f"need 0 <= j <= i, got i={i}, j={j}")
+    denom = _uniform_denominator(j, eps)
+    radius = _floor_at_least_one(math.sqrt(2 ** (i + j) / denom))
+    budget = _ceil_at_least_one(2 ** (i + 2) / denom)
+    return PhaseSpec(radius, budget, label=("stage", i, "phase", j))
+
+
+def uniform_stage_phases(i: int, eps: float) -> List[PhaseSpec]:
+    """All phases ``j = 0..i`` of stage ``i`` of ``A_uniform(eps)``."""
+    if i < 0:
+        raise ValueError(f"stage index must be >= 0, got {i}")
+    return [uniform_phase(i, j, eps) for j in range(i + 1)]
+
+
+def uniform_big_stage_phases(ell: int, eps: float) -> List[PhaseSpec]:
+    """All phases of big-stage ``ell`` (stages ``i = 0..ell``) of ``A_uniform``."""
+    if ell < 0:
+        raise ValueError(f"big-stage index must be >= 0, got {ell}")
+    phases: List[PhaseSpec] = []
+    for i in range(ell + 1):
+        stage = uniform_stage_phases(i, eps)
+        phases.extend(
+            PhaseSpec(p.radius, p.budget, label=("big-stage", ell) + p.label)
+            for p in stage
+        )
+    return phases
+
+
+def uniform_schedule(eps: float) -> Iterator[PhaseSpec]:
+    """Infinite phase schedule of Algorithm 1 (``A_uniform(eps)``)."""
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    ell = -1
+    while True:
+        ell += 1
+        yield from uniform_big_stage_phases(ell, eps)
+
+
+# ---------------------------------------------------------------------------
+# Guess-cycling schedule — used by HedgedApproxSearch (Theorem 4.2 companion)
+# ---------------------------------------------------------------------------
+
+
+def guess_cycle_schedule(guesses: List[float]) -> Iterator[PhaseSpec]:
+    """Interleave ``A_k`` schedules for several candidate agent counts.
+
+    Round ``m`` runs stage ``m`` of ``A_guess`` for each guess in turn.  With
+    guesses ``k̃^{1-eps} * 2^t`` this is the natural hedging construction for
+    the one-sided ``k^eps``-approximation setting of Theorem 4.2: its
+    competitiveness is ``O(#guesses)= O(eps * log k̃)`` times the optimum,
+    matching the paper's lower bound shape.
+    """
+    if not guesses:
+        raise ValueError("need at least one guess")
+    if any(g <= 0 for g in guesses):
+        raise ValueError(f"guesses must be positive, got {guesses}")
+    stage = 0
+    while True:
+        stage += 1
+        for g_index, guess in enumerate(guesses):
+            for spec in nonuniform_stage_phases(stage, guess):
+                yield PhaseSpec(
+                    spec.radius, spec.budget, label=("guess", g_index) + spec.label
+                )

@@ -1,0 +1,118 @@
+"""Navigation primitives: straight-line walks and circle (diamond) tours.
+
+Section 2 of the paper assumes four atomic navigation procedures: choosing a
+random direction, walking in a straight line to a prescribed distance,
+performing a spiral search (see :mod:`repro.core.spiral`), and returning to
+the source.  On the grid, "walking in a straight line" to a node ``u`` is a
+shortest (Manhattan) path of exactly ``d(s, u)`` edges; "performing a circle
+of radius D around the source" (the known-``D`` benchmark in Section 2) is a
+tour of the L1 ring ``{v : d(v) = D}``, which on the 4-connected grid
+requires a zig-zag through the adjacent ring and costs ``8D`` steps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+__all__ = [
+    "manhattan_path",
+    "manhattan_path_length",
+    "diamond_tour",
+    "diamond_tour_length",
+    "diamond_tour_hit_time",
+]
+
+Point = Tuple[int, int]
+
+
+def manhattan_path_length(a: Point, b: Point) -> int:
+    """Number of edges on a shortest grid path from ``a`` to ``b``."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def manhattan_path(a: Point, b: Point) -> Iterator[Point]:
+    """Yield the successive nodes of a canonical shortest path from ``a`` to ``b``.
+
+    The path moves along the x-axis first, then the y-axis (``a`` itself is
+    not yielded; the final node yielded is ``b``).  Yields nothing when
+    ``a == b``.  Any shortest path has the same length, so the choice is
+    immaterial for the paper's time accounting; a fixed canonical choice
+    keeps replays deterministic.
+    """
+    x, y = a
+    bx, by = b
+    step_x = 1 if bx > x else -1
+    while x != bx:
+        x += step_x
+        yield x, y
+    step_y = 1 if by > y else -1
+    while y != by:
+        y += step_y
+        yield x, y
+
+
+def diamond_tour_length(radius: int) -> int:
+    """Number of steps of the full circle tour at L1 radius ``radius`` (``8r``)."""
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    return 8 * radius
+
+
+def diamond_tour(radius: int) -> Iterator[Point]:
+    """Yield the nodes of a closed tour visiting every cell of ring ``radius``.
+
+    The tour starts by *entering* ``(radius, 0)`` — callers should first walk
+    there — proceeds counter-clockwise, and zig-zags through ring
+    ``radius - 1`` between consecutive ring cells (two steps per ring cell,
+    ``8 * radius`` steps total), ending back at ``(radius, 0)``.
+
+    The first yielded node is the successor of ``(radius, 0)``; the last is
+    ``(radius, 0)`` itself.  For ``radius == 0`` nothing is yielded.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    if radius == 0:
+        return
+    # Quadrant q of the counter-clockwise tour steps from ring cell to ring
+    # cell through the inner ring.  Inner-step and outer-step displacements
+    # per quadrant:
+    #   q0: (r - i, i)      -> inner (r-1-i, i)      -> (r-1-i, i+1) = next
+    #   q1: (-i, r - i)     -> inner (-i, r-1-i)     -> (-(i+1), r-1-i)
+    #   q2: (-(r - i), -i)  -> inner (-(r-1-i), -i)  -> (-(r-1-i), -(i+1))
+    #   q3: (i, -(r - i))   -> inner (i, -(r-1-i))   -> (i+1, -(r-1-i))
+    r = radius
+    for q in range(4):
+        for i in range(r):
+            if q == 0:
+                yield r - 1 - i, i
+                yield r - 1 - i, i + 1
+            elif q == 1:
+                yield -i, r - 1 - i
+                yield -(i + 1), r - 1 - i
+            elif q == 2:
+                yield -(r - 1 - i), -i
+                yield -(r - 1 - i), -(i + 1)
+            else:
+                yield i, -(r - 1 - i)
+                yield i + 1, -(r - 1 - i)
+
+
+def diamond_tour_hit_time(radius: int, target: Point) -> int:
+    """Steps along :func:`diamond_tour` until ``target`` is visited.
+
+    The count starts at the tour's first step (after the walker stands on
+    ``(radius, 0)``, which counts as time ``0`` if it is the target).
+    Raises ``ValueError`` if the target is on neither ring ``radius`` nor the
+    zig-zag cells of ring ``radius - 1`` actually traversed.
+    """
+    if target == (radius, 0):
+        return 0
+    for t, node in enumerate(diamond_tour(radius), start=1):
+        if node == target:
+            return t
+    raise ValueError(f"target {target} is not visited by the radius-{radius} tour")
+
+
+def tour_positions(radius: int) -> List[Point]:
+    """Materialised :func:`diamond_tour` (convenience for tests)."""
+    return list(diamond_tour(radius))

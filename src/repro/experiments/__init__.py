@@ -1,0 +1,25 @@
+"""Experiment harness: one experiment per paper result (see DESIGN.md §4)."""
+
+from .config import FULL, QUICK, ExperimentScale, scale
+from .io import ResultTable
+
+__all__ = [
+    "FULL",
+    "QUICK",
+    "ExperimentScale",
+    "ResultTable",
+    "scale",
+    "run_experiment",
+    "list_experiments",
+    "EXPERIMENTS",
+]
+
+
+def __getattr__(name):
+    # Lazy import: registry pulls in every experiment module; keep plain
+    # `import repro.experiments` cheap for users who only need ResultTable.
+    if name in {"run_experiment", "list_experiments", "EXPERIMENTS"}:
+        from . import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,54 @@
+"""Experiment sizing: every experiment runs in ``quick`` or ``full`` mode.
+
+``quick`` keeps CI and ``pytest benchmarks/`` snappy (seconds per
+experiment); ``full`` is what ``EXPERIMENTS.md`` reports (minutes overall,
+still laptop-scale).  Both modes exercise identical code paths — only grid
+extents and trial counts differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["ExperimentScale", "QUICK", "FULL"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Shared sizing knobs; experiments pick what they need."""
+
+    name: str
+    trials: int
+    distances: Sequence[int]
+    ks: Sequence[int]
+    step_trials: int  # trials for step-level (slow) instrumentation
+    seed: int = 20120716  # PODC 2012 started July 16, Madeira
+
+    def __post_init__(self) -> None:
+        if self.trials < 1 or self.step_trials < 1:
+            raise ValueError("trial counts must be >= 1")
+        if not self.distances or not self.ks:
+            raise ValueError("distances and ks must be non-empty")
+
+
+QUICK = ExperimentScale(
+    name="quick",
+    trials=60,
+    distances=(16, 32, 64),
+    ks=(1, 4, 16),
+    step_trials=8,
+)
+
+FULL = ExperimentScale(
+    name="full",
+    trials=300,
+    distances=(32, 64, 128, 256, 512),
+    ks=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+    step_trials=30,
+)
+
+
+def scale(quick: bool) -> ExperimentScale:
+    """The canonical scale for a mode."""
+    return QUICK if quick else FULL

@@ -1,0 +1,85 @@
+"""E1 — Theorem 3.1: ``A_k`` is O(1)-competitive when ``k`` is known.
+
+Paper prediction: the expected running time of Algorithm 3 is
+``O(D + D^2/k)``, i.e. the competitiveness ratio
+``T / (D + D^2/k)`` is bounded by a constant, *uniformly* in both ``D``
+and ``k``.
+
+Workload: treasure at the spiral-worst corner cell at distance ``D``;
+``(D, k)`` grid; 60-300 trials per cell.
+
+Shape checks (asserted by the bench):
+* every ratio below a fixed constant;
+* ratios essentially flat — max/min spread across the grid bounded;
+* absolute times grow like ``D^2`` at ``k = 1`` and like ``D`` once
+  ``k ~ D`` (power-law fits).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..algorithms import NonUniformSearch
+from ..analysis.competitiveness import sweep_competitiveness
+from ..analysis.fitting import fit_power_law
+from .config import scale
+from .io import ResultTable
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "E1"
+TITLE = "E1 (Thm 3.1): A_k with known k is O(1)-competitive"
+
+
+def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
+    cfg = scale(quick)
+    seed = cfg.seed if seed is None else seed
+
+    cells = sweep_competitiveness(
+        lambda k: NonUniformSearch(k=k),
+        cfg.distances,
+        cfg.ks,
+        cfg.trials,
+        seed=seed,
+        placement="offaxis",
+        require_k_le_d=True,
+    )
+
+    table = ResultTable(
+        title=TITLE,
+        columns=["D", "k", "trials", "mean_time", "stderr", "optimal", "ratio"],
+    )
+    for cell in cells:
+        table.add_row(
+            D=cell.distance,
+            k=cell.k,
+            trials=cell.trials,
+            mean_time=cell.mean_time,
+            stderr=cell.stderr,
+            optimal=cell.optimal,
+            ratio=cell.ratio,
+        )
+
+    ratios = [cell.ratio for cell in cells]
+    summary = ResultTable(
+        title="E1 summary: ratio spread (flat <=> O(1)-competitive)",
+        columns=["min_ratio", "max_ratio", "spread", "cells"],
+    )
+    summary.add_row(
+        min_ratio=min(ratios),
+        max_ratio=max(ratios),
+        spread=max(ratios) / min(ratios),
+        cells=len(ratios),
+    )
+
+    # Scaling in D at the extreme k values present in the sweep.
+    k_lo = min(cfg.ks)
+    lo_cells = [c for c in cells if c.k == k_lo]
+    if len(lo_cells) >= 2:
+        fit = fit_power_law(
+            [c.distance for c in lo_cells], [c.mean_time for c in lo_cells]
+        )
+        summary.add_note(
+            f"T(D) ~ D^{fit.b:.2f} at k={k_lo} (R^2={fit.r2:.3f}); theory: 2.0"
+        )
+    return [table, summary]

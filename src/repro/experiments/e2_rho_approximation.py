@@ -1,0 +1,70 @@
+"""E2 — Corollary 3.2: a ``rho``-approximation of ``k`` costs at most ``rho^2``.
+
+Paper prediction: running ``A_k`` with parameter ``k_a / rho`` where
+``k/rho <= k_a <= k*rho`` multiplies the running time by at most ``rho^2``
+— the competitiveness stays O(1) for constant ``rho``.
+
+Workload: fixed true ``k``; agents receive the two extreme estimates
+``k_a = rho*k`` (maximal over-estimate) and ``k_a = k/rho`` (maximal
+under-estimate) for ``rho in {1, 2, 4, 8}``.
+
+Shape checks: the ratio normalised by ``rho^2`` stays bounded by the
+``rho = 1`` constant; under-estimates are the costly direction (the
+effective parameter becomes ``k/rho^2``, inflating spiral budgets and phase
+times), while over-estimates merely shrink budgets.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..algorithms import RhoApproxSearch
+from ..analysis.competitiveness import competitiveness, optimal_time
+from ..sim.events import simulate_find_times
+from ..sim.rng import spawn_seeds
+from ..sim.world import place_treasure
+from .config import scale
+from .io import ResultTable
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "E2"
+TITLE = "E2 (Cor 3.2): rho-approximate knowledge of k costs at most rho^2"
+
+RHOS = (1.0, 2.0, 4.0, 8.0)
+
+
+def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
+    cfg = scale(quick)
+    seed = cfg.seed if seed is None else seed
+    distance = max(cfg.distances)
+    k = max(k for k in cfg.ks if k <= distance)
+
+    world = place_treasure(distance, "offaxis")
+    table = ResultTable(
+        title=TITLE,
+        columns=["rho", "estimate", "k_a", "mean_time", "ratio", "ratio_over_rho2"],
+    )
+
+    seeds = spawn_seeds(seed, 2 * len(RHOS))
+    index = 0
+    for rho in RHOS:
+        for direction, k_a in (("over", k * rho), ("under", k / rho)):
+            alg = RhoApproxSearch(k_a=k_a, rho=rho)
+            times = simulate_find_times(
+                alg, world, k, cfg.trials, seeds[index]
+            )
+            index += 1
+            mean = float(times.mean())
+            ratio = competitiveness(mean, distance, k)
+            table.add_row(
+                rho=rho,
+                estimate=direction,
+                k_a=k_a,
+                mean_time=mean,
+                ratio=ratio,
+                ratio_over_rho2=ratio / rho**2,
+            )
+    table.add_note(f"true k={k}, D={distance}, optimal={optimal_time(distance, k):.1f}")
+    table.add_note("corollary: ratio <= rho^2 * C where C is the rho=1 constant")
+    return [table]

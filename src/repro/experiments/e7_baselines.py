@@ -1,0 +1,158 @@
+"""E7 — the baseline showdown (Sections 1-2 motivation + the Omega bound).
+
+One fixed scenario (``D``, ``k``), every strategy in the repository.
+
+Expected ordering (the paper's narrative in one table):
+
+* ``known-D`` finds in ``O(D)`` — the information ceiling;
+* ``A_k`` lands within a constant of ``D + D^2/k`` — Theorem 3.1;
+* ``A_uniform`` pays its log factor — Theorem 3.3;
+* restarting harmonic is competitive when ``k >> D^delta`` — Theorem 5.1;
+* the single spiral (and the k-spiral no-dispersion control — identical
+  deterministic agents!) sit at ``Theta(D^2)`` regardless of ``k``;
+* the correlated/Levy walkers limp with partial success by the horizon;
+* the simple random walk mostly fails — on ``Z^2`` its expected hitting
+  time is infinite (the paper's motivating observation).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..algorithms import (
+    BiasedWalkSearch,
+    KnownDSearch,
+    LevyFlightSearch,
+    NonUniformSearch,
+    RestartingHarmonicSearch,
+    SingleSpiralSearch,
+    UniformSearch,
+    random_walk_find_times,
+)
+from ..algorithms.sector import SectorSearch, sector_find_times
+from ..analysis.competitiveness import optimal_time
+from ..analysis.estimators import success_rate, truncated_mean
+from ..sim.engine import run_search
+from ..sim.events import simulate_find_times
+from ..sim.rng import make_rng, spawn_seeds
+from ..sim.world import place_treasure
+from .config import scale
+from .io import ResultTable
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "E7"
+TITLE = "E7: every strategy, one scenario (who wins and by how much)"
+
+
+def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
+    cfg = scale(quick)
+    seed = cfg.seed if seed is None else seed
+    distance = 32 if quick else 64
+    k = 4 if quick else 8
+    horizon = 40 * distance * distance  # generous cap for the stragglers
+    trials = cfg.trials
+    # Step-level baselines cost horizon x k x trials Python steps; a dozen
+    # trials is plenty to place them on the leaderboard.
+    step_trials = min(cfg.step_trials, 12)
+
+    world = place_treasure(distance, "offaxis")
+    optimal = optimal_time(distance, k)
+
+    table = ResultTable(
+        title=f"{TITLE}  [D={distance}, k={k}, horizon={horizon}]",
+        columns=["algorithm", "mean_time", "vs_optimal", "success", "trials"],
+    )
+
+    seeds = spawn_seeds(seed, 8)
+
+    # Exact closed forms first.
+    t_known = KnownDSearch(distance).exact_find_time(world)
+    table.add_row(
+        algorithm="known-D (O(D))",
+        mean_time=float(t_known),
+        vs_optimal=t_known / optimal,
+        success=1.0,
+        trials=0,
+    )
+    t_spiral = SingleSpiralSearch().exact_find_time(world)
+    table.add_row(
+        algorithm="single spiral (k=1)",
+        mean_time=float(t_spiral),
+        vs_optimal=t_spiral / optimal,
+        success=1.0,
+        trials=0,
+    )
+    table.add_row(
+        algorithm=f"k-spiral control (k={k})",
+        mean_time=float(t_spiral),  # identical deterministic agents
+        vs_optimal=t_spiral / optimal,
+        success=1.0,
+        trials=0,
+    )
+
+    # Vectorised engines.
+    for name, alg, s in (
+        (f"A_k (knows k={k})", NonUniformSearch(k=k), seeds[0]),
+        ("A_uniform(eps=0.5)", UniformSearch(0.5), seeds[1]),
+        ("restarting harmonic(0.5)", RestartingHarmonicSearch(0.5), seeds[2]),
+    ):
+        times = simulate_find_times(alg, world, k, trials, s, horizon=horizon)
+        tm = truncated_mean(times, horizon)
+        table.add_row(
+            algorithm=name,
+            mean_time=tm.mean,
+            vs_optimal=tm.mean / optimal,
+            success=success_rate(times, horizon),
+            trials=trials,
+        )
+
+    # Random walk: vectorised chunked simulator.
+    rw_times = random_walk_find_times(
+        world, k, trials, horizon, make_rng(seeds[3])
+    )
+    tm = truncated_mean(rw_times, horizon)
+    table.add_row(
+        algorithm="random walk",
+        mean_time=tm.mean,
+        vs_optimal=tm.mean / optimal,
+        success=success_rate(rw_times, horizon),
+        trials=trials,
+    )
+
+    # Sector sweep: the coordination-free direction-splitting strawman.
+    sector = SectorSearch(width=0.125)
+    sector_times = sector_find_times(sector, world, k, trials, seeds[6])
+    tm = truncated_mean(np.minimum(sector_times, horizon + 1.0), horizon)
+    table.add_row(
+        algorithm="sector sweep (w=1/8)",
+        mean_time=tm.mean,
+        vs_optimal=tm.mean / optimal,
+        success=success_rate(sector_times, horizon),
+        trials=trials,
+    )
+
+    # Step-level stragglers (few trials; they are slow by nature).
+    for name, alg, s in (
+        ("biased walk (p=0.9)", BiasedWalkSearch(0.9), seeds[4]),
+        ("Levy flight (mu=2)", LevyFlightSearch(2.0), seeds[5]),
+    ):
+        step_seeds = spawn_seeds(s, step_trials)
+        times = []
+        for run_seed in step_seeds:
+            result = run_search(alg, world, k, run_seed, horizon=horizon).result
+            times.append(result.time)
+        tm = truncated_mean(times, horizon)
+        table.add_row(
+            algorithm=name,
+            mean_time=tm.mean,
+            vs_optimal=tm.mean / optimal,
+            success=success_rate(times, horizon),
+            trials=step_trials,
+        )
+
+    table.add_note(f"optimal = D + D^2/k = {optimal:.1f}; capped means are lower bounds")
+    table.add_note("k-spiral control: deterministic identical agents => zero speed-up")
+    return [table]

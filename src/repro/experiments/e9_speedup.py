@@ -1,0 +1,63 @@
+"""E9 — the Section 2 observation: nothing beats ``Omega(D + D^2/k)``.
+
+Fix ``D``, sweep ``k``, and chart the speed-up ``T(1)/T(k)`` of the optimal
+algorithm ``A_k``:
+
+* in the ``k <~ D`` regime the speed-up is linear in ``k`` (the
+  ``D^2/k`` term dominates);
+* past ``k ~ D`` it saturates — the ``Omega(D)`` travel term is a wall no
+  amount of agents crosses;
+* every measured time respects the proof's explicit barrier
+  ``max(D, D^2/(4k))``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..algorithms import NonUniformSearch
+from ..analysis.competitiveness import optimal_time
+from ..analysis.theory import lower_bound_time
+from ..sim.events import simulate_find_times
+from ..sim.rng import spawn_seeds
+from ..sim.world import place_treasure
+from .config import scale
+from .io import ResultTable
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "E9"
+TITLE = "E9 (Sec 2): speed-up saturates at the Omega(D + D^2/k) barrier"
+
+
+def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
+    cfg = scale(quick)
+    seed = cfg.seed if seed is None else seed
+    distance = 32 if quick else 128
+    ks = [1, 2, 4, 8, 16, 32, 64] if quick else [1, 4, 16, 64, 128, 256, 512, 1024]
+
+    world = place_treasure(distance, "offaxis")
+    table = ResultTable(
+        title=f"{TITLE}  [D={distance}]",
+        columns=["k", "mean_time", "optimal", "barrier", "speedup", "efficiency"],
+    )
+    seeds = spawn_seeds(seed, len(ks))
+    t1 = None
+    for k, k_seed in zip(ks, seeds):
+        times = simulate_find_times(
+            NonUniformSearch(k=k), world, k, cfg.trials, k_seed
+        )
+        mean = float(times.mean())
+        if t1 is None:
+            t1 = mean
+        table.add_row(
+            k=k,
+            mean_time=mean,
+            optimal=optimal_time(distance, k),
+            barrier=lower_bound_time(distance, k),
+            speedup=t1 / mean,
+            efficiency=t1 / (mean * k),
+        )
+    table.add_note("speedup = T(1)/T(k); linear while k <~ D, saturated beyond")
+    table.add_note("barrier = max(D, D^2/4k): no measured mean may beat it")
+    return [table]

@@ -1,0 +1,96 @@
+"""Result tables: the textual "figures" every experiment produces.
+
+The paper has no numeric tables (it is a theory paper), so each experiment
+regenerates a table whose *shape* encodes the corresponding theorem.  A
+:class:`ResultTable` is an ordered list of row dicts with a title and notes;
+it renders to aligned ASCII for the terminal and to CSV for archival, and
+``EXPERIMENTS.md`` embeds the rendered output.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+__all__ = ["ResultTable", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Human-friendly cell formatting: floats trimmed, infinities explicit."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """An ordered table of result rows with fixed columns."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row; every column must be supplied (extras rejected)."""
+        missing = set(self.columns) - set(values)
+        extra = set(values) - set(self.columns)
+        if missing:
+            raise ValueError(f"missing columns: {sorted(missing)}")
+        if extra:
+            raise ValueError(f"unknown columns: {sorted(extra)}")
+        self.rows.append(dict(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r} in {list(self.columns)}")
+        return [row[name] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render as an aligned ASCII table."""
+        headers = list(self.columns)
+        body = [[format_value(row[c]) for c in headers] for row in self.rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+            for i, h in enumerate(headers)
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in body:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self, path: str) -> None:
+        """Write rows as CSV with a header line."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(self.columns))
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def __len__(self) -> int:
+        return len(self.rows)

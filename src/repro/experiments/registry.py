@@ -1,0 +1,81 @@
+"""Experiment registry: every theorem's experiment, discoverable by id.
+
+``run_experiment("E3")`` executes the Theorem 3.3 reproduction and returns
+its result tables; the CLI and the benchmark harness are thin layers over
+this module.  See DESIGN.md section 4 for the experiment index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from . import (
+    e1_optimal_known_k,
+    e2_rho_approximation,
+    e3_uniform_competitiveness,
+    e4_lower_bound_uniform,
+    e5_lower_bound_approx,
+    e6_harmonic,
+    e7_baselines,
+    e8_memory,
+    e9_speedup,
+    e10_ablations,
+)
+from .io import ResultTable
+
+__all__ = ["ExperimentInfo", "EXPERIMENTS", "run_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class ExperimentInfo:
+    """A registered experiment: id, paper anchor, and runner."""
+
+    experiment_id: str
+    paper_result: str
+    title: str
+    runner: Callable[..., List[ResultTable]]
+
+
+_MODULES = (
+    (e1_optimal_known_k, "Theorem 3.1"),
+    (e2_rho_approximation, "Corollary 3.2"),
+    (e3_uniform_competitiveness, "Theorem 3.3"),
+    (e4_lower_bound_uniform, "Theorem 4.1"),
+    (e5_lower_bound_approx, "Theorem 4.2"),
+    (e6_harmonic, "Theorem 5.1"),
+    (e7_baselines, "Sections 1-2"),
+    (e8_memory, "Section 6"),
+    (e9_speedup, "Section 2 observation"),
+    (e10_ablations, "design ablations"),
+)
+
+EXPERIMENTS: Dict[str, ExperimentInfo] = {
+    module.EXPERIMENT_ID: ExperimentInfo(
+        experiment_id=module.EXPERIMENT_ID,
+        paper_result=anchor,
+        title=module.TITLE,
+        runner=module.run,
+    )
+    for module, anchor in _MODULES
+}
+
+
+def list_experiments() -> List[ExperimentInfo]:
+    """All registered experiments in id order."""
+    return [EXPERIMENTS[key] for key in sorted(EXPERIMENTS, key=_id_sort_key)]
+
+
+def _id_sort_key(experiment_id: str) -> int:
+    return int(experiment_id.lstrip("E"))
+
+
+def run_experiment(
+    experiment_id: str, quick: bool = True, seed: Optional[int] = None
+) -> List[ResultTable]:
+    """Run one experiment by id (e.g. ``"E3"``) and return its tables."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS, key=_id_sort_key))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return EXPERIMENTS[key].runner(quick=quick, seed=seed)

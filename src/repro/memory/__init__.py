@@ -1,0 +1,5 @@
+"""Low-memory navigation extensions from the paper's discussion (Section 6)."""
+
+from .counter import MorrisCounter, randomized_straight_walk, walk_distance_samples
+
+__all__ = ["MorrisCounter", "randomized_straight_walk", "walk_distance_samples"]

@@ -1,0 +1,98 @@
+"""Randomised counting: walking distance ``2^l`` with ``O(log l)`` bits.
+
+Section 6 of the paper observes that its constructions need little memory:
+"going in a straight line for a distance of d = 2^l can be implemented
+using O(log log d) memory bits, by employing a randomized counting
+technique".  This module implements the classic technique — a Morris
+approximate counter [Morris 1978] — and the induced straight-walk
+primitive, so the claim can be tested quantitatively (experiment E8).
+
+A Morris counter stores only an exponent ``X`` (hence
+``O(log X) = O(log log n)`` bits for counts up to ``n``) and increments it
+with probability ``2^-X`` per event.  After ``n`` events,
+``E[2^X] = n + 2``, so ``2^X - 2`` is an unbiased estimate of ``n``.
+Dually, *walking until* ``X`` reaches ``l`` yields an expected distance of
+``2^l - ... ~ 2^l``: the walk consumes one coin per step, and reaching
+exponent ``l`` takes ``sum_{i<l} 2^i = 2^l - 1`` steps in expectation.
+
+Concentration of a single counter is coarse (constant relative error with
+constant probability); :func:`walk_distance_samples` also exposes the
+standard median-of-independent-copies amplification.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+__all__ = ["MorrisCounter", "randomized_straight_walk", "walk_distance_samples"]
+
+
+class MorrisCounter:
+    """Approximate event counter holding only an exponent.
+
+    ``add()`` registers one event; ``estimate`` is the unbiased count
+    estimate ``2^X - 2``; ``bits_used`` is the storage actually needed —
+    ``ceil(log2(X+1))`` bits, i.e. ``O(log log n)``.
+    """
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        self.exponent = 0
+
+    def add(self) -> None:
+        """Register one event: increment the exponent w.p. ``2^-exponent``."""
+        if self._rng.random() < 2.0**-self.exponent:
+            self.exponent += 1
+
+    @property
+    def estimate(self) -> float:
+        """Unbiased estimate of the number of ``add()`` calls: ``2^X - 2``."""
+        return 2.0**self.exponent - 2.0
+
+    @property
+    def bits_used(self) -> int:
+        """Bits needed to store the exponent."""
+        return max(1, math.ceil(math.log2(self.exponent + 1)))
+
+
+def randomized_straight_walk(rng: np.random.Generator, ell: int) -> int:
+    """Walk straight until a Morris counter's exponent reaches ``ell``.
+
+    Returns the number of steps taken.  The expected distance is
+    ``sum_{i=0}^{ell-1} 2^i = 2^ell - 1`` (each exponent level ``i`` takes
+    ``2^i`` expected steps to leave), using ``O(log ell)`` bits of state —
+    exactly the Section 6 claim with ``d = 2^ell``.
+    """
+    if ell < 0:
+        raise ValueError(f"ell must be non-negative, got {ell}")
+    counter = MorrisCounter(rng)
+    steps = 0
+    while counter.exponent < ell:
+        counter.add()
+        steps += 1
+    return steps
+
+
+def walk_distance_samples(
+    rng: np.random.Generator, ell: int, samples: int, median_of: int = 1
+) -> List[int]:
+    """Sample walk distances, optionally amplified by median-of-``median_of``.
+
+    With ``median_of > 1`` each sample is the median of that many
+    independent walks — the standard accuracy amplification, still using
+    ``O(median_of * log ell)`` bits.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    if median_of < 1 or median_of % 2 == 0:
+        raise ValueError(f"median_of must be odd and >= 1, got {median_of}")
+    out: List[int] = []
+    for _ in range(samples):
+        walks = sorted(
+            randomized_straight_walk(rng, ell) for _ in range(median_of)
+        )
+        out.append(walks[median_of // 2])
+    return out

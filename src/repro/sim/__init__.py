@@ -1,0 +1,43 @@
+"""Simulation engines, worlds, and reproducible randomness.
+
+Two engines execute the same algorithms:
+
+* :mod:`repro.sim.engine` — exact step-level reference engine;
+* :mod:`repro.sim.events` — vectorised excursion-level engine, exact in
+  distribution and fast enough for the paper-scale sweeps.
+"""
+
+from .engine import AgentTrace, StepRun, first_visit_times, run_agent, run_search
+from .events import excursion_find_time, expected_find_time, simulate_find_times
+from .metrics import (
+    AnnulusCoverage,
+    ball_coverage_fraction,
+    coverage_by_annulus,
+    distinct_nodes_visited,
+    union_first_visits,
+)
+from .rng import derive_rng, make_rng, spawn_rngs, spawn_seeds
+from .world import Result, World, place_treasure
+
+__all__ = [
+    "AgentTrace",
+    "AnnulusCoverage",
+    "Result",
+    "StepRun",
+    "World",
+    "ball_coverage_fraction",
+    "coverage_by_annulus",
+    "derive_rng",
+    "distinct_nodes_visited",
+    "excursion_find_time",
+    "expected_find_time",
+    "first_visit_times",
+    "make_rng",
+    "place_treasure",
+    "run_agent",
+    "run_search",
+    "simulate_find_times",
+    "spawn_rngs",
+    "spawn_seeds",
+    "union_first_visits",
+]

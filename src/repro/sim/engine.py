@@ -1,0 +1,178 @@
+"""Exact step-level simulation: agents traverse one grid edge per time unit.
+
+This is the reference engine — a literal implementation of the paper's
+model (Section 2): ``k`` identical probabilistic agents start at the source
+at time 0, each edge traversal costs one time unit, and the search ends
+when an agent stands on the treasure.  It executes any
+:class:`repro.algorithms.base.SearchAlgorithm` step program, including the
+non-excursion baselines (random walks, Lévy flights).
+
+It is used for (1) validating the vectorised engine, (2) running baselines,
+and (3) the lower-bound instrumentation of Theorems 4.1/4.2, which needs
+the set of distinct nodes each agent visits by a time cutoff — something
+only a step-level execution can observe.
+
+Because agents do not interact, they are simulated one at a time; when only
+the first find time is needed, later agents inherit the best time found so
+far as their horizon, which prunes most of the work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..algorithms.base import Point, SearchAlgorithm
+from .rng import SeedLike, derive_rng
+from .world import Result, World
+
+__all__ = ["AgentTrace", "StepRun", "run_agent", "run_search", "first_visit_times"]
+
+
+@dataclass
+class AgentTrace:
+    """What one agent did during a step-level run.
+
+    ``find_time`` is the first time the agent stood on the treasure (``None``
+    if it never did within its horizon); ``visited`` maps each distinct cell
+    to its first-visit time when recording was requested.
+    """
+
+    agent: int
+    find_time: Optional[int]
+    steps: int
+    visited: Optional[Dict[Point, int]] = None
+
+
+@dataclass
+class StepRun:
+    """Outcome of a step-level multi-agent run."""
+
+    result: Result
+    traces: List[AgentTrace]
+
+    @property
+    def found(self) -> bool:
+        return self.result.found
+
+
+def run_agent(
+    algorithm: SearchAlgorithm,
+    world: World,
+    rng: np.random.Generator,
+    horizon: int,
+    *,
+    agent: int = 0,
+    record_visits: bool = False,
+    stop_at_find: bool = True,
+) -> AgentTrace:
+    """Run one agent's step program for up to ``horizon`` steps.
+
+    With ``stop_at_find`` the program halts at the first treasure visit;
+    otherwise it runs the full horizon (used by coverage instrumentation,
+    where "by time 2T" semantics require every agent to walk the whole
+    window).
+    """
+    if horizon < 0:
+        raise ValueError(f"horizon must be non-negative, got {horizon}")
+    treasure = world.treasure
+    visited: Optional[Dict[Point, int]] = None
+    if record_visits:
+        visited = {(0, 0): 0}
+    find_time: Optional[int] = None
+    steps = 0
+    program = algorithm.step_program(rng)
+    for t, position in enumerate(program, start=1):
+        if t > horizon:
+            steps = t - 1
+            break
+        steps = t
+        if visited is not None and position not in visited:
+            visited[position] = t
+        if find_time is None and position == treasure:
+            find_time = t
+            if stop_at_find:
+                break
+    return AgentTrace(agent=agent, find_time=find_time, steps=steps, visited=visited)
+
+
+def run_search(
+    algorithm: SearchAlgorithm,
+    world: World,
+    k: int,
+    seed: SeedLike = None,
+    *,
+    horizon: int = 10**7,
+    record_visits: bool = False,
+    prune: bool = True,
+) -> StepRun:
+    """Simulate ``k`` agents at step level; the search ends at the first find.
+
+    Agent ``i`` draws its randomness from ``derive_rng(seed, i)``, so any
+    individual agent can be replayed in isolation (the cross-engine tests
+    rely on this).  With ``prune`` (default), each successive agent only
+    needs to be simulated up to the best find time seen so far.
+    Pruning is disabled automatically when ``record_visits`` is set, since
+    coverage instrumentation needs full-horizon walks.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    traces: List[AgentTrace] = []
+    best_time: Optional[int] = None
+    finder: Optional[int] = None
+    effective_prune = prune and not record_visits
+    for i in range(k):
+        agent_horizon = horizon
+        if effective_prune and best_time is not None:
+            agent_horizon = min(horizon, best_time - 1)
+        trace = run_agent(
+            algorithm,
+            world,
+            derive_rng(seed, i),
+            agent_horizon,
+            agent=i,
+            record_visits=record_visits,
+            stop_at_find=not record_visits,
+        )
+        traces.append(trace)
+        if trace.find_time is not None and (
+            best_time is None or trace.find_time < best_time
+        ):
+            best_time = trace.find_time
+            finder = i
+    if best_time is None:
+        result = Result(
+            time=float("inf"), found=False, finder=None, steps_simulated=horizon
+        )
+    else:
+        result = Result(
+            time=float(best_time), found=True, finder=finder, steps_simulated=horizon
+        )
+    return StepRun(result=result, traces=traces)
+
+
+def first_visit_times(
+    algorithm: SearchAlgorithm,
+    world: World,
+    k: int,
+    seed: SeedLike,
+    horizon: int,
+) -> List[Dict[Point, int]]:
+    """Per-agent first-visit maps over a fixed time window.
+
+    Convenience wrapper used by the Theorem 4.1/4.2 instrumentation: every
+    agent walks exactly ``horizon`` steps (no early stop), and the map of
+    distinct cells to first-visit times is returned per agent.
+    """
+    run = run_search(
+        algorithm,
+        world,
+        k,
+        seed,
+        horizon=horizon,
+        record_visits=True,
+        prune=False,
+    )
+    return [trace.visited or {} for trace in run.traces]

@@ -1,0 +1,261 @@
+"""Vectorised excursion-level simulation of excursion algorithms.
+
+For every algorithm built from go/spiral/return excursions (all of the
+paper's constructions), the only randomness in a phase is the excursion
+draw; conditioned on it, the time at which the agent would stand on the
+treasure is a closed form:
+
+* on the outbound Manhattan leg (x-first), if the treasure lies on it;
+* during the spiral, at ``travel + spiral_hit_time(tau - u)`` if that hit
+  time is within the budget;
+* on the return leg, again geometrically.
+
+:func:`simulate_find_times` therefore never steps the grid: it samples all
+``trials x k`` excursion draws for a phase at once, resolves hits with the
+closed forms of :mod:`repro.core.spiral`, and advances per-agent clocks.
+This is exact in distribution — validated against the step engine by
+``tests/test_engine_vs_events.py`` — and several orders of magnitude
+faster, which is what makes the paper-scale parameter sweeps feasible.
+
+:func:`excursion_find_time` is the scalar single-agent twin used for exact
+replay tests against the step engine: given the same RNG it consumes
+random numbers in exactly the same order as
+:meth:`repro.algorithms.base.ExcursionAlgorithm.step_program`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.base import ExcursionAlgorithm
+from ..core.spiral import (
+    SAFE_OFFSET,
+    spiral_hit_time,
+    spiral_hit_time_array,
+    spiral_hit_time_float_array,
+    spiral_position,
+    spiral_position_array,
+)
+from .rng import SeedLike, make_rng
+from .world import World
+
+__all__ = ["simulate_find_times", "excursion_find_time", "expected_find_time"]
+
+
+def _hit_times(dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
+    """Spiral hit times as float64: exact int64 path, float64 for far offsets.
+
+    Heavy-tailed samplers (harmonic search) occasionally draw start nodes
+    so distant that the int64 closed form would overflow; those entries are
+    resolved in float64, whose few-ULP error is irrelevant at that scale.
+    """
+    dx = np.asarray(dx, dtype=np.int64)
+    dy = np.asarray(dy, dtype=np.int64)
+    far = (np.abs(dx) > SAFE_OFFSET) | (np.abs(dy) > SAFE_OFFSET)
+    if not np.any(far):
+        return spiral_hit_time_array(dx, dy).astype(np.float64)
+    out = np.empty(dx.shape, dtype=np.float64)
+    near = ~far
+    out[near] = spiral_hit_time_array(dx[near], dy[near])
+    out[far] = spiral_hit_time_float_array(dx[far], dy[far])
+    return out
+
+
+def _outbound_hit_offsets(
+    ux: np.ndarray, uy: np.ndarray, tx: int, ty: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Treasure hits on the x-first Manhattan walk from the source to ``u``.
+
+    Returns ``(mask, offset)``: whether the treasure lies on the leg and the
+    number of steps into the walk at which it is reached.
+    """
+    sgnx = np.sign(ux)
+    sgny = np.sign(uy)
+    on_x_leg = (ty == 0) & (tx * sgnx >= 1) & (abs(tx) <= np.abs(ux))
+    on_y_leg = (tx == ux) & (ty * sgny >= 1) & (abs(ty) <= np.abs(uy))
+    offset = np.where(on_x_leg, abs(tx), np.abs(ux) + abs(ty))
+    return on_x_leg | on_y_leg, offset
+
+
+def _return_hit_offsets(
+    ex: np.ndarray, ey: np.ndarray, tx: int, ty: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Treasure hits on the x-first Manhattan walk from ``e`` back to the source."""
+    on_x_leg = (ty == ey) & (tx * np.sign(ex) >= 0) & (abs(tx) <= np.abs(ex))
+    on_y_leg = (tx == 0) & (ty * np.sign(ey) >= 0) & (abs(ty) <= np.abs(ey))
+    off_x = np.abs(ex) - abs(tx)
+    off_y = np.abs(ex) + np.abs(ey) - abs(ty)
+    offset = np.where(on_x_leg, off_x, off_y)
+    return on_x_leg | on_y_leg, offset
+
+
+def simulate_find_times(
+    algorithm: ExcursionAlgorithm,
+    world: World,
+    k: int,
+    trials: int,
+    seed: SeedLike = None,
+    *,
+    horizon: Optional[float] = None,
+    max_phases: int = 1_000_000,
+    start_delays: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """First times at which any of ``k`` agents finds the treasure.
+
+    Runs ``trials`` independent executions of ``algorithm`` with ``k``
+    agents each and returns a float array of shape ``(trials,)`` holding the
+    first find time per execution (``inf`` when the excursion stream ends —
+    one-shot algorithms — or ``horizon`` is exceeded without a find).
+
+    Semantics are identical to the step engine: a find is recorded on the
+    outbound leg, the spiral, or the return leg, whichever comes first.
+
+    ``start_delays`` (shape ``(k,)`` or ``(trials, k)``, non-negative)
+    models the paper's asynchronous-start remark (Section 2): agent ``i``
+    only begins executing at its delay; times remain measured from ``t0 = 0``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    rng = make_rng(seed)
+    tx, ty = world.treasure
+
+    cum = np.zeros((trials, k), dtype=np.float64)
+    if start_delays is not None:
+        delays = np.asarray(start_delays, dtype=np.float64)
+        if np.any(delays < 0):
+            raise ValueError("start delays must be non-negative")
+        cum = cum + np.broadcast_to(delays, (trials, k))
+    best = np.full(trials, np.inf)
+    cap = np.inf if horizon is None else float(horizon)
+
+    families = algorithm.families()
+    for phase_index in itertools.count():
+        if phase_index >= max_phases:
+            raise RuntimeError(
+                f"simulation exceeded max_phases={max_phases}; "
+                f"pass a horizon or raise the cap"
+            )
+        active = cum < np.minimum(best, cap)[:, None]
+        if not np.any(active):
+            break
+        family = next(families, None)
+        if family is None:
+            break
+
+        rows, cols = np.nonzero(active)
+        count = rows.size
+        ux, uy, budgets = family.sample(rng, count)
+        start = cum[rows, cols]
+        travel = np.abs(ux) + np.abs(uy)
+
+        # Earliest hit within this excursion (inf when the excursion misses).
+        hit_offset = np.full(count, np.inf)
+
+        out_mask, out_off = _outbound_hit_offsets(ux, uy, tx, ty)
+        hit_offset[out_mask] = np.minimum(hit_offset[out_mask], out_off[out_mask])
+
+        spiral_hit = _hit_times(tx - ux, ty - uy)
+        sp_mask = spiral_hit <= budgets
+        sp_time = travel + spiral_hit
+        hit_offset[sp_mask] = np.minimum(hit_offset[sp_mask], sp_time[sp_mask])
+
+        dx_end, dy_end = spiral_position_array(budgets)
+        ex = ux + dx_end
+        ey = uy + dy_end
+        ret_mask, ret_off = _return_hit_offsets(ex, ey, tx, ty)
+        ret_time = travel + budgets + ret_off
+        hit_offset[ret_mask] = np.minimum(hit_offset[ret_mask], ret_time[ret_mask])
+
+        found = np.isfinite(hit_offset)
+        if np.any(found):
+            find_times = start[found] + hit_offset[found]
+            np.minimum.at(best, rows[found], find_times)
+            # Finders stop searching; park their clocks at +inf.
+            cum[rows[found], cols[found]] = np.inf
+
+        not_found = ~found
+        duration = travel + budgets + np.abs(ex) + np.abs(ey)
+        cum[rows[not_found], cols[not_found]] = (
+            start[not_found] + duration[not_found]
+        )
+
+    best[best > cap] = np.inf
+    return best
+
+
+def excursion_find_time(
+    algorithm: ExcursionAlgorithm,
+    world: World,
+    rng: np.random.Generator,
+    *,
+    horizon: float = math.inf,
+    max_phases: int = 1_000_000,
+) -> float:
+    """Exact find time of a *single* agent, replaying the step program's draws.
+
+    Consumes ``rng`` exactly as
+    :meth:`repro.algorithms.base.ExcursionAlgorithm.step_program` does (one
+    ``sample_one`` per excursion), so for any seed this returns precisely
+    the step at which the step-level engine would see the agent stand on
+    the treasure.  Used by cross-engine validation and by instrumentation
+    that needs per-agent determinism.
+    """
+    tx, ty = world.treasure
+    elapsed = 0.0
+    for phase_index, family in enumerate(algorithm.families()):
+        if phase_index >= max_phases or elapsed >= horizon:
+            return math.inf
+        (ux, uy), budget = family.sample_one(rng)
+        travel = abs(ux) + abs(uy)
+
+        candidates = []
+        # Outbound leg.
+        if ty == 0 and tx * np.sign(ux) >= 1 and abs(tx) <= abs(ux):
+            candidates.append(abs(tx))
+        if tx == ux and ty * np.sign(uy) >= 1 and abs(ty) <= abs(uy):
+            candidates.append(abs(ux) + abs(ty))
+        # Spiral.
+        hit = spiral_hit_time(tx - ux, ty - uy)
+        if hit <= budget:
+            candidates.append(travel + hit)
+        # Return leg.
+        dxe, dye = spiral_position(budget)
+        ex, ey = ux + dxe, uy + dye
+        if ty == ey and tx * np.sign(ex) >= 0 and abs(tx) <= abs(ex):
+            candidates.append(travel + budget + abs(ex) - abs(tx))
+        if tx == 0 and ty * np.sign(ey) >= 0 and abs(ty) <= abs(ey):
+            candidates.append(travel + budget + abs(ex) + abs(ey) - abs(ty))
+
+        if candidates:
+            return elapsed + min(candidates)
+        elapsed += travel + budget + abs(ex) + abs(ey)
+    return math.inf
+
+
+def expected_find_time(
+    algorithm: ExcursionAlgorithm,
+    world: World,
+    k: int,
+    trials: int,
+    seed: SeedLike = None,
+    **kwargs,
+) -> Tuple[float, float]:
+    """Convenience wrapper: mean find time and its standard error.
+
+    Returns ``(mean, stderr)`` over ``trials`` executions.  Truncated
+    (non-finding) runs propagate ``inf`` into the mean, which is the honest
+    answer for one-shot algorithms.
+    """
+    times = simulate_find_times(algorithm, world, k, trials, seed, **kwargs)
+    mean = float(np.mean(times))
+    if np.all(np.isfinite(times)) and trials > 1:
+        stderr = float(np.std(times, ddof=1) / math.sqrt(trials))
+    else:
+        stderr = math.inf if not np.all(np.isfinite(times)) else 0.0
+    return mean, stderr

@@ -1,0 +1,143 @@
+"""Coverage metrics over step-level runs.
+
+The lower-bound proofs (Theorems 4.1 and 4.2) revolve around counting
+quantities: for an annulus ``S_i = B(D_i) \\ B(D_{i-1})`` and a time cutoff
+``2T``, the random variable ``chi(S_i)`` counts nodes of ``S_i`` visited by
+at least one agent, and the per-agent visit load ``|visited| / k`` drives
+the contradiction.  This module turns the per-agent first-visit maps
+produced by :func:`repro.sim.engine.first_visit_times` into exactly those
+quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..core.geometry import annulus_size, ball_size, l1_norm
+
+__all__ = [
+    "AnnulusCoverage",
+    "union_first_visits",
+    "coverage_by_annulus",
+    "ball_coverage_fraction",
+    "distinct_nodes_visited",
+]
+
+Point = Tuple[int, int]
+
+
+def union_first_visits(
+    visit_maps: Iterable[Dict[Point, int]], cutoff: float = float("inf")
+) -> Dict[Point, int]:
+    """Merge per-agent first-visit maps: earliest visit per cell, up to ``cutoff``."""
+    union: Dict[Point, int] = {}
+    for visits in visit_maps:
+        for cell, t in visits.items():
+            if t <= cutoff and (cell not in union or t < union[cell]):
+                union[cell] = t
+    return union
+
+
+@dataclass(frozen=True)
+class AnnulusCoverage:
+    """Coverage of one annulus ``inner < d(u) <= outer`` by a time cutoff.
+
+    ``covered`` counts distinct annulus cells visited by at least one agent
+    (the proofs' ``chi(S_i)``); ``per_agent_mean`` is the average number of
+    annulus cells a *single* agent visited (the proofs' per-agent load
+    ``Omega(|S_i| / k_i)``).
+    """
+
+    inner: int
+    outer: int
+    size: int
+    covered: int
+    per_agent_mean: float
+
+    @property
+    def fraction(self) -> float:
+        """``E[chi(S_i)] / |S_i|`` — the proofs lower-bound this by 1/2."""
+        return self.covered / self.size if self.size else 0.0
+
+
+def coverage_by_annulus(
+    visit_maps: Sequence[Dict[Point, int]],
+    boundaries: Sequence[int],
+    cutoff: float = float("inf"),
+) -> List[AnnulusCoverage]:
+    """Per-annulus coverage for annuli between consecutive ``boundaries``.
+
+    ``boundaries = [r0, r1, ..., rn]`` defines annuli
+    ``S_i = {u : r_{i-1} < d(u) <= r_i}``.  Cells are attributed by L1 norm;
+    visits after ``cutoff`` are ignored.
+    """
+    if len(boundaries) < 2:
+        raise ValueError("need at least two boundaries")
+    if any(b >= c for b, c in zip(boundaries, boundaries[1:])):
+        raise ValueError(f"boundaries must be strictly increasing: {boundaries}")
+
+    n = len(boundaries) - 1
+    union_counts = [0] * n
+    per_agent_totals = [0] * n
+
+    def annulus_index(cell: Point) -> int:
+        d = l1_norm(cell[0], cell[1])
+        if d <= boundaries[0] or d > boundaries[-1]:
+            return -1
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if d <= boundaries[mid + 1]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    union = union_first_visits(visit_maps, cutoff)
+    for cell in union:
+        idx = annulus_index(cell)
+        if idx >= 0:
+            union_counts[idx] += 1
+
+    for visits in visit_maps:
+        for cell, t in visits.items():
+            if t <= cutoff:
+                idx = annulus_index(cell)
+                if idx >= 0:
+                    per_agent_totals[idx] += 1
+
+    agents = max(len(visit_maps), 1)
+    return [
+        AnnulusCoverage(
+            inner=boundaries[i],
+            outer=boundaries[i + 1],
+            size=annulus_size(boundaries[i], boundaries[i + 1]),
+            covered=union_counts[i],
+            per_agent_mean=per_agent_totals[i] / agents,
+        )
+        for i in range(n)
+    ]
+
+
+def ball_coverage_fraction(
+    visit_maps: Sequence[Dict[Point, int]], radius: int, cutoff: float = float("inf")
+) -> float:
+    """Fraction of ``B(radius)`` visited by at least one agent by ``cutoff``."""
+    union = union_first_visits(visit_maps, cutoff)
+    covered = sum(1 for cell in union if l1_norm(cell[0], cell[1]) <= radius)
+    return covered / ball_size(radius)
+
+
+def distinct_nodes_visited(
+    visit_maps: Sequence[Dict[Point, int]], cutoff: float = float("inf")
+) -> List[int]:
+    """Number of distinct cells each agent visited by ``cutoff``.
+
+    The proofs of Theorems 4.1/4.2 bound this by the elapsed time: an agent
+    traversing ``2T`` edges visits at most ``2T + 1`` distinct cells — the
+    contradiction arises when the per-annulus loads sum to more.
+    """
+    return [
+        sum(1 for t in visits.values() if t <= cutoff) for visits in visit_maps
+    ]

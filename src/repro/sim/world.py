@@ -1,0 +1,111 @@
+"""The search world: source node, treasure placement, run results.
+
+The paper's setting (Section 2): all ``k`` agents start at a source node
+``s`` of ``Z^2``; an adversary places the treasure at a target node ``tau``
+at distance ``D = d(s, tau)``, unknown to the agents.  Everything is
+translation invariant, so the source is pinned at the origin and a world is
+fully described by the treasure offset.
+
+Placement helpers cover the three placements used across the experiments:
+
+* ``axis`` — ``(D, 0)``: a generic placement;
+* ``corner`` — the cell of distance ``D`` that the canonical spiral visits
+  *last* (``(0, -D)``), the worst case for spiral-based local search;
+* ``offaxis`` — ``(-1, -(D-1))``: spiral-late *and* off both coordinate
+  axes.  Excursion algorithms walk deterministic x-first Manhattan legs,
+  so the two axes are "commuting highways" that get incidentally covered;
+  an adversary avoids them.  This is the default adversarial stand-in for
+  the experiments;
+* ``random`` — uniform on the ring of radius ``D``.
+
+True adversarial (argmin visit-probability) placement is provided by
+:mod:`repro.analysis.lower_bounds`, which needs executions to estimate the
+visit-probability map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.geometry import l1_norm, sample_uniform_ring
+from .rng import SeedLike, make_rng
+
+__all__ = ["World", "Result", "place_treasure"]
+
+Point = Tuple[int, int]
+
+SOURCE: Point = (0, 0)
+
+
+@dataclass(frozen=True)
+class World:
+    """An instance of the search problem: a treasure offset from the source.
+
+    ``treasure`` is the target node ``tau``; ``distance`` is ``D = d(s, tau)``.
+    """
+
+    treasure: Point
+
+    def __post_init__(self) -> None:
+        if self.treasure == SOURCE:
+            raise ValueError("treasure must not be placed on the source")
+
+    @property
+    def distance(self) -> int:
+        """``D``, the hop distance from the source to the treasure."""
+        return l1_norm(self.treasure[0], self.treasure[1])
+
+    @property
+    def source(self) -> Point:
+        return SOURCE
+
+
+def place_treasure(
+    distance: int, placement: str = "corner", seed: SeedLike = None
+) -> World:
+    """Build a :class:`World` with the treasure at hop distance ``distance``.
+
+    ``placement`` is one of ``"axis"`` (``(D, 0)``), ``"corner"`` (the
+    spiral-last cell ``(0, -D)``), ``"offaxis"`` (spiral-late and away
+    from the commuting axes — the experiments' adversarial stand-in) or
+    ``"random"`` (uniform on the ring).
+    """
+    if distance < 1:
+        raise ValueError(f"treasure distance must be >= 1, got {distance}")
+    if placement == "axis":
+        return World((distance, 0))
+    if placement == "corner":
+        return World((0, -distance))
+    if placement == "offaxis":
+        if distance == 1:
+            return World((0, -1))
+        return World((-1, -(distance - 1)))
+    if placement == "random":
+        rng = make_rng(seed)
+        x, y = sample_uniform_ring(rng, distance, 1)
+        return World((int(x[0]), int(y[0])))
+    raise ValueError(f"unknown placement {placement!r}")
+
+
+@dataclass(frozen=True)
+class Result:
+    """Outcome of one simulated search run.
+
+    ``time`` is the first time at which any agent stands on the treasure
+    (``math.inf``/``np.inf`` when the run was truncated before a find);
+    ``finder`` identifies the finding agent when known; ``steps_simulated``
+    records the truncation horizon for capped runs.
+    """
+
+    time: float
+    found: bool
+    finder: Optional[int] = None
+    steps_simulated: Optional[int] = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.found and not np.isfinite(self.time):
+            raise ValueError("found results must carry a finite time")

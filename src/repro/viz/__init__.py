@@ -1,0 +1,5 @@
+"""Terminal visualisation of searches (ASCII maps)."""
+
+from .ascii_map import render_trajectory, render_visit_map
+
+__all__ = ["render_trajectory", "render_visit_map"]

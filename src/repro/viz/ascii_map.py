@@ -1,0 +1,88 @@
+"""ASCII rendering of searches: visit maps and single-agent trajectories.
+
+Useful for eyeballing what an algorithm actually does — the examples print
+these, and they double as cheap sanity checks (the spiral looks like a
+spiral, dispersed excursions look like spokes with local blobs).
+
+Maps are drawn in grid coordinates with y growing upwards; the source is
+``o``, the treasure ``X`` (``$`` once found).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["render_visit_map", "render_trajectory"]
+
+Point = Tuple[int, int]
+
+#: Shade ramp from rarely- to often-visited.
+_RAMP = " .:-=+*#%@"
+
+
+def _bounds(
+    cells: Iterable[Point], radius: Optional[int]
+) -> Tuple[int, int, int, int]:
+    if radius is not None:
+        return -radius, radius, -radius, radius
+    xs, ys = zip(*cells) if cells else ((0,), (0,))
+    return min(xs), max(xs), min(ys), max(ys)
+
+
+def render_visit_map(
+    visit_counts: Mapping[Point, float],
+    *,
+    radius: Optional[int] = None,
+    source: Point = (0, 0),
+    treasure: Optional[Point] = None,
+    found: bool = False,
+) -> str:
+    """Render per-cell visit intensity as an ASCII shade map.
+
+    ``visit_counts`` maps cells to any non-negative intensity (visit counts,
+    probabilities, first-visit recency).  ``radius`` clips the viewport to
+    ``[-radius, radius]^2``; otherwise the bounding box of the data is used.
+    """
+    if any(v < 0 for v in visit_counts.values()):
+        raise ValueError("visit intensities must be non-negative")
+    x_lo, x_hi, y_lo, y_hi = _bounds(list(visit_counts), radius)
+    peak = max(visit_counts.values(), default=0.0)
+    lines = []
+    for y in range(y_hi, y_lo - 1, -1):
+        row = []
+        for x in range(x_lo, x_hi + 1):
+            cell = (x, y)
+            if cell == source:
+                row.append("o")
+            elif treasure is not None and cell == treasure:
+                row.append("$" if found else "X")
+            elif cell in visit_counts and peak > 0:
+                level = visit_counts[cell] / peak
+                index = min(int(level * (len(_RAMP) - 1) + 0.5), len(_RAMP) - 1)
+                # Visited cells never render as blank (blank = unvisited).
+                row.append(_RAMP[max(index, 1)])
+            else:
+                row.append(" ")
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def render_trajectory(
+    positions: Sequence[Point],
+    *,
+    radius: Optional[int] = None,
+    source: Point = (0, 0),
+    treasure: Optional[Point] = None,
+) -> str:
+    """Render one agent's path; later cells shade darker (recency map)."""
+    counts: Dict[Point, float] = {}
+    for t, cell in enumerate(positions, start=1):
+        counts[cell] = float(t)
+    found = treasure is not None and treasure in counts
+    return render_visit_map(
+        counts,
+        radius=radius,
+        source=source,
+        treasure=treasure,
+        found=found,
+    )

@@ -1,0 +1,192 @@
+"""Tests for the paper's algorithm classes (construction, schedules, programs)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    HarmonicSearch,
+    HedgedApproxSearch,
+    NaiveTrustSearch,
+    NonUniformSearch,
+    RestartingHarmonicSearch,
+    RhoApproxSearch,
+    UniformSearch,
+    one_sided_guesses,
+)
+from repro.algorithms.base import UniformBallFamily
+from repro.algorithms.harmonic import PowerLawRingFamily, harmonic_normalizing_constant
+from repro.core.geometry import l1_norm
+
+
+class TestUniformBallFamily:
+    def test_sample_within_ball(self):
+        family = UniformBallFamily(radius=6, budget=17)
+        ux, uy, budgets = family.sample(np.random.default_rng(0), 500)
+        assert int(np.max(np.abs(ux) + np.abs(uy))) <= 6
+        assert np.all(budgets == 17)
+
+    def test_sample_one(self):
+        family = UniformBallFamily(radius=3, budget=9)
+        (x, y), budget = family.sample_one(np.random.default_rng(1))
+        assert abs(x) + abs(y) <= 3 and budget == 9
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            UniformBallFamily(0, 5)
+        with pytest.raises(ValueError):
+            UniformBallFamily(5, 0)
+
+
+class TestNonUniformSearch:
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ValueError):
+            NonUniformSearch(k=0)
+
+    def test_families_follow_schedule(self):
+        alg = NonUniformSearch(k=4)
+        fams = list(itertools.islice(alg.families(), 3))
+        assert [f.radius for f in fams] == [2, 2, 4]
+        assert [f.budget for f in fams] == [4, 4, 16]
+
+    def test_uses_k_flag(self):
+        assert NonUniformSearch(k=2).uses_k is True
+
+    def test_step_program_starts_with_excursion(self):
+        alg = NonUniformSearch(k=1)
+        rng = np.random.default_rng(7)
+        positions = list(itertools.islice(alg.step_program(rng), 50))
+        # Unit moves throughout.
+        prev = (0, 0)
+        for pos in positions:
+            assert abs(pos[0] - prev[0]) + abs(pos[1] - prev[1]) == 1
+            prev = pos
+
+
+class TestUniformSearch:
+    def test_rejects_non_positive_eps(self):
+        with pytest.raises(ValueError):
+            UniformSearch(eps=0)
+
+    def test_does_not_use_k(self):
+        assert UniformSearch(0.3).uses_k is False
+
+    def test_schedule_independent_of_agent_count(self):
+        """Uniformity: the phase stream is a fixed function of eps alone."""
+        a = [
+            (f.radius, f.budget)
+            for f in itertools.islice(UniformSearch(0.4).families(), 25)
+        ]
+        b = [
+            (f.radius, f.budget)
+            for f in itertools.islice(UniformSearch(0.4).families(), 25)
+        ]
+        assert a == b
+
+    def test_describe_mentions_eps(self):
+        assert "0.25" in UniformSearch(0.25).describe()
+
+
+class TestApproximate:
+    def test_rho_approx_effective_k(self):
+        alg = RhoApproxSearch(k_a=32, rho=4)
+        assert alg.effective_k == 8
+
+    def test_rho_must_be_at_least_one(self):
+        with pytest.raises(ValueError):
+            RhoApproxSearch(k_a=8, rho=0.5)
+
+    def test_rho_one_matches_nonuniform(self):
+        a = RhoApproxSearch(k_a=16, rho=1)
+        b = NonUniformSearch(k=16)
+        fa = [(f.radius, f.budget) for f in itertools.islice(a.families(), 10)]
+        fb = [(f.radius, f.budget) for f in itertools.islice(b.families(), 10)]
+        assert fa == fb
+
+    def test_one_sided_guesses_cover_range(self):
+        guesses = one_sided_guesses(k_tilde=1024, eps=0.5)
+        assert guesses[0] == pytest.approx(32.0)
+        assert guesses[-1] == 1024.0
+        # Consecutive guesses within factor 2 covers everything between.
+        for lo, hi in zip(guesses, guesses[1:]):
+            assert hi <= 2 * lo + 1e-9
+
+    def test_one_sided_guesses_count_is_logarithmic(self):
+        guesses = one_sided_guesses(k_tilde=2**20, eps=0.5)
+        assert len(guesses) == 11  # eps * log2(k~) + 1 = 10 + 1
+
+    def test_hedged_interleaves_guesses(self):
+        alg = HedgedApproxSearch(k_tilde=256, eps=0.5)
+        specs = list(itertools.islice(alg.phases(), len(alg.guesses)))
+        seen = {spec.label[1] for spec in specs}
+        assert seen == set(range(len(alg.guesses)))
+
+    def test_naive_trust_budget_shrinks_with_estimate(self):
+        big = NaiveTrustSearch(k_tilde=4096)
+        small = NaiveTrustSearch(k_tilde=4)
+        f_big = next(iter(big.families()))
+        f_small = next(iter(small.families()))
+        assert f_big.budget <= f_small.budget
+
+
+class TestHarmonic:
+    def test_normalizing_constant_sums_to_one(self):
+        # sum over rings: 4r * c / r^(2+delta) = 1; the truncated sum plus
+        # the integral tail estimate must hit 1.
+        R = 200_000
+        for delta in (0.2, 0.5, 0.8):
+            c = harmonic_normalizing_constant(delta)
+            partial = sum(4 * r * c / r ** (2 + delta) for r in range(1, R))
+            tail = 4 * c * R ** (-delta) / delta  # integral upper estimate
+            assert partial < 1.0
+            assert partial + tail == pytest.approx(1.0, abs=2e-3)
+
+    def test_family_radius_distribution_is_zipf(self):
+        family = PowerLawRingFamily(delta=0.5)
+        rng = np.random.default_rng(11)
+        ux, uy, budgets = family.sample(rng, 200_000)
+        radii = np.abs(ux) + np.abs(uy)
+        assert int(radii.min()) >= 1
+        from scipy.special import zeta
+
+        p1 = float(np.mean(radii == 1))
+        assert p1 == pytest.approx(1.0 / zeta(1.5), abs=0.01)
+        p2 = float(np.mean(radii == 2))
+        assert p2 == pytest.approx(2**-1.5 / zeta(1.5), abs=0.01)
+
+    def test_budget_matches_radius_power(self):
+        family = PowerLawRingFamily(delta=0.5)
+        ux, uy, budgets = family.sample(np.random.default_rng(3), 1000)
+        radii = np.abs(ux) + np.abs(uy)
+        expected = np.ceil(radii.astype(float) ** 2.5)
+        assert np.array_equal(budgets, expected.astype(np.int64))
+
+    def test_one_shot_family_stream(self):
+        assert len(list(HarmonicSearch(0.5).families())) == 1
+
+    def test_restarting_family_stream_is_infinite(self):
+        stream = RestartingHarmonicSearch(0.5).families()
+        fams = list(itertools.islice(stream, 10))
+        assert len(fams) == 10
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            HarmonicSearch(delta=0)
+        with pytest.raises(ValueError):
+            PowerLawRingFamily(delta=-0.1)
+
+    def test_uniform_position_on_ring(self):
+        """Conditioned on the radius, the cell must be uniform on the ring."""
+        family = PowerLawRingFamily(delta=0.8)
+        rng = np.random.default_rng(13)
+        ux, uy, _ = family.sample(rng, 150_000)
+        mask = (np.abs(ux) + np.abs(uy)) == 2
+        cells = set(zip(ux[mask].tolist(), uy[mask].tolist()))
+        assert len(cells) == 8
+        # Rough uniformity across the 8 ring-2 cells.
+        counts = {}
+        for cell in zip(ux[mask].tolist(), uy[mask].tolist()):
+            counts[cell] = counts.get(cell, 0) + 1
+        values = np.array(list(counts.values()), dtype=float)
+        assert values.min() > 0.7 * values.mean()

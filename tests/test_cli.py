@@ -1,0 +1,54 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults_to_quick(self):
+        args = build_parser().parse_args(["run", "E1"])
+        assert args.command == "run" and not args.full
+
+    def test_run_full_flag(self):
+        args = build_parser().parse_args(["run", "E1", "--full"])
+        assert args.full
+
+    def test_quick_and_full_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E1", "--quick", "--full"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E10" in out and "Theorem 3.1" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "E8", "--quick", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "E8" in out and "completed" in out
+
+    def test_run_with_csv_export(self, tmp_path, capsys):
+        csv_dir = tmp_path / "tables"
+        assert main(["run", "E8", "--seed", "7", "--csv", str(csv_dir)]) == 0
+        files = list(csv_dir.glob("e8_*.csv"))
+        assert files
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "E42"])
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Treasure" in out and "mean" in out

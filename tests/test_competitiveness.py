@@ -1,0 +1,78 @@
+"""Tests for competitive analysis helpers (repro.analysis.competitiveness)."""
+
+import pytest
+
+from repro.algorithms import NonUniformSearch
+from repro.analysis.competitiveness import (
+    competitiveness,
+    measure_competitiveness,
+    optimal_time,
+    sweep_competitiveness,
+)
+
+
+class TestOptimalTime:
+    def test_formula(self):
+        assert optimal_time(10, 5) == pytest.approx(10 + 100 / 5)
+
+    def test_k_one(self):
+        assert optimal_time(8, 1) == pytest.approx(72.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            optimal_time(0, 1)
+        with pytest.raises(ValueError):
+            optimal_time(1, 0)
+
+    def test_competitiveness_ratio(self):
+        assert competitiveness(200.0, 10, 5) == pytest.approx(200 / 30)
+
+
+class TestMeasure:
+    def test_cell_fields(self):
+        cell = measure_competitiveness(
+            lambda k: NonUniformSearch(k=k), 16, 4, trials=30, seed=0
+        )
+        assert cell.distance == 16 and cell.k == 4 and cell.trials == 30
+        assert cell.mean_time > 16
+        assert cell.ratio == pytest.approx(cell.mean_time / cell.optimal)
+        assert cell.stderr > 0
+
+    def test_reproducible(self):
+        a = measure_competitiveness(lambda k: NonUniformSearch(k=k), 16, 2, 20, seed=1)
+        b = measure_competitiveness(lambda k: NonUniformSearch(k=k), 16, 2, 20, seed=1)
+        assert a.mean_time == b.mean_time
+
+
+class TestSweep:
+    def test_grid_size(self):
+        cells = sweep_competitiveness(
+            lambda k: NonUniformSearch(k=k), [8, 16], [1, 2], trials=10, seed=2
+        )
+        assert len(cells) == 4
+
+    def test_k_le_d_filter(self):
+        cells = sweep_competitiveness(
+            lambda k: NonUniformSearch(k=k),
+            [8],
+            [4, 16],
+            trials=10,
+            seed=3,
+            require_k_le_d=True,
+        )
+        assert [(c.distance, c.k) for c in cells] == [(8, 4)]
+
+    def test_filter_does_not_shift_seeds(self):
+        """Skipping k > D cells must not change other cells' seeds."""
+        unfiltered = sweep_competitiveness(
+            lambda k: NonUniformSearch(k=k), [8], [4, 16], trials=10, seed=4
+        )
+        filtered = sweep_competitiveness(
+            lambda k: NonUniformSearch(k=k),
+            [8],
+            [4, 16],
+            trials=10,
+            seed=4,
+            require_k_le_d=True,
+        )
+        assert unfiltered[0].mean_time == filtered[0].mean_time

@@ -1,0 +1,97 @@
+"""Tests for find-time distribution tools (repro.analysis.distributions)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import HarmonicSearch, NonUniformSearch, UniformSearch
+from repro.analysis.distributions import (
+    doubling_tail,
+    empirical_cdf,
+    hill_estimator,
+    survival_at,
+    tail_is_geometric,
+)
+from repro.sim.events import simulate_find_times
+from repro.sim.world import place_treasure
+
+
+class TestEmpiricalCdf:
+    def test_basic_cdf(self):
+        x, f = empirical_cdf([3.0, 1.0, 2.0])
+        assert x.tolist() == [1.0, 2.0, 3.0]
+        assert f.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_defective_distribution_tops_below_one(self):
+        x, f = empirical_cdf([1.0, math.inf, math.inf, 2.0])
+        assert f[-1] == pytest.approx(0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+
+class TestSurvival:
+    def test_counts_censored_as_alive(self):
+        assert survival_at([1.0, math.inf, 5.0], 2.0) == pytest.approx(2 / 3)
+
+    def test_doubling_tail_levels(self):
+        tail = doubling_tail([1.0, 3.0, 9.0], t0=1.0, levels=3)
+        assert [t for t, _ in tail] == [1.0, 2.0, 4.0]
+        assert tail[0][1] == pytest.approx(2 / 3)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            doubling_tail([1.0], 0.0, 2)
+        with pytest.raises(ValueError):
+            doubling_tail([1.0], 1.0, 0)
+
+
+class TestGeometricTail:
+    def test_exponential_data_passes(self):
+        rng = np.random.default_rng(0)
+        data = rng.exponential(scale=10.0, size=5000)
+        assert tail_is_geometric(data, t0=10.0, levels=6, ratio=0.6)
+
+    def test_pareto_heavy_tail_fails(self):
+        rng = np.random.default_rng(1)
+        data = (rng.pareto(0.4, size=5000) + 1.0) * 10.0
+        # alpha = 0.4: survival decays ~2^-0.4 ~ 0.76 per doubling, slower
+        # than the 0.6 geometric envelope.
+        assert not tail_is_geometric(data, t0=10.0, levels=8, ratio=0.6)
+
+    def test_iterated_algorithms_have_geometric_tails(self):
+        """The stage-structure proofs imply super-geometric doubling tails."""
+        world = place_treasure(16, "offaxis")
+        for alg in (NonUniformSearch(k=4), UniformSearch(0.5)):
+            times = simulate_find_times(alg, world, 4, 400, seed=2)
+            t0 = float(np.median(times))
+            assert tail_is_geometric(times, t0=t0, levels=6, ratio=0.75), alg.name
+
+    def test_one_shot_harmonic_tail_is_heavy(self):
+        """Conditional on success, one-shot harmonic inherits the zipf
+        radius's power tail — geometric decay must fail."""
+        world = place_treasure(8, "offaxis")
+        times = simulate_find_times(HarmonicSearch(0.3), world, 1, 4000, seed=3)
+        finite = times[np.isfinite(times)]
+        t0 = float(np.median(finite))
+        assert not tail_is_geometric(finite, t0=t0, levels=12, ratio=0.5)
+
+
+class TestHill:
+    def test_recovers_pareto_exponent(self):
+        rng = np.random.default_rng(4)
+        alpha = 1.5
+        data = (rng.pareto(alpha, size=40_000) + 1.0) * 3.0
+        est = hill_estimator(data, tail_fraction=0.05)
+        assert est == pytest.approx(alpha, rel=0.15)
+
+    def test_diagnoses_infinite_mean(self):
+        rng = np.random.default_rng(5)
+        data = (rng.pareto(0.7, size=40_000) + 1.0) * 2.0
+        assert hill_estimator(data, tail_fraction=0.05) < 1.0
+
+    def test_rejects_tiny_samples(self):
+        with pytest.raises(ValueError):
+            hill_estimator([1.0, 2.0])

@@ -1,0 +1,115 @@
+"""Tests for the exact step-level engine (repro.sim.engine)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import NonUniformSearch, SingleSpiralSearch
+from repro.sim.engine import first_visit_times, run_agent, run_search
+from repro.sim.world import World, place_treasure
+
+
+class TestRunAgent:
+    def test_spiral_agent_finds_treasure_exactly(self):
+        world = World((1, 1))  # spiral hit time 2
+        trace = run_agent(SingleSpiralSearch(), world, np.random.default_rng(0), 100)
+        assert trace.find_time == 2
+
+    def test_horizon_truncates(self):
+        world = World((50, 50))
+        trace = run_agent(SingleSpiralSearch(), world, np.random.default_rng(0), 10)
+        assert trace.find_time is None
+        assert trace.steps == 10
+
+    def test_zero_horizon(self):
+        world = World((1, 0))
+        trace = run_agent(SingleSpiralSearch(), world, np.random.default_rng(0), 0)
+        assert trace.find_time is None and trace.steps == 0
+
+    def test_record_visits_maps_first_times(self):
+        world = World((30, 30))
+        trace = run_agent(
+            SingleSpiralSearch(),
+            world,
+            np.random.default_rng(0),
+            20,
+            record_visits=True,
+        )
+        assert trace.visited is not None
+        assert trace.visited[(0, 0)] == 0
+        assert trace.visited[(1, 0)] == 1
+        assert trace.visited[(1, 1)] == 2
+        assert len(trace.visited) == 21  # spiral never revisits
+
+    def test_stop_at_find_false_walks_full_horizon(self):
+        world = World((1, 0))
+        trace = run_agent(
+            SingleSpiralSearch(),
+            world,
+            np.random.default_rng(0),
+            50,
+            record_visits=True,
+            stop_at_find=False,
+        )
+        assert trace.find_time == 1
+        assert trace.steps == 50
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            run_agent(SingleSpiralSearch(), World((1, 0)), np.random.default_rng(0), -1)
+
+
+class TestRunSearch:
+    def test_finds_with_multiple_agents(self):
+        world = place_treasure(5, "axis")
+        run = run_search(NonUniformSearch(k=4), world, 4, seed=42, horizon=50_000)
+        assert run.result.found
+        assert run.result.finder is not None
+        assert run.result.time >= 5  # cannot beat distance
+
+    def test_deterministic_given_seed(self):
+        world = place_treasure(6, "corner")
+        a = run_search(NonUniformSearch(k=2), world, 2, seed=7, horizon=50_000)
+        b = run_search(NonUniformSearch(k=2), world, 2, seed=7, horizon=50_000)
+        assert a.result.time == b.result.time
+        assert a.result.finder == b.result.finder
+
+    def test_different_seeds_vary(self):
+        world = place_treasure(8, "corner")
+        times = {
+            run_search(NonUniformSearch(k=2), world, 2, seed=s, horizon=10**6).result.time
+            for s in range(6)
+        }
+        assert len(times) > 1
+
+    def test_prune_matches_unpruned(self):
+        world = place_treasure(5, "axis")
+        a = run_search(NonUniformSearch(k=3), world, 3, seed=3, horizon=10**6, prune=True)
+        b = run_search(NonUniformSearch(k=3), world, 3, seed=3, horizon=10**6, prune=False)
+        assert a.result.time == b.result.time
+
+    def test_not_found_reports_infinite_time(self):
+        world = place_treasure(1000, "axis")
+        run = run_search(SingleSpiralSearch(), world, 2, seed=0, horizon=100)
+        assert not run.result.found
+        assert run.result.time == float("inf")
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            run_search(SingleSpiralSearch(), place_treasure(2), 0, seed=0, horizon=10)
+
+
+class TestFirstVisitTimes:
+    def test_every_agent_walks_full_window(self):
+        world = place_treasure(10_000, "axis")  # unreachable
+        maps = first_visit_times(NonUniformSearch(k=2), world, 2, seed=5, horizon=300)
+        assert len(maps) == 2
+        for visits in maps:
+            assert visits[(0, 0)] == 0
+            assert max(visits.values()) <= 300
+            assert len(visits) >= 2
+
+    def test_visit_counts_bounded_by_time(self):
+        world = place_treasure(10_000, "axis")
+        maps = first_visit_times(NonUniformSearch(k=3), world, 3, seed=6, horizon=200)
+        for visits in maps:
+            assert len(visits) <= 201  # at most horizon+1 distinct cells

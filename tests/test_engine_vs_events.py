@@ -1,0 +1,114 @@
+"""Cross-validation: the two engines must agree.
+
+Two levels of agreement are enforced:
+
+1. **Exact replay** — for a single agent with a shared RNG stream, the
+   scalar excursion evaluator :func:`repro.sim.events.excursion_find_time`
+   must return exactly the step at which the step engine sees the agent on
+   the treasure (they consume randomness identically).
+
+2. **Distributional** — the vectorised engine (which draws from one pooled
+   RNG) must produce find-time distributions statistically indistinguishable
+   from the step engine's across placements and algorithms.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.algorithms import (
+    HarmonicSearch,
+    NonUniformSearch,
+    RhoApproxSearch,
+    UniformSearch,
+)
+from repro.sim.engine import run_agent
+from repro.sim.events import excursion_find_time, simulate_find_times
+from repro.sim.rng import derive_rng
+from repro.sim.world import World, place_treasure
+
+EXACT_CASES = [
+    (NonUniformSearch(k=2), (4, 3)),
+    (NonUniformSearch(k=8), (0, -6)),
+    (UniformSearch(eps=0.5), (5, 0)),
+    (UniformSearch(eps=0.2), (-3, -3)),
+    (RhoApproxSearch(k_a=8, rho=2), (2, -5)),
+    (HarmonicSearch(delta=0.5), (1, 1)),
+]
+
+
+class TestExactReplay:
+    @pytest.mark.parametrize("alg,treasure", EXACT_CASES)
+    def test_step_engine_matches_excursion_evaluator(self, alg, treasure):
+        world = World(treasure)
+        agreements = 0
+        for i in range(30):
+            t_events = excursion_find_time(
+                alg, world, derive_rng(1234, i), max_phases=20_000
+            )
+            horizon = 40_000 if math.isinf(t_events) else int(t_events) + 10
+            trace = run_agent(alg, world, derive_rng(1234, i), horizon)
+            if math.isinf(t_events):
+                assert trace.find_time is None or trace.find_time > 40_000
+            else:
+                assert trace.find_time == t_events
+                agreements += 1
+        if not isinstance(alg, HarmonicSearch):
+            assert agreements == 30  # iterated algorithms always find
+
+    def test_replay_is_deterministic(self):
+        alg = NonUniformSearch(k=4)
+        world = World((7, -2))
+        times = {
+            excursion_find_time(alg, world, derive_rng(55, 3)) for _ in range(5)
+        }
+        assert len(times) == 1
+
+
+class TestDistributionalAgreement:
+    @pytest.mark.parametrize(
+        "alg_factory,distance",
+        [
+            (lambda: NonUniformSearch(k=4), 9),
+            (lambda: UniformSearch(eps=0.5), 7),
+        ],
+    )
+    def test_ks_two_sample(self, alg_factory, distance):
+        """KS test between engines' find-time samples (alpha = 0.001)."""
+        world = place_treasure(distance, "corner")
+        k = 4
+        fast = simulate_find_times(alg_factory(), world, k, 150, seed=77)
+
+        slow = []
+        for trial in range(150):
+            best = math.inf
+            for agent in range(k):
+                t = excursion_find_time(
+                    alg_factory(), world, derive_rng((88, trial), agent)
+                )
+                best = min(best, t)
+            slow.append(best)
+        slow = np.asarray(slow)
+
+        assert np.all(np.isfinite(fast)) and np.all(np.isfinite(slow))
+        result = stats.ks_2samp(fast, slow)
+        assert result.pvalue > 0.001
+
+    def test_means_agree_within_error(self):
+        world = place_treasure(12, "corner")
+        k = 8
+        fast = simulate_find_times(NonUniformSearch(k=k), world, k, 300, seed=101)
+        slow = []
+        for trial in range(150):
+            best = min(
+                excursion_find_time(
+                    NonUniformSearch(k=k), world, derive_rng((102, trial), agent)
+                )
+                for agent in range(k)
+            )
+            slow.append(best)
+        slow = np.asarray(slow)
+        pooled_se = math.sqrt(fast.var() / fast.size + slow.var() / slow.size)
+        assert abs(fast.mean() - slow.mean()) < 5 * pooled_se + 1e-9

@@ -1,0 +1,138 @@
+"""Tests for the vectorised excursion engine (repro.sim.events)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    HarmonicSearch,
+    NonUniformSearch,
+    RestartingHarmonicSearch,
+    UniformSearch,
+)
+from repro.analysis.competitiveness import optimal_time
+from repro.sim.events import (
+    excursion_find_time,
+    expected_find_time,
+    simulate_find_times,
+)
+from repro.sim.rng import derive_rng
+from repro.sim.world import World, place_treasure
+
+
+class TestSimulateFindTimes:
+    def test_shape_and_dtype(self):
+        world = place_treasure(8, "corner")
+        times = simulate_find_times(NonUniformSearch(k=4), world, 4, 25, seed=0)
+        assert times.shape == (25,)
+        assert times.dtype == np.float64
+
+    def test_always_finds_with_iterated_schedule(self):
+        world = place_treasure(12, "corner")
+        times = simulate_find_times(NonUniformSearch(k=2), world, 2, 50, seed=1)
+        assert np.all(np.isfinite(times))
+
+    def test_time_at_least_distance(self):
+        """No agent can stand on the treasure before D steps."""
+        world = place_treasure(16, "corner")
+        for alg in (NonUniformSearch(k=8), UniformSearch(0.5), HarmonicSearch(0.5)):
+            times = simulate_find_times(alg, world, 8, 40, seed=2)
+            finite = times[np.isfinite(times)]
+            assert np.all(finite >= 16)
+
+    def test_reproducible_given_seed(self):
+        world = place_treasure(10, "corner")
+        a = simulate_find_times(UniformSearch(0.3), world, 4, 30, seed=9)
+        b = simulate_find_times(UniformSearch(0.3), world, 4, 30, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_one_shot_harmonic_can_fail(self):
+        world = place_treasure(60, "corner")
+        times = simulate_find_times(HarmonicSearch(0.8), world, 1, 200, seed=3)
+        assert np.any(~np.isfinite(times))  # single agent one-shot often misses
+
+    def test_more_agents_do_not_hurt(self):
+        world = place_treasure(48, "corner")
+        mean_small = simulate_find_times(
+            NonUniformSearch(k=2), world, 2, 150, seed=4
+        ).mean()
+        mean_large = simulate_find_times(
+            NonUniformSearch(k=32), world, 32, 150, seed=5
+        ).mean()
+        assert mean_large < mean_small
+
+    def test_horizon_truncates_to_inf(self):
+        world = place_treasure(40, "corner")
+        times = simulate_find_times(
+            NonUniformSearch(k=1), world, 1, 20, seed=6, horizon=45
+        )
+        # Cannot reach + spiral a distance-40 treasure by time 45.
+        assert np.all(~np.isfinite(times))
+
+    def test_max_phases_guard(self):
+        world = place_treasure(10**6, "corner")
+        with pytest.raises(RuntimeError):
+            simulate_find_times(
+                NonUniformSearch(k=1), world, 1, 2, seed=7, max_phases=5
+            )
+
+    def test_rejects_bad_arguments(self):
+        world = place_treasure(4, "corner")
+        with pytest.raises(ValueError):
+            simulate_find_times(NonUniformSearch(k=1), world, 0, 5, seed=0)
+        with pytest.raises(ValueError):
+            simulate_find_times(NonUniformSearch(k=1), world, 1, 0, seed=0)
+
+
+class TestTravelDetection:
+    def test_treasure_on_outbound_axis_found_during_travel(self):
+        """A treasure on the +x axis is crossed by every x-first walk past it."""
+        world = World((2, 0))
+        # Radius-4 phases routinely travel through (2, 0); find times must
+        # sometimes equal exactly 2 (outbound travel detection).
+        times = simulate_find_times(NonUniformSearch(k=1), world, 1, 200, seed=8)
+        assert times.min() == 2.0
+
+    def test_scalar_engine_detects_travel_hits(self):
+        world = World((3, 0))
+        hits = 0
+        for i in range(200):
+            t = excursion_find_time(NonUniformSearch(k=1), world, derive_rng(0, i))
+            if t == 3:
+                hits += 1
+        assert hits > 0
+
+
+class TestExpectedFindTime:
+    def test_mean_and_stderr(self):
+        world = place_treasure(10, "corner")
+        mean, stderr = expected_find_time(NonUniformSearch(k=4), world, 4, 60, seed=9)
+        assert mean > 10
+        assert 0 < stderr < mean
+
+    def test_infinite_mean_for_failed_one_shot(self):
+        world = place_treasure(500, "corner")
+        mean, stderr = expected_find_time(HarmonicSearch(0.8), world, 1, 10, seed=10)
+        assert math.isinf(mean)
+
+
+class TestScaling:
+    def test_nonuniform_is_constant_competitive(self):
+        """Headline of Theorem 3.1 at small scale: ratio bounded by a constant."""
+        ratios = []
+        for d in (16, 32, 64):
+            for k in (1, 4, 16):
+                world = place_treasure(d, "corner")
+                times = simulate_find_times(
+                    NonUniformSearch(k=k), world, k, 60, seed=11
+                )
+                ratios.append(times.mean() / optimal_time(d, k))
+        assert max(ratios) < 60  # generous constant; E1 tightens this
+
+    def test_restarting_harmonic_always_finds(self):
+        world = place_treasure(30, "corner")
+        times = simulate_find_times(
+            RestartingHarmonicSearch(0.5), world, 4, 40, seed=12, max_phases=100_000
+        )
+        assert np.all(np.isfinite(times))

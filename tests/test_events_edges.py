@@ -1,0 +1,119 @@
+"""Edge cases of the vectorised engine: boundaries the sweeps never hit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    HarmonicSearch,
+    NonUniformSearch,
+    UniformSearch,
+)
+from repro.algorithms.harmonic import PowerLawRingFamily
+from repro.sim.events import excursion_find_time, simulate_find_times
+from repro.sim.rng import derive_rng
+from repro.sim.world import World, place_treasure
+
+
+class TestNearestTreasures:
+    """Distance-1 and distance-2 treasures: the smallest possible worlds."""
+
+    @pytest.mark.parametrize("treasure", [(1, 0), (0, 1), (-1, 0), (0, -1)])
+    def test_distance_one_found_fast(self, treasure):
+        world = World(treasure)
+        times = simulate_find_times(NonUniformSearch(k=1), world, 1, 50, seed=0)
+        assert np.all(np.isfinite(times))
+        assert np.all(times >= 1)
+        assert times.mean() < 100  # B(2) phases catch it immediately
+
+    def test_distance_one_uniform(self):
+        world = World((0, 1))
+        times = simulate_find_times(UniformSearch(0.5), world, 1, 50, seed=1)
+        assert np.all(np.isfinite(times)) and np.all(times >= 1)
+
+    def test_diagonal_neighbour(self):
+        world = World((1, 1))
+        times = simulate_find_times(NonUniformSearch(k=2), world, 2, 50, seed=2)
+        assert np.all(times >= 2)
+
+
+class TestHorizonSemantics:
+    def test_horizon_exactly_at_find_time_keeps_it(self):
+        world = World((1, 0))
+        base = simulate_find_times(NonUniformSearch(k=1), world, 1, 20, seed=3)
+        capped = simulate_find_times(
+            NonUniformSearch(k=1), world, 1, 20, seed=3, horizon=float(base.max())
+        )
+        assert np.array_equal(base, capped)
+
+    def test_horizon_below_distance_finds_nothing(self):
+        world = place_treasure(30, "offaxis")
+        times = simulate_find_times(
+            UniformSearch(0.5), world, 4, 10, seed=4, horizon=29
+        )
+        assert np.all(np.isinf(times))
+
+    def test_horizon_interacts_with_delays(self):
+        world = World((2, 1))
+        times = simulate_find_times(
+            NonUniformSearch(k=1),
+            world,
+            1,
+            20,
+            seed=5,
+            horizon=10.0,
+            start_delays=np.array([10.0]),
+        )
+        assert np.all(np.isinf(times))  # the agent never effectively starts
+
+
+class TestHarmonicBudgetCap:
+    def test_budget_cap_respected(self):
+        family = PowerLawRingFamily(delta=0.2, budget_cap=1000)
+        ux, uy, budgets = family.sample(np.random.default_rng(6), 5000)
+        assert int(budgets.max()) <= 1000
+
+    def test_radius_clip_keeps_ring_draw_valid(self):
+        """Even with an absurd tail, cells must sit exactly on their ring."""
+        family = PowerLawRingFamily(delta=0.101)
+        rng = np.random.default_rng(7)
+        ux, uy, _ = family.sample(rng, 50_000)
+        # All radii positive and cells consistent (|u| = radius by const.).
+        radii = np.abs(ux) + np.abs(uy)
+        assert int(radii.min()) >= 1
+        assert int(radii.max()) <= 2**40
+
+
+class TestScalarEvaluatorEdges:
+    def test_zero_phase_horizon(self):
+        world = World((3, 0))
+        t = excursion_find_time(
+            NonUniformSearch(k=1), world, derive_rng(0, 0), horizon=0
+        )
+        assert math.isinf(t)
+
+    def test_max_phases_zero(self):
+        world = World((3, 0))
+        t = excursion_find_time(
+            NonUniformSearch(k=1), world, derive_rng(0, 1), max_phases=0
+        )
+        assert math.isinf(t)
+
+    def test_one_shot_exhaustion_returns_inf(self):
+        world = place_treasure(1000, "axis")
+        t = excursion_find_time(HarmonicSearch(0.8), world, derive_rng(0, 2))
+        # Almost surely not found by a single one-shot agent at D=1000.
+        assert math.isinf(t) or t >= 1000
+
+
+class TestTrialAgentShapes:
+    def test_single_trial_single_agent(self):
+        world = World((4, -2))
+        times = simulate_find_times(NonUniformSearch(k=1), world, 1, 1, seed=8)
+        assert times.shape == (1,) and np.isfinite(times[0])
+
+    def test_many_agents_one_trial(self):
+        world = World((4, -2))
+        times = simulate_find_times(NonUniformSearch(k=64), world, 64, 1, seed=9)
+        assert times.shape == (1,) and np.isfinite(times[0])

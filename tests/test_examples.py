@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs end to end (fast mode)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+CASES = [
+    ("quickstart.py", ["24", "8"]),
+    ("ant_foraging.py", ["--fast"]),
+    ("swarm_robotics.py", ["--fast"]),
+    ("adversarial_treasure.py", ["--fast"]),
+    ("harmonic_tuning.py", ["--fast"]),
+    ("search_gallery.py", []),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    path = os.path.join(EXAMPLES_DIR, script)
+    proc = subprocess.run(
+        [sys.executable, path, *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_mentions_all_three_algorithms():
+    path = os.path.join(EXAMPLES_DIR, "quickstart.py")
+    proc = subprocess.run(
+        [sys.executable, path, "24", "8"], capture_output=True, text=True, timeout=300
+    )
+    out = proc.stdout
+    assert "Algorithm 3" in out and "Algorithm 1" in out and "Algorithm 2" in out

@@ -1,0 +1,213 @@
+"""Integration tests: every registered experiment runs and shows the
+theorem's shape at quick scale.
+
+These are the repository's strongest end-to-end checks — each test runs a
+full experiment pipeline and asserts the qualitative claim of the paper
+result it reproduces.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.config import FULL, QUICK
+from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
+
+SEED = 987654321
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every experiment once (quick mode) and cache the tables."""
+    return {
+        info.experiment_id: run_experiment(info.experiment_id, quick=True, seed=SEED)
+        for info in list_experiments()
+    }
+
+
+class TestRegistry:
+    def test_all_ten_registered(self):
+        assert len(EXPERIMENTS) == 10
+        assert [i.experiment_id for i in list_experiments()] == [
+            f"E{n}" for n in range(1, 11)
+        ]
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("E99")
+
+    def test_case_insensitive(self):
+        tables = run_experiment("e8", quick=True, seed=SEED)
+        assert tables
+
+    def test_scales_are_sane(self):
+        assert QUICK.trials < FULL.trials
+        assert max(QUICK.distances) <= max(FULL.distances)
+
+
+class TestE1Shape:
+    def test_ratio_bounded_and_flat(self, results):
+        table, summary = results["E1"]
+        ratios = table.column("ratio")
+        assert max(ratios) < 40
+        assert max(ratios) / min(ratios) < 3.0
+
+    def test_quadratic_at_k1(self, results):
+        table, _ = results["E1"]
+        k1 = [(r["D"], r["mean_time"]) for r in table.rows if r["k"] == 1]
+        (d_small, t_small), (d_large, t_large) = k1[0], k1[-1]
+        exponent = math.log(t_large / t_small) / math.log(d_large / d_small)
+        assert 1.6 < exponent < 2.4
+
+
+class TestE2Shape:
+    def test_rho_squared_envelope(self, results):
+        (table,) = results["E2"]
+        base = next(
+            r["ratio"] for r in table.rows if r["rho"] == 1.0 and r["estimate"] == "over"
+        )
+        for row in table.rows:
+            assert row["ratio"] <= 3.0 * row["rho"] ** 2 * base
+
+    def test_overestimates_are_benign(self, results):
+        (table,) = results["E2"]
+        over = [r["ratio"] for r in table.rows if r["estimate"] == "over"]
+        under = [r["ratio"] for r in table.rows if r["estimate"] == "under"]
+        assert max(over) < max(under)
+
+
+class TestE3Shape:
+    def test_phi_grows_subpolynomially(self, results):
+        table, fits = results["E3"]
+        for eps in {r["eps"] for r in table.rows}:
+            phis = [
+                (r["k"], r["phi"]) for r in table.rows if r["eps"] == eps and r["k"] >= 4
+            ]
+            k_lo, phi_lo = phis[0]
+            k_hi, phi_hi = phis[-1]
+            growth = phi_hi / phi_lo
+            assert growth < (k_hi / k_lo) ** 0.75  # far below linear-in-k
+
+    def test_polylog_fit_quality(self, results):
+        _, fits = results["E3"]
+        for row in fits.rows:
+            assert row["r2"] > 0.8
+            assert 0.5 < row["b"] < 3.5
+
+
+class TestE4Shape:
+    def test_measured_sum_stays_bounded(self, results):
+        divergence = results["E4"][0]
+        assert divergence.rows[-1]["sum_measured"] < 0.5
+
+    def test_markov_premise_holds_for_near_balls(self, results):
+        coverage = results["E4"][1]
+        for row in coverage.rows:
+            if row["radius"] <= 4:
+                assert row["coverage_fraction"] >= 0.5
+
+    def test_per_agent_load_fits_in_time_budget(self, results):
+        loads = results["E4"][2]
+        # per-agent distinct cells per annulus can never exceed annulus size.
+        for row in loads.rows:
+            assert row["per_agent_load"] <= row["size"]
+
+
+class TestE5Shape:
+    def test_naive_blows_up_at_range_bottom(self, results):
+        (table,) = results["E5"]
+        first, last = table.rows[0], table.rows[-1]
+        assert first["naive_phi"] > 3 * first["oracle_phi"]
+        assert first["naive_phi"] > last["naive_phi"]
+
+    def test_hedged_tracks_log_not_poly(self, results):
+        (table,) = results["E5"]
+        for row in table.rows:
+            assert row["hedged_phi"] < 10 * row["oracle_phi"]
+
+    def test_oracle_is_flat(self, results):
+        (table,) = results["E5"]
+        oracle = table.column("oracle_phi")
+        assert max(oracle) / min(oracle) < 2.5
+
+
+class TestE6Shape:
+    def test_success_monotone_in_k_and_saturates(self, results):
+        success = results["E6"][0]
+        rates = success.column("success_within_bound")
+        assert rates[-1] > 0.95
+        assert rates[0] < 0.5
+        # Dominance over the proof's bound at every k.
+        for row in success.rows:
+            assert row["success_within_bound"] >= row["theory_lower_bound"] - 0.08
+
+    def test_conditional_time_within_envelope(self, results):
+        success = results["E6"][0]
+        for row in success.rows:
+            if math.isfinite(row["time_ratio"]):
+                assert row["time_ratio"] <= 10.0
+
+
+class TestE7Shape:
+    def test_paper_ordering(self, results):
+        (table,) = results["E7"]
+        by_name = {r["algorithm"]: r for r in table.rows}
+        known_d = next(v for k, v in by_name.items() if k.startswith("known-D"))
+        a_k = next(v for k, v in by_name.items() if k.startswith("A_k"))
+        uniform = next(v for k, v in by_name.items() if k.startswith("A_uniform"))
+        spiral = next(v for k, v in by_name.items() if k.startswith("single spiral"))
+        rw = by_name["random walk"]
+        assert known_d["mean_time"] < a_k["mean_time"]
+        assert a_k["mean_time"] < spiral["mean_time"]
+        assert a_k["mean_time"] < uniform["mean_time"]
+        assert rw["success"] < 1.0  # the random walk misses within the horizon
+
+    def test_no_dispersion_equals_single(self, results):
+        (table,) = results["E7"]
+        by_name = {r["algorithm"]: r for r in table.rows}
+        single = next(v for k, v in by_name.items() if k.startswith("single spiral"))
+        control = next(v for k, v in by_name.items() if k.startswith("k-spiral"))
+        assert single["mean_time"] == control["mean_time"]
+
+
+class TestE8Shape:
+    def test_mean_tracks_target(self, results):
+        (table,) = results["E8"]
+        for row in table.rows:
+            assert abs(row["mean_distance"] - row["target"]) < 0.4 * row["target"]
+
+    def test_median_amplification_helps(self, results):
+        (table,) = results["E8"]
+        for row in table.rows:
+            assert row["rel_spread_median3"] < row["rel_spread"]
+
+    def test_bits_beat_exact_odometer(self, results):
+        (table,) = results["E8"]
+        for row in table.rows:
+            assert row["bits_used"] < row["exact_odometer_bits"]
+
+
+class TestE9Shape:
+    def test_barrier_never_beaten(self, results):
+        (table,) = results["E9"]
+        for row in table.rows:
+            assert row["mean_time"] >= row["barrier"]
+
+    def test_speedup_grows_then_saturates(self, results):
+        (table,) = results["E9"]
+        speedups = table.column("speedup")
+        assert speedups[-1] > 4.0  # real collective gain
+        efficiency = table.column("efficiency")
+        assert efficiency[-1] < efficiency[0]  # saturation sets in
+
+
+class TestE10Shape:
+    def test_dispersion_buys_speedup(self, results):
+        disp = results["E10"][2]
+        rows = disp.rows
+        assert rows[-1]["speedup_vs_k1"] > 2.0
+
+    def test_budget_constant_robust(self, results):
+        budget = results["E10"][3]
+        phis = budget.column("phi")
+        assert max(phis) / min(phis) < 4.0

@@ -1,0 +1,119 @@
+"""Tests for scaling fits and the closed-form theory module."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import FitResult, fit_polylog, fit_power_law, r_squared
+from repro.analysis.theory import (
+    assertion2_phase_index,
+    harmonic_alpha,
+    harmonic_failure_bound,
+    harmonic_time_bound,
+    lower_bound_time,
+    nonuniform_stage_time_bound,
+    uniform_critical_stage,
+    uniform_stage_time,
+    zeta_constant,
+)
+
+
+class TestFits:
+    def test_power_law_recovers_exponent(self):
+        x = np.array([2.0, 4.0, 8.0, 16.0, 32.0])
+        y = 3.0 * x**1.7
+        fit = fit_power_law(x, y)
+        assert fit.b == pytest.approx(1.7, abs=1e-9)
+        assert fit.a == pytest.approx(3.0, rel=1e-9)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_power_law_with_noise(self):
+        rng = np.random.default_rng(0)
+        x = np.array([2.0**i for i in range(2, 12)])
+        y = 5.0 * x**2 * np.exp(rng.normal(0, 0.05, x.size))
+        fit = fit_power_law(x, y)
+        assert fit.b == pytest.approx(2.0, abs=0.1)
+        assert fit.r2 > 0.99
+
+    def test_polylog_recovers_exponent(self):
+        x = np.array([4.0, 16.0, 64.0, 256.0, 1024.0])
+        y = 2.0 * np.log(x) ** 1.5
+        fit = fit_polylog(x, y)
+        assert fit.b == pytest.approx(1.5, abs=1e-9)
+        assert fit.model == "polylog"
+
+    def test_predict(self):
+        fit = FitResult(a=2.0, b=1.0, r2=1.0, model="power")
+        assert fit.predict(3.0) == pytest.approx(6.0)
+        fit = FitResult(a=2.0, b=2.0, r2=1.0, model="polylog")
+        assert fit.predict(math.e) == pytest.approx(2.0)
+
+    def test_polylog_rejects_x_at_most_one(self):
+        with pytest.raises(ValueError):
+            fit_polylog([1.0, 2.0], [1.0, 2.0])
+
+    def test_power_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, -2.0], [1.0, 2.0])
+
+    def test_r_squared_perfect_and_flat(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == 1.0
+        assert r_squared(np.array([2.0, 2.0]), np.array([2.0, 2.0])) == 1.0
+
+
+class TestTheory:
+    def test_lower_bound_regimes(self):
+        assert lower_bound_time(100, 1) == pytest.approx(2500.0)  # D^2/4k wins
+        assert lower_bound_time(100, 10_000) == pytest.approx(100.0)  # D wins
+
+    def test_nonuniform_stage_bound_is_geometric(self):
+        # Ratio of consecutive stage bounds tends to 4 in the D^2/k regime.
+        b5 = nonuniform_stage_time_bound(5, k=1)
+        b6 = nonuniform_stage_time_bound(6, k=1)
+        assert 2.0 < b6 / b5 < 5.0
+
+    def test_uniform_stage_time_linear_in_2i(self):
+        eps = 0.5
+        t8 = uniform_stage_time(8, eps)
+        t9 = uniform_stage_time(9, eps)
+        assert 1.5 < t9 / t8 < 3.0
+
+    def test_uniform_critical_stage_monotone(self):
+        # Larger D needs a later critical stage; more agents an earlier one.
+        assert uniform_critical_stage(256, 4, 0.5) >= uniform_critical_stage(64, 4, 0.5)
+        assert uniform_critical_stage(256, 64, 0.5) <= uniform_critical_stage(256, 4, 0.5)
+
+    def test_assertion2_phase_index(self):
+        assert assertion2_phase_index(1) == 0
+        assert assertion2_phase_index(7) == 2
+        assert assertion2_phase_index(8) == 3
+        with pytest.raises(ValueError):
+            assertion2_phase_index(0)
+
+    def test_zeta_constant_decreases_with_delta(self):
+        assert zeta_constant(0.2) > zeta_constant(0.5) > zeta_constant(0.8) > 1.0
+
+    def test_harmonic_alpha_grows_as_eps_shrinks(self):
+        assert harmonic_alpha(0.01, 0.5) > harmonic_alpha(0.1, 0.5)
+
+    def test_harmonic_failure_bound_decreases_in_k(self):
+        b_small = harmonic_failure_bound(10, 64, 0.5)
+        b_large = harmonic_failure_bound(10_000, 64, 0.5)
+        assert 0 < b_large < b_small <= 1.0
+
+    def test_harmonic_time_bound_formula(self):
+        assert harmonic_time_bound(10, 5, 0.5) == pytest.approx(
+            10 + 10**2.5 / 5
+        )
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            zeta_constant(0)
+        with pytest.raises(ValueError):
+            harmonic_alpha(1.5, 0.5)
+        with pytest.raises(ValueError):
+            harmonic_failure_bound(0, 10, 0.5)
+        with pytest.raises(ValueError):
+            uniform_critical_stage(0, 1, 0.5)

@@ -1,0 +1,172 @@
+"""Tests for L1 grid geometry (repro.core.geometry)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.core.geometry import (
+    annulus_cells,
+    annulus_size,
+    ball_cells,
+    ball_radius_from_index,
+    ball_size,
+    l1_distance,
+    l1_norm,
+    ring_cell_from_index,
+    ring_cells,
+    ring_cells_from_index_array,
+    ring_size,
+    sample_uniform_ball,
+    sample_uniform_ring,
+)
+
+
+class TestCardinalities:
+    @pytest.mark.parametrize("r", range(0, 30))
+    def test_ball_size_closed_form(self, r):
+        assert ball_size(r) == len(list(ball_cells(r)))
+
+    @pytest.mark.parametrize("r", range(0, 30))
+    def test_ring_size_closed_form(self, r):
+        assert ring_size(r) == len(list(ring_cells(r)))
+
+    def test_ball_is_disjoint_union_of_rings(self):
+        assert ball_size(12) == sum(ring_size(r) for r in range(13))
+
+    @pytest.mark.parametrize("inner,outer", [(0, 1), (3, 7), (10, 11)])
+    def test_annulus_size(self, inner, outer):
+        assert annulus_size(inner, outer) == len(list(annulus_cells(inner, outer)))
+
+    def test_annulus_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            annulus_size(5, 3)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            ball_size(-1)
+        with pytest.raises(ValueError):
+            ring_size(-1)
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("r", [1, 2, 5, 13])
+    def test_ring_cells_have_correct_norm(self, r):
+        cells = list(ring_cells(r))
+        assert all(l1_norm(x, y) == r for x, y in cells)
+        assert len(set(cells)) == 4 * r
+
+    @pytest.mark.parametrize("r", [0, 1, 4, 9])
+    def test_ball_cells_unique_and_in_ball(self, r):
+        cells = list(ball_cells(r))
+        assert len(set(cells)) == ball_size(r)
+        assert all(l1_norm(x, y) <= r for x, y in cells)
+
+    def test_ring_cell_from_index_boundaries(self):
+        assert ring_cell_from_index(3, 0) == (3, 0)
+        assert ring_cell_from_index(3, 3) == (0, 3)
+        assert ring_cell_from_index(3, 6) == (-3, 0)
+        assert ring_cell_from_index(3, 9) == (0, -3)
+        with pytest.raises(ValueError):
+            ring_cell_from_index(3, 12)
+        with pytest.raises(ValueError):
+            ring_cell_from_index(0, 0)
+
+    @pytest.mark.parametrize("r", [1, 2, 7])
+    def test_vectorised_ring_cells_match_scalar(self, r):
+        ms = np.arange(4 * r)
+        rs = np.full(4 * r, r)
+        xs, ys = ring_cells_from_index_array(rs, ms)
+        for m in range(4 * r):
+            assert (xs[m], ys[m]) == ring_cell_from_index(r, m)
+
+
+class TestBallIndexInversion:
+    def test_small_indices(self):
+        assert ball_radius_from_index(0) == 0
+        assert ball_radius_from_index(1) == 1
+        assert ball_radius_from_index(4) == 1
+        assert ball_radius_from_index(5) == 2
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=300)
+    def test_index_lands_in_ring_range(self, n):
+        rho = ball_radius_from_index(n)
+        lo = ball_size(rho - 1) if rho > 0 else 0
+        assert lo <= n < ball_size(rho)
+
+
+class TestUniformBallSampling:
+    def test_samples_stay_in_ball(self):
+        rng = np.random.default_rng(1)
+        x, y = sample_uniform_ball(rng, 9, 20000)
+        assert int(np.max(np.abs(x) + np.abs(y))) <= 9
+
+    def test_zero_radius(self):
+        rng = np.random.default_rng(2)
+        x, y = sample_uniform_ball(rng, 0, 50)
+        assert not np.any(x) and not np.any(y)
+
+    def test_uniformity_chi_square(self):
+        """Every cell of B(4) should be hit uniformly (chi-square, alpha=1e-3)."""
+        rng = np.random.default_rng(3)
+        radius = 4
+        n = 82_000  # ~2000 per cell for |B(4)| = 41
+        x, y = sample_uniform_ball(rng, radius, n)
+        counts = {}
+        for cell in zip(x.tolist(), y.tolist()):
+            counts[cell] = counts.get(cell, 0) + 1
+        assert len(counts) == ball_size(radius)
+        observed = np.array(list(counts.values()))
+        chi2 = ((observed - n / ball_size(radius)) ** 2 / (n / ball_size(radius))).sum()
+        crit = stats.chi2.ppf(0.999, df=ball_size(radius) - 1)
+        assert chi2 < crit
+
+    def test_ring_marginal_matches_theory(self):
+        """P(ring rho) must be ring_size(rho)/ball_size(R)."""
+        rng = np.random.default_rng(4)
+        radius, n = 6, 100_000
+        x, y = sample_uniform_ball(rng, radius, n)
+        norms = np.abs(x) + np.abs(y)
+        for rho in range(radius + 1):
+            expected = ring_size(rho) / ball_size(radius)
+            observed = float(np.mean(norms == rho))
+            assert observed == pytest.approx(expected, abs=4 * (expected / n) ** 0.5 + 2e-3)
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            sample_uniform_ball(np.random.default_rng(0), -1, 10)
+
+
+class TestUniformRingSampling:
+    def test_samples_on_ring(self):
+        rng = np.random.default_rng(5)
+        x, y = sample_uniform_ring(rng, 7, 5000)
+        assert np.all(np.abs(x) + np.abs(y) == 7)
+
+    def test_all_cells_reachable(self):
+        rng = np.random.default_rng(6)
+        x, y = sample_uniform_ring(rng, 3, 4000)
+        assert len(set(zip(x.tolist(), y.tolist()))) == 12
+
+    def test_zero_radius_ring(self):
+        x, y = sample_uniform_ring(np.random.default_rng(7), 0, 5)
+        assert not np.any(x) and not np.any(y)
+
+
+class TestDistances:
+    @given(
+        st.tuples(st.integers(-100, 100), st.integers(-100, 100)),
+        st.tuples(st.integers(-100, 100), st.integers(-100, 100)),
+        st.tuples(st.integers(-100, 100), st.integers(-100, 100)),
+    )
+    @settings(max_examples=200)
+    def test_metric_axioms(self, a, b, c):
+        assert l1_distance(a, b) >= 0
+        assert (l1_distance(a, b) == 0) == (a == b)
+        assert l1_distance(a, b) == l1_distance(b, a)
+        assert l1_distance(a, c) <= l1_distance(a, b) + l1_distance(b, c)
+
+    def test_norm_is_distance_from_origin(self):
+        assert l1_norm(3, -4) == l1_distance((0, 0), (3, -4)) == 7

@@ -1,0 +1,123 @@
+"""Deep checks of the harmonic algorithm against the Theorem 5.1 proof.
+
+The proof's skeleton: (i) the target distribution is exactly
+``p(u) = c / d(u)^(2+delta)``; (ii) for a treasure at distance ``D``, the
+ball ``B_lambda`` of radius ``sqrt(lambda D)/2`` around it consists of
+cells ``u`` with ``3D/4 < d(u) < 5D/4`` from which a ``d(u)^(2+delta)``
+spiral finds the treasure; (iii) one agent lands in ``B_lambda`` with
+probability ``>= c*lambda / (4 D^(1+delta))``.  Each step is measured here.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.special import zeta
+
+from repro.algorithms.harmonic import (
+    PowerLawRingFamily,
+    harmonic_normalizing_constant,
+)
+from repro.core.spiral import spiral_hit_time_array
+from repro.sim.world import place_treasure
+
+
+class TestTargetDistribution:
+    def test_cell_probabilities_match_closed_form(self):
+        """Empirical P(u) for specific cells vs c / d^(2+delta)."""
+        delta = 0.5
+        family = PowerLawRingFamily(delta)
+        rng = np.random.default_rng(0)
+        n = 400_000
+        ux, uy, _ = family.sample(rng, n)
+        c = harmonic_normalizing_constant(delta)
+        for cell in [(1, 0), (0, -1), (2, 1), (-3, 0)]:
+            d = abs(cell[0]) + abs(cell[1])
+            expected = c / d ** (2 + delta)
+            observed = float(np.mean((ux == cell[0]) & (uy == cell[1])))
+            se = math.sqrt(expected / n)
+            assert observed == pytest.approx(expected, abs=5 * se + 2e-4)
+
+    def test_normalizer_uses_zeta(self):
+        assert harmonic_normalizing_constant(0.5) == pytest.approx(
+            1.0 / (4.0 * zeta(1.5))
+        )
+
+
+class TestBLambdaGeometry:
+    """Step (ii) of the proof at a concrete scale."""
+
+    DELTA = 0.5
+    D = 40
+
+    def b_lambda_cells(self, lam):
+        """Cells within sqrt(lam*D)/2 of the treasure (L1)."""
+        world = place_treasure(self.D, "offaxis")
+        tx, ty = world.treasure
+        radius = int(math.sqrt(lam * self.D) / 2)
+        cells = []
+        for dx in range(-radius, radius + 1):
+            for dy in range(-radius, radius + 1):
+                if abs(dx) + abs(dy) <= radius:
+                    cells.append((tx + dx, ty + dy))
+        return cells, world
+
+    def test_b_lambda_cells_are_mid_annulus(self):
+        """All of B_lambda sits in (3D/4, 5D/4) when lambda < D/4."""
+        lam = self.D / 5
+        cells, _ = self.b_lambda_cells(lam)
+        for x, y in cells:
+            d = abs(x) + abs(y)
+            assert 3 * self.D / 4 - 1 <= d <= 5 * self.D / 4 + 1
+
+    def test_spiral_from_b_lambda_finds_treasure_in_budget(self):
+        """From u in B_lambda, the d(u)^(2+delta) budget reaches tau."""
+        lam = self.D / 5
+        cells, world = self.b_lambda_cells(lam)
+        tx, ty = world.treasure
+        xs = np.array([c[0] for c in cells])
+        ys = np.array([c[1] for c in cells])
+        hits = spiral_hit_time_array(tx - xs, ty - ys)
+        budgets = np.floor((np.abs(xs) + np.abs(ys)).astype(float) ** (2 + self.DELTA))
+        assert np.all(hits <= budgets)
+
+    def test_landing_probability_bound(self):
+        """P(one draw lands in B_lambda) >= c*lambda/(4 D^(1+delta)) * (1-o)."""
+        lam = self.D / 5
+        cells, _ = self.b_lambda_cells(lam)
+        cell_set = set(cells)
+        family = PowerLawRingFamily(self.DELTA)
+        rng = np.random.default_rng(1)
+        n = 300_000
+        ux, uy, _ = family.sample(rng, n)
+        landed = sum(
+            1 for x, y in zip(ux.tolist(), uy.tolist()) if (x, y) in cell_set
+        )
+        observed = landed / n
+        c = harmonic_normalizing_constant(self.DELTA)
+        proof_bound = c * lam / (4.0 * self.D ** (1 + self.DELTA))
+        assert observed >= 0.8 * proof_bound
+
+
+class TestSuccessProbabilityFormula:
+    def test_k_agent_success_matches_independent_trials(self):
+        """P(at least one of k lands in B_lambda) = 1-(1-p)^k exactly by
+        independence; verify the simulator's agents are independent."""
+        delta, d_treasure = 0.5, 16
+        world = place_treasure(d_treasure, "offaxis")
+        family = PowerLawRingFamily(delta)
+        rng = np.random.default_rng(2)
+        n = 200_000
+        ux, uy, budgets = family.sample(rng, n)
+        tx, ty = world.treasure
+        far = (np.abs(tx - ux) > 2**30) | (np.abs(ty - uy) > 2**30)
+        hit = np.full(n, False)
+        near = ~far
+        hit[near] = (
+            spiral_hit_time_array(tx - ux[near], ty - uy[near]) <= budgets[near]
+        )
+        p1 = float(np.mean(hit))
+        k = 8
+        groups = hit[: (n // k) * k].reshape(-1, k)
+        pk = float(np.mean(groups.any(axis=1)))
+        assert pk == pytest.approx(1 - (1 - p1) ** k, abs=0.01)

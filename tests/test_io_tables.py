@@ -1,0 +1,76 @@
+"""Tests for result tables (repro.experiments.io)."""
+
+import csv
+import math
+
+import pytest
+
+from repro.experiments.io import ResultTable, format_value
+
+
+class TestFormatValue:
+    def test_integers_and_strings(self):
+        assert format_value(42) == "42"
+        assert format_value("abc") == "abc"
+
+    def test_floats(self):
+        assert format_value(3.14159) == "3.142"
+        assert format_value(123.456) == "123.5"
+        assert format_value(1234567.0) == "1.23e+06"
+        assert format_value(0.0001234) == "0.000123"
+        assert format_value(0.0) == "0"
+
+    def test_non_finite(self):
+        assert format_value(math.inf) == "inf"
+        assert format_value(-math.inf) == "-inf"
+        assert format_value(math.nan) == "nan"
+
+    def test_bool_not_treated_as_number(self):
+        assert format_value(True) == "True"
+
+
+class TestResultTable:
+    def make(self):
+        t = ResultTable(title="demo", columns=["a", "b"])
+        t.add_row(a=1, b=2.5)
+        t.add_row(a=10, b=math.inf)
+        return t
+
+    def test_add_row_validates_columns(self):
+        t = ResultTable(title="x", columns=["a"])
+        with pytest.raises(ValueError):
+            t.add_row()
+        with pytest.raises(ValueError):
+            t.add_row(a=1, c=2)
+
+    def test_column_access(self):
+        t = self.make()
+        assert t.column("a") == [1, 10]
+        with pytest.raises(KeyError):
+            t.column("zzz")
+
+    def test_to_text_alignment(self):
+        text = self.make().to_text()
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5  # title, header, rule, 2 rows
+
+    def test_notes_rendered(self):
+        t = self.make()
+        t.add_note("hello")
+        assert "note: hello" in t.to_text()
+
+    def test_csv_round_trip(self, tmp_path):
+        t = self.make()
+        path = tmp_path / "out.csv"
+        t.to_csv(str(path))
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["a"] == "1"
+        assert rows[1]["b"] == "inf"
+
+    def test_len_and_str(self):
+        t = self.make()
+        assert len(t) == 2
+        assert str(t) == t.to_text()

@@ -1,0 +1,89 @@
+"""Tests for the lower-bound machinery (repro.analysis.lower_bounds)."""
+
+import pytest
+
+from repro.algorithms import NonUniformSearch, SingleSpiralSearch, UniformSearch
+from repro.analysis.lower_bounds import (
+    adversarial_treasure,
+    annulus_load_profile,
+    harmonic_sum_divergence,
+    visit_probability_map,
+)
+from repro.core.geometry import ball_size, l1_norm
+
+
+class TestHarmonicSumDivergence:
+    def test_partial_sums_increase(self):
+        phi = {2: 2.0, 4: 4.0, 8: 8.0}
+        sums = harmonic_sum_divergence(phi)
+        values = [s for _, s in sums]
+        assert values == pytest.approx([0.5, 0.75, 0.875])
+
+    def test_log_phi_gives_harmonic_growth(self):
+        import math
+
+        phi = {2**i: math.log(2**i) for i in range(1, 20)}
+        sums = harmonic_sum_divergence(phi)
+        # sum of 1/(i ln 2) ~ (ln 19 + gamma)/ln2: grows beyond any constant.
+        assert sums[-1][1] > 4.0
+
+    def test_rejects_empty_and_non_positive(self):
+        with pytest.raises(ValueError):
+            harmonic_sum_divergence({})
+        with pytest.raises(ValueError):
+            harmonic_sum_divergence({2: 0.0})
+
+
+class TestAnnulusLoadProfile:
+    def test_profile_structure(self):
+        profiles = annulus_load_profile(
+            lambda k: UniformSearch(0.5), [1, 2], [2, 4, 8], cutoff=300, seed=0
+        )
+        assert [p.k for p in profiles] == [1, 2]
+        for p in profiles:
+            assert len(p.coverage) == 2
+            assert p.per_agent_distinct <= 301
+            assert p.total_per_agent_annulus_load <= p.per_agent_distinct
+
+    def test_spiral_covers_inner_annuli_fully(self):
+        profiles = annulus_load_profile(
+            lambda k: SingleSpiralSearch(), [1], [1, 3], cutoff=100, seed=1
+        )
+        # A 100-step spiral covers all of B(4); annulus (1,3] fully visited.
+        assert profiles[0].coverage[0].fraction == 1.0
+
+
+class TestVisitProbabilityMap:
+    def test_probabilities_in_unit_interval(self):
+        probs = visit_probability_map(
+            UniformSearch(0.5), k=2, radius=4, cutoff=200, runs=5, seed=2
+        )
+        assert len(probs) == ball_size(4)
+        assert all(0.0 <= p <= 1.0 for p in probs.values())
+        assert probs[(0, 0)] == 1.0  # the source is always visited
+
+    def test_deterministic_spiral_gives_zero_one(self):
+        probs = visit_probability_map(
+            SingleSpiralSearch(), k=1, radius=3, cutoff=30, runs=3, seed=3
+        )
+        assert set(probs.values()) <= {0.0, 1.0}
+
+
+class TestAdversarialTreasure:
+    def test_places_on_requested_ring(self):
+        world, prob = adversarial_treasure(
+            UniformSearch(0.5), k=2, distance=5, cutoff=150, runs=6, seed=4
+        )
+        assert world.distance == 5
+        assert 0.0 <= prob <= 1.0
+
+    def test_adversary_picks_least_covered_cell_for_spiral(self):
+        # For the deterministic spiral with a cutoff that covers only part of
+        # ring 4, the adversary must pick an uncovered cell (probability 0).
+        from repro.core.spiral import spiral_hit_time
+
+        world, prob = adversarial_treasure(
+            SingleSpiralSearch(), k=1, distance=4, cutoff=60, runs=2, seed=5
+        )
+        assert prob == 0.0
+        assert spiral_hit_time(*world.treasure) > 60

@@ -1,0 +1,80 @@
+"""Tests for the Morris-counter walk (repro.memory.counter)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.memory.counter import (
+    MorrisCounter,
+    randomized_straight_walk,
+    walk_distance_samples,
+)
+
+
+class TestMorrisCounter:
+    def test_estimate_is_unbiased(self):
+        """E[2^X - 2] = n after n adds (exact property of the Morris chain)."""
+        rng = np.random.default_rng(0)
+        n, reps = 64, 3000
+        estimates = []
+        for _ in range(reps):
+            counter = MorrisCounter(rng)
+            for _ in range(n):
+                counter.add()
+            estimates.append(counter.estimate)
+        mean = float(np.mean(estimates))
+        stderr = float(np.std(estimates) / math.sqrt(reps))
+        assert abs(mean - n) < 5 * stderr + 2.0
+
+    def test_exponent_grows_logarithmically(self):
+        rng = np.random.default_rng(1)
+        counter = MorrisCounter(rng)
+        for _ in range(10_000):
+            counter.add()
+        assert 7 <= counter.exponent <= 22  # log2(1e4) ~ 13.3, generous band
+
+    def test_bits_used_is_loglog(self):
+        rng = np.random.default_rng(2)
+        counter = MorrisCounter(rng)
+        for _ in range(10_000):
+            counter.add()
+        assert counter.bits_used <= 6  # vs 14 bits for an exact counter
+
+
+class TestRandomizedStraightWalk:
+    def test_zero_ell_walks_zero(self):
+        assert randomized_straight_walk(np.random.default_rng(3), 0) == 0
+
+    def test_expected_distance(self):
+        rng = np.random.default_rng(4)
+        ell = 6
+        walks = [randomized_straight_walk(rng, ell) for _ in range(4000)]
+        mean = float(np.mean(walks))
+        target = 2.0**ell - 1
+        assert abs(mean - target) < 0.15 * target
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            randomized_straight_walk(np.random.default_rng(5), -1)
+
+
+class TestWalkSamples:
+    def test_sample_count(self):
+        walks = walk_distance_samples(np.random.default_rng(6), 4, samples=17)
+        assert len(walks) == 17
+
+    def test_median_amplification_reduces_spread(self):
+        rng1 = np.random.default_rng(7)
+        rng2 = np.random.default_rng(7)
+        single = np.asarray(walk_distance_samples(rng1, 6, 800))
+        med5 = np.asarray(walk_distance_samples(rng2, 6, 800, median_of=5))
+        assert med5.std() < single.std()
+
+    def test_rejects_even_median(self):
+        with pytest.raises(ValueError):
+            walk_distance_samples(np.random.default_rng(8), 4, 5, median_of=2)
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            walk_distance_samples(np.random.default_rng(9), 4, 0)

@@ -1,0 +1,91 @@
+"""Tests for coverage metrics (repro.sim.metrics)."""
+
+import pytest
+
+from repro.core.geometry import annulus_size
+from repro.sim.metrics import (
+    ball_coverage_fraction,
+    coverage_by_annulus,
+    distinct_nodes_visited,
+    union_first_visits,
+)
+
+
+def visits(*cells_with_times):
+    return dict(cells_with_times)
+
+
+class TestUnionFirstVisits:
+    def test_takes_earliest_time(self):
+        a = visits(((0, 0), 0), ((1, 0), 5))
+        b = visits(((1, 0), 3), ((2, 0), 7))
+        union = union_first_visits([a, b])
+        assert union[(1, 0)] == 3
+        assert union[(2, 0)] == 7
+
+    def test_cutoff_filters(self):
+        a = visits(((1, 0), 5), ((2, 0), 50))
+        union = union_first_visits([a], cutoff=10)
+        assert (1, 0) in union and (2, 0) not in union
+
+    def test_empty(self):
+        assert union_first_visits([]) == {}
+
+
+class TestCoverageByAnnulus:
+    def test_counts_cells_in_correct_annuli(self):
+        maps = [
+            visits(((1, 0), 1), ((2, 0), 2), ((3, 0), 3), ((0, 5), 9)),
+            visits(((2, 0), 4), ((-4, 0), 6)),
+        ]
+        cov = coverage_by_annulus(maps, [1, 3, 5])
+        # Annulus (1,3]: cells (2,0) and (3,0) -> covered 2.
+        assert cov[0].inner == 1 and cov[0].outer == 3
+        assert cov[0].covered == 2
+        assert cov[0].size == annulus_size(1, 3)
+        # Annulus (3,5]: cells (0,5) and (-4,0) -> covered 2.
+        assert cov[1].covered == 2
+        # Per-agent means: agent0 has (2,0),(3,0) in first annulus; agent1 has (2,0).
+        assert cov[0].per_agent_mean == pytest.approx(1.5)
+
+    def test_fraction_property(self):
+        maps = [visits(((2, 0), 1))]
+        cov = coverage_by_annulus(maps, [1, 2])
+        assert cov[0].fraction == pytest.approx(1 / annulus_size(1, 2))
+
+    def test_cutoff_respected(self):
+        maps = [visits(((2, 0), 100))]
+        cov = coverage_by_annulus(maps, [1, 2], cutoff=10)
+        assert cov[0].covered == 0
+
+    def test_cells_outside_boundaries_ignored(self):
+        maps = [visits(((1, 0), 1), ((0, 9), 2))]
+        cov = coverage_by_annulus(maps, [1, 3])
+        assert cov[0].covered == 0  # (1,0) is inside r=1, (0,9) beyond r=3
+
+    def test_rejects_bad_boundaries(self):
+        with pytest.raises(ValueError):
+            coverage_by_annulus([], [3])
+        with pytest.raises(ValueError):
+            coverage_by_annulus([], [3, 3])
+
+
+class TestBallCoverage:
+    def test_full_coverage(self):
+        cells = {(x, y): 1 for x in range(-2, 3) for y in range(-2, 3)}
+        maps = [cells]
+        assert ball_coverage_fraction(maps, 2) == 1.0
+
+    def test_partial(self):
+        maps = [visits(((0, 0), 0), ((1, 0), 1))]
+        assert ball_coverage_fraction(maps, 1) == pytest.approx(2 / 5)
+
+
+class TestDistinctNodes:
+    def test_counts_per_agent(self):
+        maps = [visits(((0, 0), 0), ((1, 0), 1)), visits(((0, 0), 0))]
+        assert distinct_nodes_visited(maps) == [2, 1]
+
+    def test_cutoff(self):
+        maps = [visits(((0, 0), 0), ((1, 0), 100))]
+        assert distinct_nodes_visited(maps, cutoff=10) == [1]

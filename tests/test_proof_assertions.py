@@ -1,0 +1,105 @@
+"""Empirical checks of the quantitative steps inside the paper's proofs.
+
+Beyond end-to-end running times, the proofs make intermediate claims with
+explicit constants.  These tests measure them directly:
+
+* Theorem 3.1's phase-success probability: once the phase radius reaches
+  ``D``, a single excursion finds the treasure with probability
+  ``Omega(t_i / |B(2^i)|) = Omega(1/k)``;
+* Assertion 2 of Theorem 3.3: in phase ``j`` of a late-enough stage, with
+  ``2^j <= k``, a single agent succeeds with probability ``Omega(2^-j)``;
+* the geometric stage-time structure that makes the expected-time sums
+  converge (Assertion 1 is checked schedule-exactly in test_schedule.py).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import UniformBallFamily
+from repro.core.geometry import ball_size
+from repro.core.schedule import nonuniform_stage_phases, uniform_phase
+from repro.core.spiral import spiral_hit_time_array
+from repro.sim.world import place_treasure
+
+
+def phase_success_probability(family, world, samples, seed):
+    """Monte-Carlo probability that one excursion of ``family`` finds the
+    treasure during its spiral (the event the proofs count)."""
+    rng = np.random.default_rng(seed)
+    ux, uy, budgets = family.sample(rng, samples)
+    tx, ty = world.treasure
+    hit = spiral_hit_time_array(tx - ux, ty - uy)
+    return float(np.mean(hit <= budgets))
+
+
+class TestTheorem31PhaseSuccess:
+    @pytest.mark.parametrize("k", [1, 4, 16])
+    def test_success_is_omega_one_over_k(self, k):
+        """Phase i with 2^i >= D succeeds w.p. >= beta/k for a fixed beta."""
+        distance = 24
+        world = place_treasure(distance, "offaxis")
+        stage = 6  # radius 64 > D
+        spec = nonuniform_stage_phases(stage, float(k))[-1]
+        family = UniformBallFamily(spec.radius, spec.budget)
+        p = phase_success_probability(family, world, 40_000, seed=k)
+        assert p >= 0.02 / k
+
+    def test_success_scales_with_budget_over_ball(self):
+        """p ~ budget / |B(radius)| while the budget ball fits inside."""
+        distance = 16
+        world = place_treasure(distance, "offaxis")
+        radius = 64
+        budgets = [256, 1024, 4096]
+        ps = [
+            phase_success_probability(
+                UniformBallFamily(radius, b), world, 60_000, seed=b
+            )
+            for b in budgets
+        ]
+        for (b1, p1), (b2, p2) in zip(zip(budgets, ps), zip(budgets[1:], ps[1:])):
+            if p1 > 0:
+                ratio = p2 / p1
+                assert 1.5 < ratio < 8.0  # ~4x per 4x budget
+
+
+class TestAssertion2:
+    @pytest.mark.parametrize("k", [2, 8, 32])
+    def test_phase_j_succeeds_with_probability_two_to_minus_j(self, k):
+        """Assertion 2: at stage i >= s, phase j = floor(log2 k) succeeds
+        per-agent w.p. Omega(2^-j); so k agents succeed w.p. Omega(1)."""
+        eps = 0.5
+        distance = 20
+        world = place_treasure(distance, "offaxis")
+        j = int(math.floor(math.log2(k)))
+        # Choose a stage i late enough that D_{i,j} > D.
+        for i in range(j, 40):
+            spec = uniform_phase(i, j, eps)
+            if spec.radius > distance:
+                break
+        family = UniformBallFamily(spec.radius, spec.budget)
+        p = phase_success_probability(family, world, 60_000, seed=100 + k)
+        assert p >= 0.01 * 2.0**-j
+        # And the k-agent phase success is a substantive constant.
+        p_group = 1.0 - (1.0 - p) ** k
+        assert p_group >= 0.05
+
+
+class TestBallFractionGeometry:
+    def test_half_ball_containment(self):
+        """The proofs use: at least a constant fraction of the ball of
+        radius sqrt(t)/2 around the treasure lies inside B(radius) when
+        radius >= D.  Check the counting for a concrete case."""
+        distance = 16
+        world = place_treasure(distance, "offaxis")
+        radius, budget = 32, 1024
+        # Cells from which the budget spiral reaches the treasure:
+        rng = np.random.default_rng(0)
+        ux, uy, budgets = UniformBallFamily(radius, budget).sample(rng, 200_000)
+        tx, ty = world.treasure
+        hit = spiral_hit_time_array(tx - ux, ty - uy)
+        p = float(np.mean(hit <= budgets))
+        # |catchment| should be Theta(budget); p ~ |catchment|/|B(radius)|.
+        expected = budget / (4.0 * ball_size(radius))  # quarter coverage floor
+        assert p >= 0.5 * expected

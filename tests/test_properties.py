@@ -1,0 +1,128 @@
+"""Property-based tests: cross-module invariants under hypothesis.
+
+These complement the per-module suites by checking relations that hold
+*between* components for arbitrary inputs: spiral/geometry consistency,
+schedule monotonicity, engine-level physical constraints.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import HarmonicSearch, NonUniformSearch, UniformSearch
+from repro.core.geometry import ball_size, l1_norm, ring_size
+from repro.core.schedule import (
+    nonuniform_stage_phases,
+    phase_max_duration,
+    uniform_phase,
+)
+from repro.core.spiral import (
+    coverage_radius,
+    spiral_hit_time,
+    time_to_cover_radius,
+)
+from repro.sim.events import excursion_find_time, simulate_find_times
+from repro.sim.rng import derive_rng
+from repro.sim.world import World
+
+
+class TestSpiralGeometryConsistency:
+    @given(st.integers(0, 500))
+    @settings(max_examples=100)
+    def test_cover_time_vs_ball_size(self, d):
+        """Covering B(d) takes at least |B(d)| - 1 steps (one new cell/step)."""
+        assert time_to_cover_radius(d) >= ball_size(d) - 1
+
+    @given(st.integers(0, 10**9))
+    @settings(max_examples=200)
+    def test_coverage_radius_monotone(self, t):
+        assert coverage_radius(t + 1) >= coverage_radius(t)
+
+    @given(st.integers(1, 300))
+    @settings(max_examples=60)
+    def test_every_ring_cell_hit_before_cover_time(self, d):
+        cover = time_to_cover_radius(d)
+        # Sample a few ring cells; all must be hit by the cover time.
+        for m in range(0, 4 * d, max(1, d)):
+            q, i = divmod(m, d)
+            cell = [(d - i, i), (-i, d - i), (-(d - i), -i), (i, -(d - i))][q]
+            assert spiral_hit_time(*cell) <= cover
+
+    @given(st.integers(-200, 200), st.integers(-200, 200))
+    @settings(max_examples=100)
+    def test_hit_time_unique_per_cell(self, x, y):
+        """Distinct cells never share a hit time (the spiral is a bijection)."""
+        t = spiral_hit_time(x, y)
+        neighbours = [(x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)]
+        assert all(spiral_hit_time(*n) != t for n in neighbours)
+
+
+class TestScheduleProperties:
+    @given(st.integers(1, 12), st.floats(0.5, 1024.0))
+    @settings(max_examples=80)
+    def test_nonuniform_phase_radii_double(self, stage, k):
+        phases = nonuniform_stage_phases(stage, k)
+        for a, b in zip(phases, phases[1:]):
+            assert b.radius == 2 * a.radius
+
+    @given(st.integers(0, 16), st.floats(0.05, 2.0))
+    @settings(max_examples=80)
+    def test_uniform_phase_duration_positive_and_bounded(self, i, eps):
+        for j in range(i + 1):
+            spec = uniform_phase(i, j, eps)
+            duration = phase_max_duration(spec)
+            assert duration >= spec.budget
+            # Crude absolute bound: radius travel + budget + spiral-exit leg.
+            assert duration <= 2 * spec.radius + spec.budget + 4 * (
+                int(math.isqrt(spec.budget)) + 2
+            )
+
+    @given(st.floats(0.05, 2.0), st.integers(1, 14))
+    @settings(max_examples=60)
+    def test_uniform_budget_decreasing_in_j(self, eps, i):
+        budgets = [uniform_phase(i, j, eps).budget for j in range(i + 1)]
+        assert all(a >= b for a, b in zip(budgets, budgets[1:]))
+
+
+class TestEngineInvariants:
+    @given(
+        st.integers(-12, 12),
+        st.integers(-12, 12),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_find_time_at_least_distance(self, x, y, seed):
+        if (x, y) == (0, 0):
+            return
+        world = World((x, y))
+        t = excursion_find_time(NonUniformSearch(k=2), world, derive_rng(seed, 0))
+        assert t >= l1_norm(x, y)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_vectorised_min_dominated_by_singletons(self, seed):
+        """The k-agent find time is the min of independent agents: adding
+        agents can only help (stochastically).  Check means over paired
+        samples at matched seeds."""
+        world = World((5, -3))
+        t_small = simulate_find_times(UniformSearch(0.5), world, 1, 40, seed)
+        t_large = simulate_find_times(UniformSearch(0.5), world, 8, 40, seed)
+        assert t_large.mean() <= t_small.mean() * 1.5 + 50
+
+    @given(st.floats(0.1, 0.8), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_harmonic_times_distance_bound(self, delta, seed):
+        world = World((4, 3))
+        times = simulate_find_times(HarmonicSearch(delta), world, 16, 30, seed)
+        finite = times[np.isfinite(times)]
+        assert np.all(finite >= 7)
+
+
+class TestGeometrySizes:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=100)
+    def test_ball_size_recurrence(self, r):
+        assert ball_size(r + 1) == ball_size(r) + ring_size(r + 1)

@@ -1,0 +1,73 @@
+"""Tests for the top-level public API (the README quickstart contract)."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_algorithm_classes_exported(self):
+        for name in (
+            "NonUniformSearch",
+            "UniformSearch",
+            "HarmonicSearch",
+            "RhoApproxSearch",
+            "HedgedApproxSearch",
+            "SingleSpiralSearch",
+            "KnownDSearch",
+            "RandomWalkSearch",
+        ):
+            assert hasattr(repro, name)
+
+
+class TestQuickstartContract:
+    def test_readme_quickstart(self):
+        """The exact flow the README promises must work."""
+        world = repro.place_treasure(distance=64, placement="offaxis")
+        times = repro.simulate_find_times(
+            repro.NonUniformSearch(k=16), world, k=16, trials=50, seed=0
+        )
+        assert times.shape == (50,)
+        assert np.all(np.isfinite(times))
+        ratio = times.mean() / repro.optimal_time(64, 16)
+        assert ratio < 40
+
+    def test_step_engine_entry_point(self):
+        world = repro.place_treasure(distance=8)
+        run = repro.run_search(
+            repro.SingleSpiralSearch(), world, 1, seed=0, horizon=1000
+        )
+        assert run.result.found
+
+    def test_describe_everywhere(self):
+        algorithms = [
+            repro.NonUniformSearch(4),
+            repro.UniformSearch(0.5),
+            repro.HarmonicSearch(0.5),
+            repro.RestartingHarmonicSearch(0.5),
+            repro.RhoApproxSearch(8, 2),
+            repro.HedgedApproxSearch(64, 0.5),
+            repro.NaiveTrustSearch(64),
+            repro.SingleSpiralSearch(),
+            repro.KnownDSearch(8),
+            repro.RandomWalkSearch(),
+            repro.BiasedWalkSearch(),
+            repro.LevyFlightSearch(),
+        ]
+        for alg in algorithms:
+            assert isinstance(alg.describe(), str) and alg.describe()
+            assert isinstance(alg.name, str) and alg.name
+
+    def test_uses_k_flags(self):
+        assert repro.NonUniformSearch(4).uses_k
+        assert not repro.UniformSearch(0.5).uses_k
+        assert not repro.HarmonicSearch(0.5).uses_k
+        assert not repro.RandomWalkSearch().uses_k

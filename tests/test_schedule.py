@@ -1,0 +1,161 @@
+"""Tests for the deterministic phase schedules (repro.core.schedule).
+
+These include direct checks of the proofs' Assertion 1 (stage times are
+geometric) for the *implemented* schedules, rounding included.
+"""
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.schedule import (
+    PhaseSpec,
+    guess_cycle_schedule,
+    nonuniform_schedule,
+    nonuniform_stage_phases,
+    phase_max_duration,
+    uniform_big_stage_phases,
+    uniform_phase,
+    uniform_schedule,
+    uniform_stage_phases,
+)
+
+
+class TestPhaseSpec:
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(radius=0, budget=1)
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(radius=1, budget=0)
+
+    def test_max_duration_accounts_for_spiral_end(self):
+        spec = PhaseSpec(radius=4, budget=100)
+        # 2*4 travel + 100 spiral + return from the spiral end.
+        assert phase_max_duration(spec) >= 108
+
+
+class TestNonUniformSchedule:
+    def test_stage_structure(self):
+        phases = nonuniform_stage_phases(3, k=4.0)
+        assert [p.radius for p in phases] == [2, 4, 8]
+        assert [p.budget for p in phases] == [4, 16, 64]  # 2^(2i+2)/4
+
+    def test_budget_scales_inversely_with_k(self):
+        low_k = nonuniform_stage_phases(5, k=1.0)
+        high_k = nonuniform_stage_phases(5, k=16.0)
+        for lo, hi in zip(low_k, high_k):
+            assert lo.budget == 16 * hi.budget or lo.budget <= 16 * hi.budget + 16
+
+    def test_budget_is_at_least_one_for_huge_k(self):
+        phases = nonuniform_stage_phases(2, k=1e9)
+        assert all(p.budget >= 1 for p in phases)
+
+    def test_schedule_iterates_stages_in_order(self):
+        specs = list(itertools.islice(nonuniform_schedule(2.0), 6))
+        labels = [s.label for s in specs]
+        assert labels[0] == ("stage", 1, "phase", 1)
+        assert labels[1] == ("stage", 2, "phase", 1)
+        assert labels[2] == ("stage", 2, "phase", 2)
+        assert labels[5] == ("stage", 3, "phase", 3)
+
+    @pytest.mark.parametrize("k", [1.0, 4.0, 64.0])
+    def test_stage_time_is_geometric(self, k):
+        """Proof of Thm 3.1: stage j takes O(2^j + 2^{2j}/k)."""
+        for j in range(2, 12):
+            duration = sum(
+                phase_max_duration(p) for p in nonuniform_stage_phases(j, k)
+            )
+            bound = 2**j + 2 ** (2 * j) / k
+            assert duration <= 40 * bound
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            nonuniform_stage_phases(0, 1.0)
+        with pytest.raises(ValueError):
+            nonuniform_stage_phases(1, 0.0)
+
+
+class TestUniformSchedule:
+    def test_phase_formula_examples(self):
+        # i = j = 0: D = sqrt(2^0 / 1) = 1, budget = ceil(2^2 / 1) = 4.
+        phase = uniform_phase(0, 0, eps=0.5)
+        assert phase.radius == 1 and phase.budget == 4
+        # i = 4, j = 2: D = sqrt(2^6 / 2^1.5), t = 2^6 / 2^1.5.
+        phase = uniform_phase(4, 2, eps=0.5)
+        assert phase.radius == math.floor(math.sqrt(2**6 / 2**1.5))
+        assert phase.budget == math.ceil(2**6 / 2**1.5)
+
+    def test_phase_rejects_bad_indices(self):
+        with pytest.raises(ValueError):
+            uniform_phase(2, 3, eps=0.5)
+
+    def test_stage_zero_has_one_phase(self):
+        assert len(uniform_stage_phases(0, eps=0.3)) == 1
+
+    def test_big_stage_phase_count_is_triangular(self):
+        for ell in range(5):
+            phases = uniform_big_stage_phases(ell, eps=0.3)
+            assert len(phases) == (ell + 1) * (ell + 2) // 2
+
+    @pytest.mark.parametrize("eps", [0.1, 0.5, 1.0])
+    def test_assertion_1_stage_time_geometric(self, eps):
+        """Assertion 1: stage i takes O(2^i); the constant depends on eps only."""
+        durations = [
+            sum(phase_max_duration(p) for p in uniform_stage_phases(i, eps))
+            for i in range(2, 18)
+        ]
+        ratios = [d / 2**i for i, d in zip(range(2, 18), durations)]
+        # Bounded above by a constant (the harmonic-like sum over j converges).
+        assert max(ratios) <= 30 * max(1.0, 1.0 / eps) * 4
+        # And the sequence of ratios stabilises (no super-geometric growth).
+        assert ratios[-1] <= 2 * ratios[len(ratios) // 2] + 1
+
+    @pytest.mark.parametrize("eps", [0.2, 0.7])
+    def test_big_stage_time_geometric(self, eps):
+        """Time until big-stage ell completes is O(2^ell)."""
+        cumulative = 0.0
+        for ell in range(0, 14):
+            cumulative += sum(
+                phase_max_duration(p) for p in uniform_big_stage_phases(ell, eps)
+            )
+            assert cumulative <= 300 * max(1.0, 1.0 / eps) * 2**ell
+
+    def test_radius_grows_with_stage(self):
+        eps = 0.4
+        r_small = uniform_phase(4, 2, eps).radius
+        r_large = uniform_phase(10, 2, eps).radius
+        assert r_large > r_small
+
+    def test_schedule_is_infinite_and_ordered(self):
+        specs = list(itertools.islice(uniform_schedule(0.5), 10))
+        assert specs[0].label == ("big-stage", 0, "stage", 0, "phase", 0)
+        assert specs[1].label == ("big-stage", 1, "stage", 0, "phase", 0)
+        assert specs[2].label == ("big-stage", 1, "stage", 1, "phase", 0)
+        assert specs[3].label == ("big-stage", 1, "stage", 1, "phase", 1)
+
+    def test_rejects_non_positive_eps(self):
+        with pytest.raises(ValueError):
+            next(uniform_schedule(0.0))
+
+
+class TestGuessCycleSchedule:
+    def test_cycles_through_guesses(self):
+        specs = list(itertools.islice(guess_cycle_schedule([1.0, 4.0]), 6))
+        # Stage 1 of guess 0, stage 1 of guess 1, then stage 2 of each.
+        assert specs[0].label[:2] == ("guess", 0)
+        assert specs[1].label[:2] == ("guess", 1)
+        assert specs[2].label[:2] == ("guess", 0)
+
+    def test_budgets_reflect_guess(self):
+        specs = list(itertools.islice(guess_cycle_schedule([1.0, 16.0]), 2))
+        assert specs[0].budget == 16  # 2^4 / 1
+        assert specs[1].budget == 1  # 2^4 / 16
+
+    def test_rejects_empty_or_bad_guesses(self):
+        with pytest.raises(ValueError):
+            next(guess_cycle_schedule([]))
+        with pytest.raises(ValueError):
+            next(guess_cycle_schedule([1.0, -2.0]))

@@ -1,0 +1,122 @@
+"""Tests for the sector-sweep comparator (repro.algorithms.sector)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms.sector import (
+    SectorSearch,
+    expected_covering_agents,
+    miss_probability,
+    ring_fraction,
+    sector_find_times,
+    sector_round_duration,
+)
+from repro.core.geometry import ring_cell_from_index
+from repro.sim.world import World, place_treasure
+
+
+class TestRingFraction:
+    def test_cardinal_directions(self):
+        assert ring_fraction(5, 0) == 0.0
+        assert ring_fraction(0, 5) == 0.25
+        assert ring_fraction(-5, 0) == 0.5
+        assert ring_fraction(0, -5) == 0.75
+
+    @pytest.mark.parametrize("r", [1, 2, 5, 9])
+    def test_inverse_of_ring_parameterisation(self, r):
+        for m in range(4 * r):
+            x, y = ring_cell_from_index(r, m)
+            assert ring_fraction(x, y) == pytest.approx(m / (4 * r))
+
+    def test_monotone_within_ring(self):
+        r = 7
+        fractions = [
+            ring_fraction(*ring_cell_from_index(r, m)) for m in range(4 * r)
+        ]
+        assert fractions == sorted(fractions)
+
+    def test_rejects_origin(self):
+        with pytest.raises(ValueError):
+            ring_fraction(0, 0)
+
+
+class TestDurations:
+    def test_round_duration_scales_with_width(self):
+        narrow = sector_round_duration(6, 0.05)
+        wide = sector_round_duration(6, 0.5)
+        assert wide > 3 * narrow
+
+    def test_round_duration_doubles_ish(self):
+        d5 = sector_round_duration(5, 0.25)
+        d6 = sector_round_duration(6, 0.25)
+        assert 2.5 < d6 / d5 < 4.5  # area of the swept wedge quadruples
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            sector_round_duration(0, 0.5)
+        with pytest.raises(ValueError):
+            sector_round_duration(3, 1.5)
+
+
+class TestSectorFindTimes:
+    def test_wide_wedge_finds_quickly(self):
+        world = place_treasure(16, "offaxis")
+        times = sector_find_times(SectorSearch(1.0), world, 1, 50, seed=0)
+        assert np.all(np.isfinite(times))
+        # Full-circle sweep: found in the first round reaching distance 16.
+        assert np.all(times < 5000)
+
+    def test_find_time_at_least_distance(self):
+        world = place_treasure(8, "offaxis")
+        times = sector_find_times(SectorSearch(0.25), world, 4, 100, seed=1)
+        finite = times[np.isfinite(times)]
+        assert np.all(finite >= 8)
+
+    def test_narrow_wedges_pay_coverage_gaps(self):
+        """With k*w = 2 expected coverage, e^-2 of rounds miss entirely —
+        narrow wedges must be slower in expectation than one full sweep."""
+        world = place_treasure(32, "offaxis")
+        full = sector_find_times(SectorSearch(1.0), world, 1, 200, seed=2)
+        narrow = sector_find_times(SectorSearch(1 / 16), world, 16, 200, seed=3)
+        assert narrow.mean() > full.mean() / 4  # no k-fold speed-up
+
+    def test_more_agents_help(self):
+        world = place_treasure(32, "offaxis")
+        few = sector_find_times(SectorSearch(0.1), world, 2, 200, seed=4)
+        many = sector_find_times(SectorSearch(0.1), world, 32, 200, seed=5)
+        assert many.mean() < few.mean()
+
+    def test_reproducible(self):
+        world = World((5, 3))
+        a = sector_find_times(SectorSearch(0.2), world, 3, 40, seed=6)
+        b = sector_find_times(SectorSearch(0.2), world, 3, 40, seed=6)
+        assert np.array_equal(a, b)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            SectorSearch(0.0)
+        with pytest.raises(ValueError):
+            sector_find_times(SectorSearch(0.5), World((2, 1)), 0, 5)
+
+
+class TestOverlapAnalysis:
+    def test_expected_coverage(self):
+        assert expected_covering_agents(16, 0.125) == pytest.approx(2.0)
+
+    def test_miss_probability_matches_poisson_limit(self):
+        # (1 - w)^k -> e^{-kw}: the gap never closes by adding agents at
+        # fixed k*w.
+        for kw in (1.0, 2.0, 4.0):
+            k = 1000
+            w = kw / k
+            assert miss_probability(k, w) == pytest.approx(math.exp(-kw), rel=1e-2)
+
+    def test_monte_carlo_agrees_with_miss_probability(self):
+        rng = np.random.default_rng(7)
+        k, w = 8, 0.125
+        u0 = rng.random((20_000, k))
+        covered = ((0.4 - u0) % 1.0) < w
+        empirical = float(np.mean(~covered.any(axis=1)))
+        assert empirical == pytest.approx(miss_probability(k, w), abs=0.01)

@@ -1,0 +1,82 @@
+"""Tests for turn-cost accounting (repro.analysis.turncost)."""
+
+import itertools
+
+import pytest
+
+from repro.analysis.turncost import (
+    count_turns,
+    manhattan_leg_turns,
+    phase_turns_upper_bound,
+    spiral_turns,
+    turn_adjusted_phase_cost,
+)
+from repro.core.schedule import PhaseSpec
+from repro.core.spiral import spiral_cells
+from repro.core.walks import manhattan_path
+
+
+class TestCountTurns:
+    def test_straight_line_has_no_turns(self):
+        path = [(i, 0) for i in range(1, 6)]
+        assert count_turns(path) == 0
+
+    def test_l_shape_has_one_turn(self):
+        path = list(manhattan_path((0, 0), (3, 2)))
+        assert count_turns(path) == 1
+
+    def test_staircase(self):
+        path = [(1, 0), (1, 1), (2, 1), (2, 2)]
+        assert count_turns(path) == 3
+
+    def test_rejects_non_unit_steps(self):
+        with pytest.raises(ValueError):
+            count_turns([(2, 0)])
+
+
+class TestSpiralTurns:
+    @pytest.mark.parametrize("t", [0, 1, 2, 3, 4, 5, 6, 7, 10, 25, 100, 477])
+    def test_matches_generated_path(self, t):
+        cells = list(itertools.islice(spiral_cells(), t + 1))
+        assert spiral_turns(t) == count_turns(cells[1:], start=(0, 0))
+
+    def test_turns_grow_as_sqrt(self):
+        # turns(t) ~ 2 sqrt(t): check the ratio at a large t.
+        t = 10**6
+        assert spiral_turns(t) == pytest.approx(2 * t**0.5, rel=0.01)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spiral_turns(-1)
+
+
+class TestManhattanTurns:
+    def test_axis_moves_are_straight(self):
+        assert manhattan_leg_turns(5, 0) == 0
+        assert manhattan_leg_turns(0, -3) == 0
+
+    def test_diagonal_targets_need_one_turn(self):
+        assert manhattan_leg_turns(3, 2) == 1
+        path = list(manhattan_path((0, 0), (3, 2)))
+        assert count_turns(path) == manhattan_leg_turns(3, 2)
+
+
+class TestPhaseCost:
+    def test_turns_are_sqrt_of_budget(self):
+        spec = PhaseSpec(radius=8, budget=10_000)
+        assert phase_turns_upper_bound(spec) < 3 * 10_000**0.5
+
+    def test_adjusted_cost_converges_to_plain(self):
+        """For growing budgets, turn cost becomes a vanishing fraction."""
+        overheads = []
+        for budget in (100, 10_000, 1_000_000):
+            spec = PhaseSpec(radius=4, budget=budget)
+            plain = turn_adjusted_phase_cost(spec, turn_cost=0.0)
+            adjusted = turn_adjusted_phase_cost(spec, turn_cost=5.0)
+            overheads.append(adjusted / plain - 1.0)
+        assert overheads[0] > overheads[1] > overheads[2]
+        assert overheads[2] < 0.02
+
+    def test_rejects_negative_turn_cost(self):
+        with pytest.raises(ValueError):
+            turn_adjusted_phase_cost(PhaseSpec(1, 1), -1.0)

@@ -1,0 +1,99 @@
+"""Deep checks of A_uniform's stage structure against the Theorem 3.3 proof.
+
+The proof predicts *where* in the schedule finds happen: from the critical
+stage ``s = ceil(log2(D^2 log^(1+eps) k / k)) + 1`` onward, each stage
+contains a phase succeeding with constant probability, so find times
+concentrate around the completion time of stages ``s + O(1)`` — i.e.
+``Theta(2^s) = Theta(D^2 log^(1+eps) k / k)``.  These tests locate the
+measured find times on the schedule's time axis and compare with ``s``.
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import UniformSearch
+from repro.analysis.theory import uniform_critical_stage
+from repro.core.schedule import phase_max_duration, uniform_big_stage_phases
+from repro.sim.events import simulate_find_times
+from repro.sim.world import place_treasure
+
+EPS = 0.5
+
+
+def big_stage_completion_times(eps: float, max_ell: int):
+    """Cumulative worst-case completion time of each big-stage."""
+    out = []
+    total = 0.0
+    for ell in range(max_ell + 1):
+        total += sum(phase_max_duration(p) for p in uniform_big_stage_phases(ell, eps))
+        out.append(total)
+    return out
+
+
+class TestCriticalStageAlignment:
+    @pytest.mark.parametrize("distance,k", [(32, 4), (64, 16), (64, 64)])
+    def test_find_times_near_critical_stage_completion(self, distance, k):
+        """Mean find time lands within a few big-stages of the proof's s."""
+        world = place_treasure(distance, "offaxis")
+        times = simulate_find_times(UniformSearch(EPS), world, k, 120, seed=17)
+        mean = float(times.mean())
+
+        s = uniform_critical_stage(distance, k, EPS)
+        completions = big_stage_completion_times(EPS, s + 6)
+        # The proof: all agents complete big-stage s+l by O(2^(s+l)) and each
+        # stage >= s succeeds with constant probability.  The measured mean
+        # must therefore fall before the completion of big-stage s + 6...
+        assert mean <= completions[min(s + 6, len(completions) - 1)]
+        # ...and after the completion of a much earlier big-stage (finds
+        # cannot concentrate before the treasure is even reachable).
+        early = max(0, s - 6)
+        assert mean >= completions[early] / 100
+
+    def test_critical_stage_scales_with_load(self):
+        """s grows with D^2/k: doubling D raises it by ~2, quadrupling k
+        lowers it by ~2."""
+        s_base = uniform_critical_stage(64, 4, EPS)
+        assert uniform_critical_stage(128, 4, EPS) == pytest.approx(s_base + 2, abs=1)
+        assert uniform_critical_stage(64, 16, EPS) == pytest.approx(s_base - 2, abs=1)
+
+
+class TestScheduleTimeAxis:
+    def test_completion_times_are_geometric(self):
+        completions = big_stage_completion_times(EPS, 16)
+        # Ratio of consecutive completion times approaches 2 (Assertion 1).
+        ratios = [b / a for a, b in zip(completions[8:], completions[9:])]
+        for ratio in ratios:
+            assert 1.6 < ratio < 2.6
+
+    def test_phase_count_grows_cubically(self):
+        """Big-stage ell contributes (ell+1)(ell+2)/2 phases; cumulative
+        count through ell is Theta(ell^3)."""
+        total = 0
+        for ell in range(12):
+            total += len(uniform_big_stage_phases(ell, EPS))
+        expected = sum((l + 1) * (l + 2) // 2 for l in range(12))
+        assert total == expected
+
+
+class TestUniformityAcrossK:
+    def test_same_schedule_any_k(self):
+        """The defining property of a uniform algorithm, re-verified at the
+        level of the fast engine: changing k only changes how many agents
+        run the same schedule, so per-agent find-time distributions are
+        identical (checked via means at matched seeds)."""
+        world = place_treasure(24, "offaxis")
+        t_solo = simulate_find_times(UniformSearch(EPS), world, 1, 200, seed=18)
+        # Simulate "k=3" by taking mins over independent solo triples.
+        t_more = simulate_find_times(UniformSearch(EPS), world, 3, 200, seed=19)
+        solo_triples = t_solo.reshape(-1)
+        # Group bootstrap: min of 3 random solos should match k=3 means.
+        rng = np.random.default_rng(20)
+        idx = rng.integers(0, solo_triples.size, size=(200, 3))
+        min_of_three = solo_triples[idx].min(axis=1)
+        pooled_se = math.sqrt(
+            t_more.var() / t_more.size + min_of_three.var() / min_of_three.size
+        )
+        assert abs(t_more.mean() - min_of_three.mean()) < 6 * pooled_se + 1e-9

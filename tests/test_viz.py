@@ -1,0 +1,62 @@
+"""Tests for the ASCII visualiser (repro.viz)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SingleSpiralSearch
+from repro.viz.ascii_map import render_trajectory, render_visit_map
+
+
+class TestRenderVisitMap:
+    def test_source_and_treasure_markers(self):
+        art = render_visit_map({(1, 0): 1.0}, radius=2, treasure=(0, 1))
+        lines = art.splitlines()
+        assert len(lines) == 5
+        assert lines[2][2] == "o"  # source at the centre
+        assert lines[1][2] == "X"  # treasure above it
+
+    def test_found_marker(self):
+        art = render_visit_map({}, radius=1, treasure=(1, 0), found=True)
+        assert "$" in art
+
+    def test_intensity_ramp_monotone(self):
+        art = render_visit_map({(-1, 0): 1.0, (1, 0): 10.0}, radius=1)
+        row = art.splitlines()[1]
+        ramp = " .:-=+*#%@"
+        assert ramp.index(row[2]) > ramp.index(row[0])
+
+    def test_auto_bounds(self):
+        art = render_visit_map({(3, 2): 1.0, (-1, -1): 1.0})
+        lines = art.splitlines()
+        assert len(lines) == 4  # y from 2 down to -1
+        assert len(lines[0]) == 5  # x from -1 to 3
+
+    def test_rejects_negative_intensity(self):
+        with pytest.raises(ValueError):
+            render_visit_map({(0, 1): -1.0})
+
+    def test_empty_map_renders_source(self):
+        art = render_visit_map({}, radius=1)
+        assert art.splitlines()[1][1] == "o"
+
+
+class TestRenderTrajectory:
+    def test_spiral_is_dense_square_blob(self):
+        positions = []
+        x = y = 0
+        program = SingleSpiralSearch().step_program(np.random.default_rng(0))
+        positions = list(itertools.islice(program, 48))  # covers B(3)
+        art = render_trajectory(positions, radius=3)
+        # Every cell in the viewport except the borders should be shaded.
+        interior = [line[1:-1] for line in art.splitlines()[1:-1]]
+        assert all(ch != " " for row in interior for ch in row)
+
+    def test_treasure_found_marker(self):
+        art = render_trajectory([(1, 0), (1, 1)], radius=2, treasure=(1, 1))
+        assert "$" in art
+
+    def test_treasure_unfound_marker(self):
+        art = render_trajectory([(1, 0)], radius=2, treasure=(0, -2))
+        assert "X" in art

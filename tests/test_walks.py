@@ -1,0 +1,95 @@
+"""Tests for navigation primitives (repro.core.walks)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import l1_norm
+from repro.core.walks import (
+    diamond_tour,
+    diamond_tour_hit_time,
+    diamond_tour_length,
+    manhattan_path,
+    manhattan_path_length,
+)
+
+point = st.tuples(st.integers(-50, 50), st.integers(-50, 50))
+
+
+class TestManhattanPath:
+    @given(point, point)
+    @settings(max_examples=200)
+    def test_path_length_and_endpoint(self, a, b):
+        path = list(manhattan_path(a, b))
+        assert len(path) == manhattan_path_length(a, b)
+        if a != b:
+            assert path[-1] == b
+        else:
+            assert path == []
+
+    @given(point, point)
+    @settings(max_examples=200)
+    def test_unit_steps(self, a, b):
+        previous = a
+        for node in manhattan_path(a, b):
+            assert abs(node[0] - previous[0]) + abs(node[1] - previous[1]) == 1
+            previous = node
+
+    def test_x_first_convention(self):
+        assert list(manhattan_path((0, 0), (2, 1))) == [(1, 0), (2, 0), (2, 1)]
+
+    def test_negative_direction(self):
+        assert list(manhattan_path((0, 0), (-1, -2))) == [(-1, 0), (-1, -1), (-1, -2)]
+
+
+class TestDiamondTour:
+    @pytest.mark.parametrize("r", [1, 2, 3, 5, 8])
+    def test_tour_steps_and_closure(self, r):
+        tour = list(diamond_tour(r))
+        assert len(tour) == diamond_tour_length(r) == 8 * r
+        assert tour[-1] == (r, 0)
+
+    @pytest.mark.parametrize("r", [1, 2, 3, 5, 8])
+    def test_tour_visits_entire_ring(self, r):
+        visited = set(diamond_tour(r)) | {(r, 0)}
+        ring = {c for c in visited if l1_norm(c[0], c[1]) == r}
+        assert len(ring) == 4 * r
+
+    @pytest.mark.parametrize("r", [1, 2, 5])
+    def test_tour_is_4_connected(self, r):
+        previous = (r, 0)
+        for node in diamond_tour(r):
+            assert abs(node[0] - previous[0]) + abs(node[1] - previous[1]) == 1
+            previous = node
+
+    @pytest.mark.parametrize("r", [1, 3, 6])
+    def test_tour_stays_within_two_rings(self, r):
+        for node in diamond_tour(r):
+            assert l1_norm(node[0], node[1]) in (r - 1, r)
+
+    def test_zero_radius_empty(self):
+        assert list(diamond_tour(0)) == []
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            list(diamond_tour(-1))
+
+
+class TestDiamondTourHitTime:
+    def test_start_cell_is_time_zero(self):
+        assert diamond_tour_hit_time(4, (4, 0)) == 0
+
+    @pytest.mark.parametrize("r", [1, 2, 5])
+    def test_hit_times_are_consistent_with_tour(self, r):
+        for t, node in enumerate(diamond_tour(r), start=1):
+            assert diamond_tour_hit_time(r, node) <= t
+
+    def test_every_ring_cell_found_within_tour(self):
+        r = 6
+        for node in diamond_tour(r):
+            if l1_norm(node[0], node[1]) == r:
+                assert 0 <= diamond_tour_hit_time(r, node) <= 8 * r
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError):
+            diamond_tour_hit_time(3, (3, 3))

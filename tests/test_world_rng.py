@@ -1,0 +1,112 @@
+"""Tests for worlds, placements, and the seeding policy."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import derive_rng, make_rng, spawn_rngs, spawn_seeds
+from repro.sim.world import Result, World, place_treasure
+
+
+class TestWorld:
+    def test_distance_is_l1(self):
+        assert World((3, -4)).distance == 7
+
+    def test_source_is_origin(self):
+        assert World((1, 0)).source == (0, 0)
+
+    def test_rejects_treasure_on_source(self):
+        with pytest.raises(ValueError):
+            World((0, 0))
+
+
+class TestPlacements:
+    @pytest.mark.parametrize("placement", ["axis", "corner", "offaxis", "random"])
+    @pytest.mark.parametrize("distance", [1, 2, 7, 100])
+    def test_distance_respected(self, placement, distance):
+        world = place_treasure(distance, placement, seed=3)
+        assert world.distance == distance
+
+    def test_axis_and_corner_cells(self):
+        assert place_treasure(9, "axis").treasure == (9, 0)
+        assert place_treasure(9, "corner").treasure == (0, -9)
+
+    def test_offaxis_avoids_axes(self):
+        for d in range(2, 40):
+            x, y = place_treasure(d, "offaxis").treasure
+            assert x != 0 and y != 0
+
+    def test_offaxis_is_spiral_late(self):
+        from repro.core.spiral import spiral_hit_time, worst_hit_time_at_distance
+
+        # hit time 4(D-1)^2 + 3(D-1) - 1 vs worst 4D^2 + 3D: the ratio is
+        # ((D-1)/D)^2 + o(1), i.e. > 0.75 from D=8 and -> 1 as D grows.
+        for d in (8, 32, 128):
+            x, y = place_treasure(d, "offaxis").treasure
+            assert spiral_hit_time(x, y) > 0.75 * worst_hit_time_at_distance(d)
+
+    def test_random_placement_is_reproducible(self):
+        a = place_treasure(20, "random", seed=5).treasure
+        b = place_treasure(20, "random", seed=5).treasure
+        assert a == b
+
+    def test_rejects_unknown_placement(self):
+        with pytest.raises(ValueError):
+            place_treasure(5, "nowhere")
+
+    def test_rejects_non_positive_distance(self):
+        with pytest.raises(ValueError):
+            place_treasure(0, "axis")
+
+
+class TestResult:
+    def test_found_requires_finite_time(self):
+        with pytest.raises(ValueError):
+            Result(time=float("inf"), found=True)
+
+    def test_unfound_with_infinite_time_ok(self):
+        r = Result(time=float("inf"), found=False)
+        assert not r.found
+
+
+class TestRng:
+    def test_make_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+    def test_make_rng_from_int(self):
+        a = make_rng(42).integers(0, 1000, 5)
+        b = make_rng(42).integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+    def test_spawn_seeds_are_distinct(self):
+        seeds = spawn_seeds(1, 10)
+        streams = [np.random.default_rng(s).integers(0, 2**31, 4) for s in seeds]
+        as_tuples = {tuple(s.tolist()) for s in streams}
+        assert len(as_tuples) == 10
+
+    def test_spawn_rngs_count(self):
+        assert len(spawn_rngs(2, 7)) == 7
+        assert spawn_rngs(2, 0) == []
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_derive_rng_is_stable(self):
+        a = derive_rng(9, 1, 2).integers(0, 10**6, 3)
+        b = derive_rng(9, 1, 2).integers(0, 10**6, 3)
+        assert np.array_equal(a, b)
+
+    def test_derive_rng_varies_with_key(self):
+        a = derive_rng(9, 1, 2).integers(0, 10**6, 3)
+        b = derive_rng(9, 1, 3).integers(0, 10**6, 3)
+        assert not np.array_equal(a, b)
+
+    def test_derive_rng_accepts_tuple_seed(self):
+        a = derive_rng((4, 5), 1).integers(0, 10**6, 3)
+        b = derive_rng((4, 5), 1).integers(0, 10**6, 3)
+        assert np.array_equal(a, b)
+
+    def test_derive_rng_rejects_generator(self):
+        with pytest.raises(TypeError):
+            derive_rng(np.random.default_rng(0), 1)
