@@ -1,0 +1,107 @@
+"""Benchmark: the batched multi-world engine vs a per-world loop.
+
+The tentpole claim of the sweep subsystem is that resolving a grid of
+worlds in one :func:`simulate_find_times_batch` call — sharing each phase's
+excursion draws across worlds — beats calling
+:func:`simulate_find_times` once per world.  The speedup test measures
+both sides on a 50-world x multi-k grid and asserts the batched engine
+wins by at least 5x; the ``once`` benchmarks record absolute times for the
+sweep runner in quick-experiment shape.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms import NonUniformSearch
+from repro.sim.events import simulate_find_times, simulate_find_times_batch
+from repro.sim.world import place_treasure
+from repro.sweep import SweepSpec, run_sweep
+
+N_WORLDS = 50
+KS = (1, 4, 16)
+TRIALS = 100
+DISTANCE = 64
+
+
+def _worlds():
+    return [place_treasure(DISTANCE, "random", seed=i) for i in range(N_WORLDS)]
+
+
+def test_batched_engine_beats_per_world_loop():
+    worlds = _worlds()
+    # Warm both paths once so allocator/jit-cache effects don't skew either
+    # side of the comparison.
+    simulate_find_times(NonUniformSearch(k=1), worlds[0], 1, 10, seed=0)
+    simulate_find_times_batch(NonUniformSearch(k=1), worlds[:2], 1, 10, seed=0)
+
+    loop_means = {}
+    batch_means = {}
+
+    def time_grid(run_one):
+        """Best of two rounds over the whole grid, to shrug off scheduler
+        noise on shared CI runners."""
+        best = float("inf")
+        for _ in range(2):
+            started = time.perf_counter()
+            for k in KS:
+                run_one(k)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    def loop_once(k):
+        rows = [
+            simulate_find_times(NonUniformSearch(k=k), world, k, TRIALS, seed=i)
+            for i, world in enumerate(worlds)
+        ]
+        loop_means[k] = float(np.mean([row.mean() for row in rows]))
+
+    def batch_once(k):
+        matrix = simulate_find_times_batch(
+            NonUniformSearch(k=k), worlds, k, TRIALS, seed=0
+        )
+        batch_means[k] = float(matrix.mean())
+
+    loop_elapsed = time_grid(loop_once)
+    batch_elapsed = time_grid(batch_once)
+    speedup = loop_elapsed / batch_elapsed
+    print(
+        f"\n50-world x ks={KS} grid: per-world loop {loop_elapsed:.2f}s, "
+        f"batched {batch_elapsed:.2f}s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 5.0, (
+        f"batched engine only {speedup:.1f}x faster "
+        f"(loop {loop_elapsed:.2f}s vs batch {batch_elapsed:.2f}s)"
+    )
+    # Same workload, so the grid means must agree statistically.
+    for k in KS:
+        assert loop_means[k] == pytest.approx(batch_means[k], rel=0.15)
+
+
+def test_bench_run_sweep_cold(once, tmp_path):
+    spec = SweepSpec(
+        algorithm="nonuniform",
+        distances=(16, 32, 64),
+        ks=KS,
+        trials=60,
+        seed=20120716,
+        require_k_le_d=True,
+    )
+    result = once(run_sweep, spec, cache_dir=str(tmp_path))
+    assert not result.from_cache
+    assert len(result) == 9
+
+
+def test_bench_run_sweep_cache_hit(once, tmp_path):
+    spec = SweepSpec(
+        algorithm="nonuniform",
+        distances=(16, 32, 64),
+        ks=KS,
+        trials=60,
+        seed=20120716,
+        require_k_le_d=True,
+    )
+    run_sweep(spec, cache_dir=str(tmp_path))
+    result = once(run_sweep, spec, cache_dir=str(tmp_path))
+    assert result.from_cache

@@ -1,0 +1,23 @@
+"""Repo-wide pytest configuration.
+
+The sweep subsystem caches results under ``~/.cache/repro-ants/sweeps`` by
+default; tests must neither read stale entries from a developer's real
+cache nor pollute it, so the whole session is pointed at a throwaway
+directory.  (Within the session the cache still works — experiment tests
+and benchmarks share warm entries, which is the production behaviour.)
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_sweep_cache(tmp_path_factory):
+    previous = os.environ.get("REPRO_SWEEP_CACHE")
+    os.environ["REPRO_SWEEP_CACHE"] = str(tmp_path_factory.mktemp("sweep-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_SWEEP_CACHE", None)
+    else:
+        os.environ["REPRO_SWEEP_CACHE"] = previous

@@ -43,7 +43,9 @@ from .sim import (
     place_treasure,
     run_search,
     simulate_find_times,
+    simulate_find_times_batch,
 )
+from .sweep import SweepSpec, run_sweep
 
 __version__ = "1.0.0"
 
@@ -63,6 +65,7 @@ __all__ = [
     "RhoApproxSearch",
     "SearchAlgorithm",
     "SingleSpiralSearch",
+    "SweepSpec",
     "UniformSearch",
     "World",
     "competitiveness",
@@ -72,6 +75,8 @@ __all__ = [
     "optimal_time",
     "place_treasure",
     "run_search",
+    "run_sweep",
     "simulate_find_times",
+    "simulate_find_times_batch",
     "__version__",
 ]

@@ -5,7 +5,14 @@ Examples::
     repro-ants list                      # show the experiment index
     repro-ants run E1 E3 --quick         # run experiments, print tables
     repro-ants run all --full --csv out/ # full scale, archive CSVs
+    repro-ants run E1 --workers 4        # fan sweep groups out to a pool
+    repro-ants sweep nonuniform --distances 16,32,64 --ks 1,4,16 --trials 60
+    repro-ants sweep uniform --param eps=0.5 --distances 64 --ks 1,2,4,8
     repro-ants demo                      # 30-second guided demo
+
+Experiment runs and ad-hoc sweeps share the cached sweep engine: re-running
+the same grid hits the on-disk cache (disable with ``--no-cache``; relocate
+with ``$REPRO_SWEEP_CACHE`` or ``--cache-dir``).
 """
 
 from __future__ import annotations
@@ -42,6 +49,59 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--csv", metavar="DIR", default=None, help="also write tables as CSV here"
     )
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="sweep worker processes (0/1 = serial)",
+    )
+    run_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk sweep cache",
+    )
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run one ad-hoc D x k sweep and print the cell table"
+    )
+    sweep_p.add_argument(
+        "algorithm",
+        help="registered sweep algorithm (nonuniform, uniform, harmonic, ...)",
+    )
+    sweep_p.add_argument(
+        "--distances",
+        required=True,
+        help="comma-separated treasure distances, e.g. 16,32,64",
+    )
+    sweep_p.add_argument(
+        "--ks", required=True, help="comma-separated agent counts, e.g. 1,4,16"
+    )
+    sweep_p.add_argument("--trials", type=int, default=60)
+    sweep_p.add_argument("--seed", type=int, default=0)
+    sweep_p.add_argument(
+        "--placement",
+        default="offaxis",
+        choices=("axis", "corner", "offaxis", "random"),
+    )
+    sweep_p.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="algorithm parameter (repeatable), e.g. --param eps=0.5",
+    )
+    sweep_p.add_argument("--horizon", type=float, default=None)
+    sweep_p.add_argument(
+        "--require-k-le-d",
+        action="store_true",
+        help="skip cells with k > D (the paper's analysis regime)",
+    )
+    sweep_p.add_argument("--workers", type=int, default=0)
+    sweep_p.add_argument("--no-cache", action="store_true")
+    sweep_p.add_argument("--cache-dir", default=None)
+    sweep_p.add_argument(
+        "--csv", metavar="FILE", default=None, help="also write the table as CSV"
+    )
 
     sub.add_parser("list", help="list registered experiments")
     sub.add_parser("demo", help="run a small end-to-end demonstration")
@@ -57,7 +117,12 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(
-    ids: List[str], quick: bool, seed: Optional[int], csv_dir: Optional[str]
+    ids: List[str],
+    quick: bool,
+    seed: Optional[int],
+    csv_dir: Optional[str],
+    workers: int = 0,
+    cache: bool = True,
 ) -> int:
     from .experiments.registry import list_experiments, run_experiment
 
@@ -67,7 +132,9 @@ def _cmd_run(
         os.makedirs(csv_dir, exist_ok=True)
     for experiment_id in ids:
         started = time.perf_counter()
-        tables = run_experiment(experiment_id, quick=quick, seed=seed)
+        tables = run_experiment(
+            experiment_id, quick=quick, seed=seed, workers=workers, cache=cache
+        )
         elapsed = time.perf_counter() - started
         for i, table in enumerate(tables):
             print(table.to_text())
@@ -77,6 +144,86 @@ def _cmd_run(
                 table.to_csv(os.path.join(csv_dir, name))
         print(f"[{experiment_id} completed in {elapsed:.1f}s]")
         print()
+    return 0
+
+
+def _parse_int_list(text: str, label: str) -> tuple:
+    try:
+        return tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"--{label} expects comma-separated integers, got {text!r}")
+
+
+def _cmd_sweep(args) -> int:
+    from .analysis.competitiveness import competitiveness
+    from .sweep import ALGORITHM_BUILDERS, SweepSpec, run_sweep
+    from .experiments.io import ResultTable
+
+    if args.algorithm not in ALGORITHM_BUILDERS:
+        known = ", ".join(sorted(ALGORITHM_BUILDERS))
+        raise SystemExit(
+            f"unknown sweep algorithm {args.algorithm!r}; known: {known}"
+        )
+
+    params = {}
+    for item in args.param:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            raise SystemExit(f"--param expects NAME=VALUE, got {item!r}")
+        try:
+            params[name] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"--param {name} expects a numeric value, got {value!r}"
+            )
+
+    try:
+        spec = SweepSpec(
+            algorithm=args.algorithm,
+            distances=_parse_int_list(args.distances, "distances"),
+            ks=_parse_int_list(args.ks, "ks"),
+            trials=args.trials,
+            params=params,
+            placement=args.placement,
+            seed=args.seed,
+            horizon=args.horizon,
+            require_k_le_d=args.require_k_le_d,
+        )
+    except (TypeError, ValueError) as error:
+        raise SystemExit(str(error))
+    started = time.perf_counter()
+    result = run_sweep(
+        spec,
+        workers=args.workers,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+    elapsed = time.perf_counter() - started
+
+    title = f"sweep {args.algorithm}"
+    if params:
+        rendered = ", ".join(f"{k}={v:g}" for k, v in sorted(params.items()))
+        title += f" ({rendered})"
+    table = ResultTable(
+        title=title,
+        columns=["D", "k", "trials", "mean_time", "stderr", "success", "ratio"],
+    )
+    for cell in result:
+        table.add_row(
+            D=cell.distance,
+            k=cell.k,
+            trials=cell.trials,
+            mean_time=cell.mean,
+            stderr=cell.stderr,
+            success=cell.success_rate,
+            ratio=competitiveness(cell.mean, cell.distance, cell.k),
+        )
+    table.add_note("ratio = mean_time / (D + D^2/k), the universal benchmark")
+    source = "cache" if result.from_cache else f"computed in {elapsed:.1f}s"
+    table.add_note(f"spec {spec.spec_hash()} ({source})")
+    print(table.to_text())
+    if args.csv:
+        table.to_csv(args.csv)
     return 0
 
 
@@ -112,7 +259,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_demo()
     if args.command == "run":
         quick = not args.full
-        return _cmd_run(args.experiments, quick, args.seed, args.csv)
+        return _cmd_run(
+            args.experiments,
+            quick,
+            args.seed,
+            args.csv,
+            workers=args.workers,
+            cache=not args.no_cache,
+        )
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

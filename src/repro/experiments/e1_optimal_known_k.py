@@ -19,9 +19,9 @@ from __future__ import annotations
 
 from typing import List
 
-from ..algorithms import NonUniformSearch
-from ..analysis.competitiveness import sweep_competitiveness
+from ..analysis.competitiveness import competitiveness, optimal_time
 from ..analysis.fitting import fit_power_law
+from ..sweep import SweepSpec, run_sweep
 from .config import scale
 from .io import ResultTable
 
@@ -31,36 +31,44 @@ EXPERIMENT_ID = "E1"
 TITLE = "E1 (Thm 3.1): A_k with known k is O(1)-competitive"
 
 
-def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
+def run(
+    quick: bool = True,
+    seed: int | None = None,
+    workers: int = 0,
+    cache: bool = True,
+) -> List[ResultTable]:
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
 
-    cells = sweep_competitiveness(
-        lambda k: NonUniformSearch(k=k),
-        cfg.distances,
-        cfg.ks,
-        cfg.trials,
-        seed=seed,
+    spec = SweepSpec(
+        algorithm="nonuniform",
+        distances=tuple(cfg.distances),
+        ks=tuple(cfg.ks),
+        trials=cfg.trials,
         placement="offaxis",
+        seed=seed,
         require_k_le_d=True,
     )
+    result = run_sweep(spec, workers=workers, cache=cache)
 
     table = ResultTable(
         title=TITLE,
         columns=["D", "k", "trials", "mean_time", "stderr", "optimal", "ratio"],
     )
-    for cell in cells:
+    ratios = []
+    for cell in result:
+        ratio = competitiveness(cell.mean, cell.distance, cell.k)
+        ratios.append(ratio)
         table.add_row(
             D=cell.distance,
             k=cell.k,
             trials=cell.trials,
-            mean_time=cell.mean_time,
+            mean_time=cell.mean,
             stderr=cell.stderr,
-            optimal=cell.optimal,
-            ratio=cell.ratio,
+            optimal=optimal_time(cell.distance, cell.k),
+            ratio=ratio,
         )
 
-    ratios = [cell.ratio for cell in cells]
     summary = ResultTable(
         title="E1 summary: ratio spread (flat <=> O(1)-competitive)",
         columns=["min_ratio", "max_ratio", "spread", "cells"],
@@ -74,10 +82,10 @@ def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
 
     # Scaling in D at the extreme k values present in the sweep.
     k_lo = min(cfg.ks)
-    lo_cells = [c for c in cells if c.k == k_lo]
+    lo_cells = [c for c in result if c.k == k_lo]
     if len(lo_cells) >= 2:
         fit = fit_power_law(
-            [c.distance for c in lo_cells], [c.mean_time for c in lo_cells]
+            [c.distance for c in lo_cells], [c.mean for c in lo_cells]
         )
         summary.add_note(
             f"T(D) ~ D^{fit.b:.2f} at k={k_lo} (R^2={fit.r2:.3f}); theory: 2.0"

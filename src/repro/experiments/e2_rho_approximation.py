@@ -18,11 +18,9 @@ from __future__ import annotations
 
 from typing import List
 
-from ..algorithms import RhoApproxSearch
 from ..analysis.competitiveness import competitiveness, optimal_time
-from ..sim.events import simulate_find_times
-from ..sim.rng import spawn_seeds
-from ..sim.world import place_treasure
+from ..sim.rng import derive_seed
+from ..sweep import SweepSpec, run_sweep
 from .config import scale
 from .io import ResultTable
 
@@ -34,34 +32,42 @@ TITLE = "E2 (Cor 3.2): rho-approximate knowledge of k costs at most rho^2"
 RHOS = (1.0, 2.0, 4.0, 8.0)
 
 
-def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
+def run(
+    quick: bool = True,
+    seed: int | None = None,
+    workers: int = 0,
+    cache: bool = True,
+) -> List[ResultTable]:
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
     distance = max(cfg.distances)
     k = max(k for k in cfg.ks if k <= distance)
 
-    world = place_treasure(distance, "offaxis")
     table = ResultTable(
         title=TITLE,
         columns=["rho", "estimate", "k_a", "mean_time", "ratio", "ratio_over_rho2"],
     )
 
-    seeds = spawn_seeds(seed, 2 * len(RHOS))
     index = 0
     for rho in RHOS:
         for direction, k_a in (("over", k * rho), ("under", k / rho)):
-            alg = RhoApproxSearch(k_a=k_a, rho=rho)
-            times = simulate_find_times(
-                alg, world, k, cfg.trials, seeds[index]
+            spec = SweepSpec(
+                algorithm="rho",
+                params={"k_a": k_a, "rho": rho},
+                distances=(distance,),
+                ks=(k,),
+                trials=cfg.trials,
+                placement="offaxis",
+                seed=derive_seed(seed, index),
             )
             index += 1
-            mean = float(times.mean())
-            ratio = competitiveness(mean, distance, k)
+            cell = run_sweep(spec, workers=workers, cache=cache).cell(distance, k)
+            ratio = competitiveness(cell.mean, distance, k)
             table.add_row(
                 rho=rho,
                 estimate=direction,
                 k_a=k_a,
-                mean_time=mean,
+                mean_time=cell.mean,
                 ratio=ratio,
                 ratio_over_rho2=ratio / rho**2,
             )

@@ -22,12 +22,10 @@ from __future__ import annotations
 
 from typing import List
 
-from ..algorithms import UniformSearch
 from ..analysis.competitiveness import competitiveness, optimal_time
 from ..analysis.fitting import fit_polylog
-from ..sim.events import simulate_find_times
-from ..sim.rng import spawn_seeds
-from ..sim.world import place_treasure
+from ..sim.rng import derive_seed
+from ..sweep import SweepSpec, run_sweep
 from .config import scale
 from .io import ResultTable
 
@@ -44,21 +42,36 @@ def phi_of_k(
     distance: int,
     ks,
     trials: int,
-    seed,
+    seed: int,
+    *,
+    workers: int = 0,
+    cache: bool = True,
 ) -> List[tuple]:
     """Measure ``phi(k)`` for ``A_uniform(eps)`` at fixed ``D``; rows of
     ``(k, mean_time, ratio)``."""
-    world = place_treasure(distance, "offaxis")
-    seeds = spawn_seeds(seed, len(ks))
+    spec = SweepSpec(
+        algorithm="uniform",
+        params={"eps": eps},
+        distances=(distance,),
+        ks=tuple(ks),
+        trials=trials,
+        placement="offaxis",
+        seed=seed,
+    )
+    result = run_sweep(spec, workers=workers, cache=cache)
     rows = []
-    for k, k_seed in zip(ks, seeds):
-        times = simulate_find_times(UniformSearch(eps), world, k, trials, k_seed)
-        mean = float(times.mean())
-        rows.append((k, mean, competitiveness(mean, distance, k)))
+    for k in ks:
+        cell = result.cell(distance, k)
+        rows.append((k, cell.mean, competitiveness(cell.mean, distance, k)))
     return rows
 
 
-def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
+def run(
+    quick: bool = True,
+    seed: int | None = None,
+    workers: int = 0,
+    cache: bool = True,
+) -> List[ResultTable]:
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
     distance = max(cfg.distances)
@@ -77,9 +90,16 @@ def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
         columns=["eps", "a", "b", "r2", "phi_at_kmax"],
     )
 
-    eps_seeds = spawn_seeds(seed, len(EPSILONS))
-    for eps, eps_seed in zip(EPSILONS, eps_seeds):
-        rows = phi_of_k(eps, distance, ks, cfg.trials, eps_seed)
+    for index, eps in enumerate(EPSILONS):
+        rows = phi_of_k(
+            eps,
+            distance,
+            ks,
+            cfg.trials,
+            derive_seed(seed, index),
+            workers=workers,
+            cache=cache,
+        )
         for k, mean, phi in rows:
             table.add_row(
                 eps=eps,

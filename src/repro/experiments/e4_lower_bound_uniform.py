@@ -31,7 +31,7 @@ from ..analysis.fitting import fit_polylog
 from ..analysis.lower_bounds import annulus_load_profile
 from ..sim.engine import first_visit_times
 from ..sim.metrics import ball_coverage_fraction
-from ..sim.rng import spawn_seeds
+from ..sim.rng import derive_seed, spawn_seeds
 from ..sim.world import World
 from .config import scale
 from .e3_uniform_competitiveness import phi_of_k
@@ -45,15 +45,28 @@ TITLE = "E4 (Thm 4.1): the log-k penalty of uniformity is unavoidable"
 EPS = 0.5
 
 
-def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
+def run(
+    quick: bool = True,
+    seed: int | None = None,
+    workers: int = 0,
+    cache: bool = True,
+) -> List[ResultTable]:
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
-    phi_seed, coverage_seed, load_seed = spawn_seeds(seed, 3)
+    coverage_seed, load_seed = spawn_seeds(seed, 2)
 
     # --- Part 3 first: measured phi(k) and the divergence witness. -------
     distance = max(cfg.distances)
     ks = [2**i for i in range(1, 7) if 2**i <= distance]
-    rows = phi_of_k(EPS, distance, ks, cfg.trials, phi_seed)
+    rows = phi_of_k(
+        EPS,
+        distance,
+        ks,
+        cfg.trials,
+        derive_seed(seed, 3),
+        workers=workers,
+        cache=cache,
+    )
 
     divergence = ResultTable(
         title="E4a: partial sums of 1/phi(2^i) — measured vs hypothetical log",

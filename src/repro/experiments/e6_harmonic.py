@@ -21,12 +21,10 @@ from typing import List
 
 import numpy as np
 
-from ..algorithms import HarmonicSearch
 from ..analysis.estimators import wilson_interval
 from ..analysis.theory import harmonic_failure_bound, harmonic_time_bound
-from ..sim.events import simulate_find_times
-from ..sim.rng import spawn_seeds
-from ..sim.world import place_treasure
+from ..sim.rng import derive_seed
+from ..sweep import SweepSpec, run_sweep
 from .config import scale
 from .io import ResultTable
 
@@ -39,14 +37,16 @@ DELTA = 0.5
 DELTAS = (0.2, 0.5, 0.8)
 
 
-def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
+def run(
+    quick: bool = True,
+    seed: int | None = None,
+    workers: int = 0,
+    cache: bool = True,
+) -> List[ResultTable]:
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
     trials = cfg.trials
     distance = 32 if quick else 64
-
-    success_seed, delta_seed = spawn_seeds(seed, 2)
-    world = place_treasure(distance, "offaxis")
 
     # --- success probability and conditional time vs k -------------------
     # The sigmoid saturates around k ~ alpha * D^delta (several hundred at
@@ -72,11 +72,20 @@ def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
             "time_ratio",
         ],
     )
-    k_seeds = spawn_seeds(success_seed, len(ks))
-    for k, k_seed in zip(ks, k_seeds):
+    success_spec = SweepSpec(
+        algorithm="harmonic",
+        params={"delta": DELTA},
+        distances=(distance,),
+        ks=tuple(ks),
+        trials=trials,
+        placement="offaxis",
+        seed=derive_seed(seed, 0),
+    )
+    success_result = run_sweep(success_spec, workers=workers, cache=cache)
+    for k in ks:
         envelope = harmonic_time_bound(distance, k, DELTA)
         horizon = HORIZON_FACTOR * envelope
-        times = simulate_find_times(HarmonicSearch(DELTA), world, k, trials, k_seed)
+        times = success_result.cell(distance, k).times
         found_any = np.isfinite(times)
         found = found_any & (times <= horizon)
         rate = float(found.mean())
@@ -106,11 +115,21 @@ def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
         columns=["delta", "k", "success_rate", "cond_mean_time", "time_envelope"],
     )
     k_fixed = 64 if quick else 128
-    d_seeds = spawn_seeds(delta_seed, len(DELTAS))
-    for delta, d_seed in zip(DELTAS, d_seeds):
+    for index, delta in enumerate(DELTAS):
         envelope = harmonic_time_bound(distance, k_fixed, delta)
-        times = simulate_find_times(
-            HarmonicSearch(delta), world, k_fixed, trials, d_seed
+        delta_spec = SweepSpec(
+            algorithm="harmonic",
+            params={"delta": delta},
+            distances=(distance,),
+            ks=(k_fixed,),
+            trials=trials,
+            placement="offaxis",
+            seed=derive_seed(seed, 1, index),
+        )
+        times = (
+            run_sweep(delta_spec, workers=workers, cache=cache)
+            .cell(distance, k_fixed)
+            .times
         )
         found = np.isfinite(times) & (times <= HORIZON_FACTOR * envelope)
         sweep.add_row(

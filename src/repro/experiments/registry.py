@@ -7,6 +7,7 @@ this module.  See DESIGN.md section 4 for the experiment index.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -71,11 +72,23 @@ def _id_sort_key(experiment_id: str) -> int:
 
 
 def run_experiment(
-    experiment_id: str, quick: bool = True, seed: Optional[int] = None
+    experiment_id: str,
+    quick: bool = True,
+    seed: Optional[int] = None,
+    **options,
 ) -> List[ResultTable]:
-    """Run one experiment by id (e.g. ``"E3"``) and return its tables."""
+    """Run one experiment by id (e.g. ``"E3"``) and return its tables.
+
+    Extra ``options`` (``workers``, ``cache``, ...) are forwarded to runners
+    whose signature accepts them and silently dropped otherwise, so sweep
+    execution knobs can be offered uniformly without forcing every
+    experiment to grow them.
+    """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS, key=_id_sort_key))
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
-    return EXPERIMENTS[key].runner(quick=quick, seed=seed)
+    runner = EXPERIMENTS[key].runner
+    accepted = inspect.signature(runner).parameters
+    forwarded = {name: value for name, value in options.items() if name in accepted}
+    return runner(quick=quick, seed=seed, **forwarded)

@@ -8,7 +8,12 @@ Two engines execute the same algorithms:
 """
 
 from .engine import AgentTrace, StepRun, first_visit_times, run_agent, run_search
-from .events import excursion_find_time, expected_find_time, simulate_find_times
+from .events import (
+    excursion_find_time,
+    expected_find_time,
+    simulate_find_times,
+    simulate_find_times_batch,
+)
 from .metrics import (
     AnnulusCoverage,
     ball_coverage_fraction,
@@ -16,7 +21,7 @@ from .metrics import (
     distinct_nodes_visited,
     union_first_visits,
 )
-from .rng import derive_rng, make_rng, spawn_rngs, spawn_seeds
+from .rng import derive_rng, derive_seed, make_rng, spawn_rngs, spawn_seeds
 from .world import Result, World, place_treasure
 
 __all__ = [
@@ -28,6 +33,7 @@ __all__ = [
     "ball_coverage_fraction",
     "coverage_by_annulus",
     "derive_rng",
+    "derive_seed",
     "distinct_nodes_visited",
     "excursion_find_time",
     "expected_find_time",
@@ -37,6 +43,7 @@ __all__ = [
     "run_agent",
     "run_search",
     "simulate_find_times",
+    "simulate_find_times_batch",
     "spawn_rngs",
     "spawn_seeds",
     "union_first_visits",

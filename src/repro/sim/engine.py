@@ -142,13 +142,15 @@ def run_search(
         ):
             best_time = trace.find_time
             finder = i
+    total_steps = sum(trace.steps for trace in traces)
     if best_time is None:
         result = Result(
-            time=float("inf"), found=False, finder=None, steps_simulated=horizon
+            time=float("inf"), found=False, finder=None, steps_simulated=total_steps
         )
     else:
         result = Result(
-            time=float(best_time), found=True, finder=finder, steps_simulated=horizon
+            time=float(best_time), found=True, finder=finder,
+            steps_simulated=total_steps,
         )
     return StepRun(result=result, traces=traces)
 

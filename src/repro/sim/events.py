@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Optional, Tuple
+from typing import Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -43,7 +43,15 @@ from ..core.spiral import (
 from .rng import SeedLike, make_rng
 from .world import World
 
-__all__ = ["simulate_find_times", "excursion_find_time", "expected_find_time"]
+__all__ = [
+    "simulate_find_times",
+    "simulate_find_times_batch",
+    "excursion_find_time",
+    "expected_find_time",
+    "find_time_statistics",
+]
+
+WorldsLike = Union[Sequence[World], Sequence[Tuple[int, int]], np.ndarray]
 
 
 def _hit_times(dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
@@ -189,6 +197,170 @@ def simulate_find_times(
     return best
 
 
+def _as_treasure_arrays(worlds: WorldsLike) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalise a worlds argument to ``(tx, ty)`` int64 column vectors.
+
+    Accepts a sequence of :class:`World` instances, a sequence of
+    ``(tx, ty)`` pairs, or an ``(n, 2)`` integer array.  The returned arrays
+    have shape ``(n, 1)`` so that broadcasting against ``(draws,)`` excursion
+    arrays yields ``(n, draws)`` hit grids.
+    """
+    if isinstance(worlds, np.ndarray):
+        pairs = worlds
+    else:
+        seq: Iterable = worlds
+        pairs = np.asarray(
+            [w.treasure if isinstance(w, World) else tuple(w) for w in seq]
+        )
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2 or pairs.shape[0] < 1:
+        raise ValueError(
+            f"worlds must be a non-empty sequence of (tx, ty) pairs; "
+            f"got array of shape {pairs.shape}"
+        )
+    if np.any((pairs[:, 0] == 0) & (pairs[:, 1] == 0)):
+        raise ValueError("treasure must not be placed on the source")
+    return pairs[:, 0:1], pairs[:, 1:2]
+
+
+def simulate_find_times_batch(
+    algorithm: ExcursionAlgorithm,
+    worlds: WorldsLike,
+    k: int,
+    trials: int,
+    seed: SeedLike = None,
+    *,
+    horizon: Optional[float] = None,
+    max_phases: int = 1_000_000,
+    start_delays: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """First find times for many worlds at once, sharing excursion draws.
+
+    The batched twin of :func:`simulate_find_times`: ``worlds`` is a
+    sequence of treasure positions (``World`` instances or ``(tx, ty)``
+    pairs) and the result has shape ``(len(worlds), trials)`` — row ``w``
+    holds the per-trial first find times for world ``w``.
+
+    Each phase's ``trials x k`` excursion draws are sampled **once** and
+    resolved against every world by broadcasting to a
+    ``(worlds, draws)`` hit grid, so the per-draw sampling cost is paid once
+    instead of once per world.  Per world, every row is distributed exactly
+    as a :func:`simulate_find_times` trial (the excursion draws are i.i.d.,
+    so conditioning on which slots are still running never biases them);
+    with a single world the two functions are *bitwise identical* for the
+    same seed.  Across worlds the shared draws act as common random numbers:
+    per-world means are unbiased, and cross-world comparisons (the point of
+    a D-sweep) see reduced variance because the noise is paired.
+
+    An agent keeps drawing excursions while *any* world still needs it
+    (different worlds find at different times); per-world ``best`` clocks
+    record each world's first find, and later excursions of an agent that
+    already found in some world can never improve that world's ``best``
+    because a hit is never later than the end of its excursion.
+
+    ``horizon``, ``max_phases`` and ``start_delays`` behave exactly as in
+    :func:`simulate_find_times`; the horizon is shared by all worlds.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    tx, ty = _as_treasure_arrays(worlds)
+    n_worlds = tx.shape[0]
+    rng = make_rng(seed)
+
+    cum = np.zeros((trials, k), dtype=np.float64)
+    if start_delays is not None:
+        delays = np.asarray(start_delays, dtype=np.float64)
+        if np.any(delays < 0):
+            raise ValueError("start delays must be non-negative")
+        cum = cum + np.broadcast_to(delays, (trials, k))
+    best = np.full((n_worlds, trials), np.inf)
+    cap = np.inf if horizon is None else float(horizon)
+
+    families = algorithm.families()
+    for phase_index in itertools.count():
+        if phase_index >= max_phases:
+            raise RuntimeError(
+                f"simulation exceeded max_phases={max_phases}; "
+                f"pass a horizon or raise the cap"
+            )
+        # A slot (trial, agent) is live while the slowest world still wants
+        # it: cum < min(best[w], cap) for some w.
+        targets = np.minimum(best, cap)
+        active = cum < targets.max(axis=0)[:, None]
+        if not np.any(active):
+            break
+        family = next(families, None)
+        if family is None:
+            break
+
+        # A world is *open* while some slot can still improve it; resolving
+        # hit grids only for open worlds matches the scalar engine's
+        # stopping rule per world and keeps late phases (where only the
+        # slowest worlds remain) cheap.
+        open_worlds = np.nonzero(
+            (targets > cum.min(axis=1)[None, :]).any(axis=1)
+        )[0]
+        txo = tx[open_worlds]
+        tyo = ty[open_worlds]
+
+        rows, cols = np.nonzero(active)
+        count = rows.size
+        ux, uy, budgets = family.sample(rng, count)
+        start = cum[rows, cols]
+        travel = np.abs(ux) + np.abs(uy)
+
+        # Earliest hit per (open world, draw), inf when the excursion misses.
+        out_mask, out_off = _outbound_hit_offsets(ux, uy, txo, tyo)
+        hit_offset = np.where(out_mask, out_off.astype(np.float64), np.inf)
+
+        # Spiral hits are possible only where the budget reaches the
+        # treasure: the spiral first enters L-inf ring m at exactly
+        # (2m - 1)^2 steps, so entries with (2m - 1)^2 > budget are pruned
+        # before evaluating the (more expensive) exact closed form.  The
+        # tiny relative slack keeps the float pre-check conservative.
+        dxg = txo - ux
+        dyg = tyo - uy
+        reach = np.maximum(
+            2.0 * np.maximum(np.abs(dxg), np.abs(dyg)) - 1.0, 0.0
+        )
+        cand_w, cand_s = np.nonzero(reach * reach * (1.0 - 1e-12) <= budgets)
+        if cand_w.size:
+            spiral_hit = _hit_times(dxg[cand_w, cand_s], dyg[cand_w, cand_s])
+            cand_budgets = budgets[cand_s]
+            sp_time = np.where(
+                spiral_hit <= cand_budgets, travel[cand_s] + spiral_hit, np.inf
+            )
+            hit_offset[cand_w, cand_s] = np.minimum(
+                hit_offset[cand_w, cand_s], sp_time
+            )
+
+        dx_end, dy_end = spiral_position_array(budgets)
+        ex = ux + dx_end
+        ey = uy + dy_end
+        ret_mask, ret_off = _return_hit_offsets(ex, ey, txo, tyo)
+        ret_time = travel + budgets + ret_off
+        np.minimum(hit_offset, np.where(ret_mask, ret_time, np.inf),
+                   out=hit_offset)
+
+        w_sub, s_idx = np.nonzero(np.isfinite(hit_offset))
+        if w_sub.size:
+            find_times = start[s_idx] + hit_offset[w_sub, s_idx]
+            w_idx = open_worlds[w_sub]
+            np.minimum.at(best.ravel(), w_idx * trials + rows[s_idx], find_times)
+
+        # Unlike the scalar engine, finders are not parked: whether a draw
+        # found is world-dependent.  Advancing every live slot by the full
+        # excursion duration is safe (see docstring) and keeps the clocks
+        # world-independent.
+        duration = travel + budgets + np.abs(ex) + np.abs(ey)
+        cum[rows, cols] = start + duration
+
+    best[best > cap] = np.inf
+    return best
+
+
 def excursion_find_time(
     algorithm: ExcursionAlgorithm,
     world: World,
@@ -251,11 +423,30 @@ def expected_find_time(
     Returns ``(mean, stderr)`` over ``trials`` executions.  Truncated
     (non-finding) runs propagate ``inf`` into the mean, which is the honest
     answer for one-shot algorithms.
+
+    ``stderr`` sentinels: ``inf`` when any run failed to find (the spread
+    is unbounded), and ``nan`` for a single finite trial — one sample
+    carries no spread information, and reporting ``0.0`` would silently
+    overstate confidence.
     """
     times = simulate_find_times(algorithm, world, k, trials, seed, **kwargs)
+    return find_time_statistics(times)
+
+
+def find_time_statistics(times: np.ndarray) -> Tuple[float, float]:
+    """``(mean, stderr)`` of a find-time sample, with the shared sentinels.
+
+    The single source of the sentinel rules used by
+    :func:`expected_find_time` and the sweep subsystem's cell statistics:
+    ``stderr`` is ``inf`` when any trial failed to find and ``nan`` for a
+    single finite trial.
+    """
+    times = np.asarray(times, dtype=np.float64)
     mean = float(np.mean(times))
-    if np.all(np.isfinite(times)) and trials > 1:
-        stderr = float(np.std(times, ddof=1) / math.sqrt(trials))
+    if not np.all(np.isfinite(times)):
+        stderr = math.inf
+    elif times.size == 1:
+        stderr = math.nan
     else:
-        stderr = math.inf if not np.all(np.isfinite(times)) else 0.0
+        stderr = float(np.std(times, ddof=1) / math.sqrt(times.size))
     return mean, stderr

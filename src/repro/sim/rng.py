@@ -14,7 +14,7 @@ from typing import List, Sequence, Union
 
 import numpy as np
 
-__all__ = ["make_rng", "spawn_rngs", "spawn_seeds", "derive_rng"]
+__all__ = ["make_rng", "spawn_rngs", "spawn_seeds", "derive_rng", "derive_seed"]
 
 SeedLike = Union[None, int, Sequence[int], np.random.SeedSequence, np.random.Generator]
 
@@ -51,17 +51,12 @@ def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
     return [np.random.default_rng(s) for s in spawn_seeds(seed, count)]
 
 
-def derive_rng(seed: SeedLike, *key: int) -> np.random.Generator:
-    """Deterministically derive a generator for a structured key.
-
-    ``derive_rng(root, trial, agent)`` gives the same stream for the same
-    ``(root, trial, agent)`` triple, independent of evaluation order —
-    the anchor of cross-engine replay tests.
-    """
+def _key_sequence(seed: SeedLike, *key: int) -> np.random.SeedSequence:
+    """The shared seed-plus-key normalisation behind the ``derive_*`` pair."""
     if isinstance(seed, np.random.SeedSequence):
         entropy = seed.entropy
     elif isinstance(seed, np.random.Generator):
-        raise TypeError("derive_rng needs a stable seed, not a live Generator")
+        raise TypeError("key derivation needs a stable seed, not a live Generator")
     else:
         entropy = seed
     if entropy is None:
@@ -70,4 +65,25 @@ def derive_rng(seed: SeedLike, *key: int) -> np.random.Generator:
         base = tuple(int(e) for e in entropy)
     else:
         base = (int(entropy),)
-    return np.random.default_rng(np.random.SeedSequence(base + tuple(key)))
+    return np.random.SeedSequence(base + tuple(key))
+
+
+def derive_rng(seed: SeedLike, *key: int) -> np.random.Generator:
+    """Deterministically derive a generator for a structured key.
+
+    ``derive_rng(root, trial, agent)`` gives the same stream for the same
+    ``(root, trial, agent)`` triple, independent of evaluation order —
+    the anchor of cross-engine replay tests.
+    """
+    return np.random.default_rng(_key_sequence(seed, *key))
+
+
+def derive_seed(seed: SeedLike, *key: int) -> int:
+    """Deterministically derive a plain integer seed for a structured key.
+
+    The integer twin of :func:`derive_rng`, for consumers that need a
+    serialisable seed (sweep specs, cache keys) rather than a live
+    generator: the same ``(root, *key)`` always yields the same integer,
+    and distinct keys yield statistically independent streams.
+    """
+    return int(_key_sequence(seed, *key).generate_state(1, np.uint64)[0])

@@ -97,7 +97,8 @@ class Result:
     ``time`` is the first time at which any agent stands on the treasure
     (``math.inf``/``np.inf`` when the run was truncated before a find);
     ``finder`` identifies the finding agent when known; ``steps_simulated``
-    records the truncation horizon for capped runs.
+    records the total number of steps actually executed across all agents
+    (early stops and pruning make this smaller than ``k * horizon``).
     """
 
     time: float

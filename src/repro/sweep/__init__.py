@@ -1,0 +1,44 @@
+"""Sweep subsystem: declarative, cached, batched parameter sweeps.
+
+The paper's questions are all of the form "how does the find time behave
+as a function of ``D`` and ``k``?", so the natural unit of work is a grid
+of worlds, not a single treasure.  This package turns that grid into one
+fast primitive:
+
+* :class:`SweepSpec` — a serialisable description of an
+  ``algorithm x D x k x trials`` sweep (see :mod:`repro.sweep.spec`);
+* :func:`run_sweep` — the executor: consults the on-disk cache, resolves
+  each ``k``-group with one batched engine call, optionally fans groups
+  out to a process pool (see :mod:`repro.sweep.runner`);
+* the cache itself lives in :mod:`repro.sweep.cache`.
+
+Experiments (E1/E2/E3/E6) and the ``repro-ants sweep`` CLI are thin
+consumers of :func:`run_sweep`.
+"""
+
+from .cache import cache_path, default_cache_dir, load_result, save_result
+from .runner import CellResult, SweepResult, run_sweep
+from .spec import (
+    ALGORITHM_BUILDERS,
+    SweepCell,
+    SweepGroup,
+    SweepSpec,
+    build_algorithm,
+    register_algorithm,
+)
+
+__all__ = [
+    "ALGORITHM_BUILDERS",
+    "CellResult",
+    "SweepCell",
+    "SweepGroup",
+    "SweepResult",
+    "SweepSpec",
+    "build_algorithm",
+    "cache_path",
+    "default_cache_dir",
+    "load_result",
+    "register_algorithm",
+    "run_sweep",
+    "save_result",
+]

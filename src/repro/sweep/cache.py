@@ -1,0 +1,93 @@
+"""On-disk result cache for sweeps.
+
+One sweep = one ``.npz`` file named by the spec's content hash, holding the
+full ``(cells, trials)`` find-time matrix plus a JSON metadata record (the
+spec dict and the cell list).  Storing raw times rather than summary
+statistics means cached sweeps can answer *new* questions (quantiles,
+success rates under a different horizon) without recomputation.
+
+The cache directory resolves, in order, to the ``REPRO_SWEEP_CACHE``
+environment variable or ``~/.cache/repro-ants/sweeps``.  All cache I/O is
+best-effort: a missing, unreadable or stale entry silently falls back to
+recomputation, and writes go through a temp file + atomic rename so that a
+crashed run never leaves a truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zipfile
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .spec import SweepCell, SweepSpec
+
+__all__ = ["default_cache_dir", "cache_path", "load_result", "save_result"]
+
+
+def default_cache_dir() -> str:
+    """Resolve the sweep cache directory (env override, then XDG-ish home)."""
+    env = os.environ.get("REPRO_SWEEP_CACHE")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-ants", "sweeps")
+
+
+def cache_path(spec: SweepSpec, cache_dir: Optional[str] = None) -> str:
+    """The cache file a spec maps to (which need not exist yet)."""
+    directory = cache_dir if cache_dir is not None else default_cache_dir()
+    return os.path.join(directory, f"sweep_{spec.algorithm}_{spec.spec_hash()}.npz")
+
+
+def load_result(
+    spec: SweepSpec, path: str
+) -> Optional[Tuple[List[SweepCell], np.ndarray]]:
+    """Load a cached sweep, or ``None`` when absent, corrupt, or stale.
+
+    The stored spec dict is compared against ``spec`` (not just the hash) so
+    a hash collision or a hand-edited file can never smuggle in results for
+    a different sweep.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            times = np.asarray(archive["times"], dtype=np.float64)
+    except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile):
+        return None
+    if meta.get("spec") != spec.to_dict():
+        return None
+    cells = [SweepCell(distance=d, k=k) for d, k in meta.get("cells", [])]
+    if times.ndim != 2 or times.shape != (len(cells), spec.trials):
+        return None
+    return cells, times
+
+
+def save_result(
+    spec: SweepSpec, path: str, cells: List[SweepCell], times: np.ndarray
+) -> bool:
+    """Persist a sweep result; returns whether the write succeeded."""
+    meta = {
+        "spec": spec.to_dict(),
+        "cells": [[cell.distance, cell.k] for cell in cells],
+    }
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".sweep_tmp_", suffix=".npz"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(
+                    handle, meta=np.asarray(json.dumps(meta)), times=times
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+    except OSError:
+        return False
+    return True

@@ -1,0 +1,180 @@
+"""Sweep execution: cached, batched, optionally multiprocess.
+
+:func:`run_sweep` turns a :class:`repro.sweep.spec.SweepSpec` into a
+:class:`SweepResult`:
+
+1. the on-disk cache is consulted (keyed by the spec's content hash) —
+   a hit returns immediately, which is what makes repeated experiment runs
+   and quick/full mode switches cheap;
+2. on a miss, each ``k``-group of the grid is resolved by a single
+   :func:`repro.sim.events.simulate_find_times_batch` call over all of the
+   group's worlds (one per distance), sharing every phase's excursion draws
+   across the group;
+3. groups are independent, so with ``workers > 1`` they are fanned out to a
+   ``multiprocessing`` pool (each task ships the picklable spec plus its
+   spawned child seed, so results are bitwise identical to a serial run);
+4. the raw ``(cells, trials)`` find-time matrix is written back to the
+   cache.
+
+Seed policy: one child seed per group via
+:func:`repro.sim.rng.spawn_seeds` on the spec's root seed; within a group
+the first grandchild seeds the simulation and the rest seed the (possibly
+random) treasure placements, one per distance.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..sim.events import find_time_statistics, simulate_find_times_batch
+from ..sim.rng import spawn_seeds
+from ..sim.world import place_treasure
+from .cache import cache_path, load_result, save_result
+from .spec import SweepCell, SweepSpec, build_algorithm
+
+__all__ = ["CellResult", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Measured outcome of one ``(D, k)`` cell: the raw per-trial times.
+
+    Summary statistics are derived properties so that cached and freshly
+    computed cells behave identically; mean/stderr (and their sentinels)
+    come from :func:`repro.sim.events.find_time_statistics`, the same rule
+    ``expected_find_time`` reports.
+    """
+
+    distance: int
+    k: int
+    times: np.ndarray
+
+    @property
+    def trials(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def mean(self) -> float:
+        """Mean find time; ``inf`` when any trial failed to find."""
+        return find_time_statistics(self.times)[0]
+
+    @property
+    def stderr(self) -> float:
+        return find_time_statistics(self.times)[1]
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of trials that found the treasure at all."""
+        return float(np.isfinite(self.times).mean())
+
+    @property
+    def finite_mean(self) -> float:
+        """Mean over finding trials only (``inf`` when none found)."""
+        finite = self.times[np.isfinite(self.times)]
+        return float(finite.mean()) if finite.size else math.inf
+
+
+@dataclass
+class SweepResult:
+    """All cells of one executed (or cache-loaded) sweep."""
+
+    spec: SweepSpec
+    cells: List[CellResult]
+    from_cache: bool = False
+    _index: Dict[Tuple[int, int], CellResult] = field(
+        init=False, repr=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        self._index = {(c.distance, c.k): c for c in self.cells}
+
+    def cell(self, distance: int, k: int) -> CellResult:
+        """Look up one cell; raises ``KeyError`` for off-grid queries."""
+        try:
+            return self._index[(int(distance), int(k))]
+        except KeyError:
+            raise KeyError(
+                f"no cell (D={distance}, k={k}) in sweep over "
+                f"D={self.spec.distances} x k={self.spec.ks}"
+            ) from None
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+def _execute_group(task) -> np.ndarray:
+    """Resolve one k-group; module-level so the pool can pickle it."""
+    spec, k, distances, group_seed = task
+    algorithm = build_algorithm(spec.algorithm, k, spec.param_dict())
+    child_seeds = spawn_seeds(group_seed, 1 + len(distances))
+    sim_seed, placement_seeds = child_seeds[0], child_seeds[1:]
+    worlds = [
+        place_treasure(distance, spec.placement, seed=placement_seed)
+        for distance, placement_seed in zip(distances, placement_seeds)
+    ]
+    return simulate_find_times_batch(
+        algorithm, worlds, k, spec.trials, sim_seed, horizon=spec.horizon
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: int = 0,
+    cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> SweepResult:
+    """Execute a sweep spec (or load it from the cache).
+
+    ``workers`` <= 1 runs the groups serially in-process; larger values fan
+    them out to a ``multiprocessing`` pool (capped at the group count).
+    Serial and pooled runs produce bitwise-identical results.  ``cache``
+    toggles both lookup and write-back; ``cache_dir`` overrides the default
+    cache location (see :func:`repro.sweep.cache.default_cache_dir`).
+    """
+    path = cache_path(spec, cache_dir) if cache else None
+    if path is not None:
+        loaded = load_result(spec, path)
+        if loaded is not None:
+            cached_cells, times = loaded
+            cells = [
+                CellResult(distance=c.distance, k=c.k, times=times[i])
+                for i, c in enumerate(cached_cells)
+            ]
+            return SweepResult(spec=spec, cells=cells, from_cache=True)
+
+    groups = spec.groups()
+    group_seeds = spawn_seeds(spec.seed, len(groups))
+    tasks = [
+        (spec, group.k, group.distances, group_seed)
+        for group, group_seed in zip(groups, group_seeds)
+    ]
+    if workers > 1 and len(tasks) > 1:
+        with multiprocessing.Pool(min(workers, len(tasks))) as pool:
+            matrices = pool.map(_execute_group, tasks)
+    else:
+        matrices = [_execute_group(task) for task in tasks]
+
+    cells: List[CellResult] = []
+    for group, matrix in zip(groups, matrices):
+        for row, distance in enumerate(group.distances):
+            cells.append(
+                CellResult(distance=distance, k=group.k, times=matrix[row])
+            )
+
+    if path is not None and cells:
+        save_result(
+            spec,
+            path,
+            [SweepCell(distance=c.distance, k=c.k) for c in cells],
+            np.stack([c.times for c in cells]),
+        )
+    return SweepResult(spec=spec, cells=cells, from_cache=False)

@@ -1,0 +1,215 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names everything a parameter sweep depends on — the
+algorithm (by registry name), its parameters, the ``D x k`` grid, trial
+count, treasure placement, root seed and optional horizon — as plain
+serialisable data.  Two properties follow from that:
+
+* the spec has a stable content hash (:meth:`SweepSpec.spec_hash`), which
+  keys the on-disk result cache: the same spec always maps to the same
+  file, and any change to any knob maps to a different one;
+* the spec can be shipped to a worker process verbatim, which is what the
+  :func:`repro.sweep.runner.run_sweep` multiprocessing pool does.
+
+Execution is organised in *groups*: all distances that share a ``k`` form
+one group, resolved by a single :func:`repro.sim.events.simulate_find_times_batch`
+call that shares each phase's excursion draws across the group's worlds
+(common random numbers — per-cell means stay unbiased while cross-distance
+comparisons see paired noise).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..algorithms import (
+    HarmonicSearch,
+    NaiveTrustSearch,
+    NonUniformSearch,
+    RestartingHarmonicSearch,
+    RhoApproxSearch,
+    UniformSearch,
+)
+from ..algorithms.base import ExcursionAlgorithm
+
+__all__ = [
+    "SPEC_VERSION",
+    "ALGORITHM_BUILDERS",
+    "register_algorithm",
+    "build_algorithm",
+    "SweepCell",
+    "SweepGroup",
+    "SweepSpec",
+]
+
+#: Bumped whenever the execution semantics change in a way that invalidates
+#: cached results (seed derivation, engine semantics, npz layout).
+SPEC_VERSION = 1
+
+ParamsLike = Union[Mapping[str, float], Sequence[Tuple[str, float]]]
+
+#: name -> builder(k, params) for every algorithm a sweep can name.
+#: Builders receive the true agent count ``k`` so that k-aware algorithms
+#: (``A_k``) can use it; k-oblivious algorithms ignore it.
+ALGORITHM_BUILDERS: Dict[
+    str, Callable[[int, Mapping[str, float]], ExcursionAlgorithm]
+] = {}
+
+
+def register_algorithm(
+    name: str, builder: Callable[[int, Mapping[str, float]], ExcursionAlgorithm]
+) -> None:
+    """Register a sweepable algorithm under ``name`` (overwrites quietly)."""
+    ALGORITHM_BUILDERS[name] = builder
+
+
+def build_algorithm(
+    name: str, k: int, params: Mapping[str, float]
+) -> ExcursionAlgorithm:
+    """Instantiate the registered algorithm ``name`` for ``k`` agents."""
+    if name not in ALGORITHM_BUILDERS:
+        known = ", ".join(sorted(ALGORITHM_BUILDERS))
+        raise KeyError(f"unknown sweep algorithm {name!r}; known: {known}")
+    return ALGORITHM_BUILDERS[name](k, params)
+
+
+register_algorithm("nonuniform", lambda k, p: NonUniformSearch(k=p.get("k", k)))
+register_algorithm("uniform", lambda k, p: UniformSearch(p.get("eps", 0.5)))
+register_algorithm("harmonic", lambda k, p: HarmonicSearch(p.get("delta", 0.5)))
+register_algorithm(
+    "restarting_harmonic",
+    lambda k, p: RestartingHarmonicSearch(p.get("delta", 0.5)),
+)
+register_algorithm("rho", lambda k, p: RhoApproxSearch(k_a=p["k_a"], rho=p["rho"]))
+register_algorithm("naive", lambda k, p: NaiveTrustSearch(k_tilde=p["k_tilde"]))
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One ``(D, k)`` cell of a sweep grid."""
+
+    distance: int
+    k: int
+
+
+@dataclass(frozen=True)
+class SweepGroup:
+    """All cells sharing one ``k`` — the unit of batched execution."""
+
+    k: int
+    distances: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A fully-described ``algorithm x D x k x trials`` sweep.
+
+    ``params`` accepts a mapping or key/value pairs and is normalised to a
+    sorted tuple so that equal specs hash equally.  ``seed`` must be a plain
+    integer (serialisable); derive one from a structured key with
+    :func:`repro.sim.rng.derive_seed`.
+    """
+
+    algorithm: str
+    distances: Tuple[int, ...]
+    ks: Tuple[int, ...]
+    trials: int
+    params: Tuple[Tuple[str, float], ...] = ()
+    placement: str = "offaxis"
+    seed: int = 0
+    horizon: Optional[float] = None
+    require_k_le_d: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "distances", tuple(int(d) for d in self.distances)
+        )
+        object.__setattr__(self, "ks", tuple(int(k) for k in self.ks))
+        params = self.params
+        if isinstance(params, Mapping):
+            items = params.items()
+        else:
+            items = params
+        object.__setattr__(
+            self,
+            "params",
+            tuple(sorted((str(name), float(value)) for name, value in items)),
+        )
+        if not self.distances or not self.ks:
+            raise ValueError("distances and ks must be non-empty")
+        if any(d < 1 for d in self.distances):
+            raise ValueError("distances must be >= 1")
+        if any(k < 1 for k in self.ks):
+            raise ValueError("ks must be >= 1")
+        if self.trials < 1:
+            raise ValueError(f"trials must be >= 1, got {self.trials}")
+        if not isinstance(self.seed, int):
+            raise TypeError(
+                f"spec seed must be a plain int, got {type(self.seed).__name__}"
+            )
+
+    def param_dict(self) -> Dict[str, float]:
+        return dict(self.params)
+
+    def groups(self) -> List[SweepGroup]:
+        """Batched execution units, in deterministic (k-major) order.
+
+        With ``require_k_le_d``, cells with ``k > D`` are dropped (the
+        regime the paper's analyses reduce away); a ``k`` whose distances
+        all drop contributes no group.
+        """
+        groups: List[SweepGroup] = []
+        for k in self.ks:
+            distances = tuple(
+                d
+                for d in self.distances
+                if not (self.require_k_le_d and k > d)
+            )
+            if distances:
+                groups.append(SweepGroup(k=k, distances=distances))
+        return groups
+
+    def cells(self) -> List[SweepCell]:
+        """All grid cells in group (k-major) order."""
+        return [
+            SweepCell(distance=d, k=group.k)
+            for group in self.groups()
+            for d in group.distances
+        ]
+
+    def to_dict(self) -> Dict:
+        """Canonical JSON-able form (the hashing and cache-metadata basis)."""
+        return {
+            "version": SPEC_VERSION,
+            "algorithm": self.algorithm,
+            "params": [list(pair) for pair in self.params],
+            "distances": list(self.distances),
+            "ks": list(self.ks),
+            "trials": self.trials,
+            "placement": self.placement,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "require_k_le_d": self.require_k_le_d,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SweepSpec":
+        return cls(
+            algorithm=data["algorithm"],
+            distances=tuple(data["distances"]),
+            ks=tuple(data["ks"]),
+            trials=int(data["trials"]),
+            params=tuple((name, value) for name, value in data["params"]),
+            placement=data["placement"],
+            seed=int(data["seed"]),
+            horizon=data["horizon"],
+            require_k_le_d=bool(data["require_k_le_d"]),
+        )
+
+    def spec_hash(self) -> str:
+        """Stable content hash over every result-determining knob."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:20]

@@ -52,3 +52,91 @@ class TestMain:
         assert main(["demo"]) == 0
         out = capsys.readouterr().out
         assert "Treasure" in out and "mean" in out
+
+
+class TestSweepCommand:
+    def test_parse_sweep_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "sweep", "uniform",
+                "--distances", "16,32",
+                "--ks", "1,4",
+                "--param", "eps=0.5",
+                "--workers", "2",
+                "--no-cache",
+            ]
+        )
+        assert args.command == "sweep"
+        assert args.algorithm == "uniform"
+        assert args.param == ["eps=0.5"]
+        assert args.workers == 2 and args.no_cache
+
+    def test_sweep_prints_cell_table(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep", "nonuniform",
+                    "--distances", "8,16",
+                    "--ks", "1,4",
+                    "--trials", "10",
+                    "--seed", "3",
+                    "--cache-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sweep nonuniform" in out and "ratio" in out
+        assert "computed" in out
+        # A second identical invocation is served from the cache.
+        assert (
+            main(
+                [
+                    "sweep", "nonuniform",
+                    "--distances", "8,16",
+                    "--ks", "1,4",
+                    "--trials", "10",
+                    "--seed", "3",
+                    "--cache-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "(cache)" in capsys.readouterr().out
+
+    def test_sweep_csv_export(self, tmp_path, capsys):
+        csv_file = tmp_path / "cells.csv"
+        assert (
+            main(
+                [
+                    "sweep", "harmonic",
+                    "--param", "delta=0.5",
+                    "--distances", "8",
+                    "--ks", "4",
+                    "--trials", "10",
+                    "--no-cache",
+                    "--csv", str(csv_file),
+                ]
+            )
+            == 0
+        )
+        assert csv_file.exists()
+
+    def test_sweep_rejects_bad_param(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "sweep", "uniform",
+                    "--distances", "8",
+                    "--ks", "1",
+                    "--param", "eps",
+                ]
+            )
+
+    def test_sweep_rejects_bad_distances(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "uniform", "--distances", "8,x", "--ks", "1"])
+
+    def test_sweep_rejects_bad_trials_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "uniform", "--distances", "8", "--ks", "1", "--trials", "0"])

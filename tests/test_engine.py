@@ -113,3 +113,29 @@ class TestFirstVisitTimes:
         maps = first_visit_times(NonUniformSearch(k=3), world, 3, seed=6, horizon=200)
         for visits in maps:
             assert len(visits) <= 201  # at most horizon+1 distinct cells
+
+
+class TestStepsSimulatedReporting:
+    """Regression: steps_simulated must reflect work done, not the horizon."""
+
+    def test_pruned_run_reports_actual_total_steps(self):
+        world = place_treasure(8, "corner")
+        run = run_search(NonUniformSearch(k=3), world, 3, seed=3, horizon=10_000)
+        assert run.result.found
+        per_trace = sum(trace.steps for trace in run.traces)
+        assert run.result.steps_simulated == per_trace
+        # Pruning caps later agents at the best find time, so the total is
+        # far below the k * horizon the old code implied.
+        assert run.result.steps_simulated < 3 * 10_000
+
+    def test_not_found_reports_full_walks(self):
+        world = place_treasure(1000, "axis")
+        run = run_search(SingleSpiralSearch(), world, 2, seed=0, horizon=100)
+        assert not run.result.found
+        assert run.result.steps_simulated == 200
+
+    def test_early_find_reports_short_walk(self):
+        world = World((1, 1))  # spiral hit time 2
+        run = run_search(SingleSpiralSearch(), world, 1, seed=0, horizon=10**6)
+        assert run.result.found
+        assert run.result.steps_simulated == run.result.time == 2

@@ -25,7 +25,11 @@ from repro.algorithms import (
     UniformSearch,
 )
 from repro.sim.engine import run_agent
-from repro.sim.events import excursion_find_time, simulate_find_times
+from repro.sim.events import (
+    excursion_find_time,
+    simulate_find_times,
+    simulate_find_times_batch,
+)
 from repro.sim.rng import derive_rng
 from repro.sim.world import World, place_treasure
 
@@ -112,3 +116,40 @@ class TestDistributionalAgreement:
         slow = np.asarray(slow)
         pooled_se = math.sqrt(fast.var() / fast.size + slow.var() / slow.size)
         assert abs(fast.mean() - slow.mean()) < 5 * pooled_se + 1e-9
+
+
+class TestHorizonBoundaryParity:
+    """A find at exactly ``horizon`` is kept by every engine."""
+
+    def test_step_engine_keeps_find_at_exact_horizon(self):
+        # Seeds whose first excursion crosses (2, 0) at exactly t=2.
+        world = World((2, 0))
+        alg = NonUniformSearch(k=1)
+        hitting = [
+            i
+            for i in range(300)
+            if excursion_find_time(alg, world, derive_rng(0, i)) == 2
+        ]
+        assert hitting, "expected some outbound hits at t=2"
+        for i in hitting[:5]:
+            trace = run_agent(alg, world, derive_rng(0, i), horizon=2)
+            assert trace.find_time == 2
+
+    def test_events_engine_keeps_find_at_exact_horizon(self):
+        world = World((2, 0))
+        times = simulate_find_times(
+            NonUniformSearch(k=1), world, 1, 200, seed=8, horizon=2.0
+        )
+        finite = times[np.isfinite(times)]
+        assert finite.size > 0
+        assert np.all(finite == 2.0)
+
+    def test_batch_engine_agrees_bitwise_at_the_boundary(self):
+        world = World((2, 0))
+        scalar = simulate_find_times(
+            NonUniformSearch(k=1), world, 1, 200, seed=8, horizon=2.0
+        )
+        batch = simulate_find_times_batch(
+            NonUniformSearch(k=1), [world], 1, 200, seed=8, horizon=2.0
+        )
+        assert np.array_equal(scalar, batch[0])

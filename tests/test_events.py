@@ -116,6 +116,20 @@ class TestExpectedFindTime:
         mean, stderr = expected_find_time(HarmonicSearch(0.8), world, 1, 10, seed=10)
         assert math.isinf(mean)
 
+    def test_single_trial_stderr_is_nan(self):
+        """Regression: one finite sample used to report stderr=0.0, silently
+        overstating confidence; the documented sentinel is nan."""
+        world = place_treasure(10, "corner")
+        mean, stderr = expected_find_time(NonUniformSearch(k=2), world, 2, 1, seed=9)
+        assert math.isfinite(mean)
+        assert math.isnan(stderr)
+
+    def test_single_failed_trial_stderr_is_inf(self):
+        world = place_treasure(500, "corner")
+        mean, stderr = expected_find_time(HarmonicSearch(0.8), world, 1, 1, seed=10)
+        assert math.isinf(mean)
+        assert math.isinf(stderr)
+
 
 class TestScaling:
     def test_nonuniform_is_constant_competitive(self):
