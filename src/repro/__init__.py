@@ -35,7 +35,11 @@ from .algorithms import (
 )
 from .analysis.competitiveness import competitiveness, optimal_time
 from .sim import (
+    BiasedWalker,
+    LevyWalker,
+    RandomWalker,
     Result,
+    Walker,
     World,
     excursion_find_time,
     expected_find_time,
@@ -44,6 +48,8 @@ from .sim import (
     run_search,
     simulate_find_times,
     simulate_find_times_batch,
+    walker_find_times,
+    walker_find_times_batch,
 )
 from .sweep import SweepSpec, run_sweep
 
@@ -51,15 +57,18 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BiasedWalkSearch",
+    "BiasedWalker",
     "ExcursionAlgorithm",
     "ExcursionFamily",
     "HarmonicSearch",
     "HedgedApproxSearch",
     "KnownDSearch",
     "LevyFlightSearch",
+    "LevyWalker",
     "NaiveTrustSearch",
     "NonUniformSearch",
     "RandomWalkSearch",
+    "RandomWalker",
     "Result",
     "RestartingHarmonicSearch",
     "RhoApproxSearch",
@@ -67,6 +76,7 @@ __all__ = [
     "SingleSpiralSearch",
     "SweepSpec",
     "UniformSearch",
+    "Walker",
     "World",
     "competitiveness",
     "excursion_find_time",
@@ -78,5 +88,7 @@ __all__ = [
     "run_sweep",
     "simulate_find_times",
     "simulate_find_times_batch",
+    "walker_find_times",
+    "walker_find_times_batch",
     "__version__",
 ]

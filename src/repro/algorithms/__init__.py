@@ -35,7 +35,7 @@ from .harmonic import (
     RestartingHarmonicSearch,
     harmonic_normalizing_constant,
 )
-from .nonuniform import NonUniformSearch
+from .nonuniform import NonUniformSearch, ScaledBudgetSearch
 from .sector import SectorSearch, sector_find_times
 from .uniform import UniformSearch
 
@@ -53,6 +53,7 @@ __all__ = [
     "RandomWalkSearch",
     "RestartingHarmonicSearch",
     "RhoApproxSearch",
+    "ScaledBudgetSearch",
     "SearchAlgorithm",
     "SectorSearch",
     "SingleSpiralSearch",

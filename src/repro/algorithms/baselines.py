@@ -25,13 +25,16 @@
 
 All baselines are step-program algorithms for the exact engine;
 :class:`SingleSpiralSearch` and :class:`KnownDSearch` also expose exact
-closed-form find times, and :func:`random_walk_find_times` provides a
-vectorised simulator for the random-walk baseline so E7 can afford decent
-sample sizes.
+closed-form find times.  The walker baselines additionally have batched
+NumPy twins in :mod:`repro.sim.walkers` (``RandomWalker``,
+``BiasedWalker``, ``LevyWalker``), which is what the experiments and the
+sweep subsystem run; :func:`random_walk_find_times` survives as a
+deprecated alias onto that engine.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterator, Tuple
 
 import numpy as np
@@ -195,38 +198,27 @@ def random_walk_find_times(
     rng: np.random.Generator,
     chunk: int = 4096,
 ) -> np.ndarray:
-    """Vectorised first-hit times of ``k`` random walkers, truncated at ``horizon``.
+    """Deprecated alias for :meth:`repro.sim.walkers.RandomWalker.find_times`.
 
     Returns a float array of shape ``(trials,)``: the first time any of the
     ``k`` walkers stands on the treasure, or ``inf`` if none does within
-    ``horizon`` steps.  Simulation is chunked so memory stays at
-    ``O(trials * k * chunk)`` bits.
+    ``horizon`` steps.  Simulation is chunked; peak memory is
+    ``O(live walkers * chunk)`` 64-bit entries (the per-chunk offset draw
+    plus the two cumulative-position matrices), not bits.
+
+    .. deprecated:: use :class:`repro.sim.walkers.RandomWalker` directly —
+       the walker engine also covers biased and Lévy walkers and plugs into
+       the sweep subsystem.  For a given ``rng`` and ``chunk`` this alias
+       is bitwise identical to the engine it wraps.
     """
-    if k < 1 or trials < 1:
-        raise ValueError("k and trials must be >= 1")
-    if horizon < 1:
-        raise ValueError(f"horizon must be >= 1, got {horizon}")
-    tx, ty = world.treasure
-    n = trials * k
-    x = np.zeros(n, dtype=np.int64)
-    y = np.zeros(n, dtype=np.int64)
-    alive = np.arange(n)
-    done_time = np.full(n, np.inf)
-    t = 0
-    while t < horizon and alive.size:
-        span = min(chunk, horizon - t)
-        moves = rng.integers(0, 4, size=(alive.size, span))
-        dx = np.where(moves == 0, 1, np.where(moves == 2, -1, 0))
-        dy = np.where(moves == 1, 1, np.where(moves == 3, -1, 0))
-        px = x[alive, None] + np.cumsum(dx, axis=1)
-        py = y[alive, None] + np.cumsum(dy, axis=1)
-        hit = (px == tx) & (py == ty)
-        any_hit = hit.any(axis=1)
-        if np.any(any_hit):
-            first = np.argmax(hit[any_hit], axis=1)
-            done_time[alive[any_hit]] = t + first + 1.0
-        x[alive] = px[:, -1]
-        y[alive] = py[:, -1]
-        alive = alive[~any_hit]
-        t += span
-    return done_time.reshape(trials, k).min(axis=1)
+    warnings.warn(
+        "random_walk_find_times is deprecated; use "
+        "repro.sim.walkers.RandomWalker().find_times(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..sim.walkers import RandomWalker
+
+    return RandomWalker().find_times(
+        world, k, trials, rng, horizon=horizon, chunk=chunk
+    )

@@ -29,7 +29,7 @@ from typing import Iterator
 from ..core.schedule import PhaseSpec, nonuniform_schedule
 from .base import ExcursionAlgorithm, ExcursionFamily, UniformBallFamily
 
-__all__ = ["NonUniformSearch"]
+__all__ = ["NonUniformSearch", "ScaledBudgetSearch"]
 
 
 class NonUniformSearch(ExcursionAlgorithm):
@@ -62,3 +62,32 @@ class NonUniformSearch(ExcursionAlgorithm):
 
     def describe(self) -> str:
         return f"Algorithm 3 (A_k) with k={self.k:g} (Theorem 3.1, O(D + D^2/k))"
+
+
+class ScaledBudgetSearch(ExcursionAlgorithm):
+    """``A_k`` with every spiral budget multiplied by ``budget_scale``.
+
+    The E10 ablation knob (sweepable as ``nonuniform_scaled``): scaling the
+    budgets perturbs the constants of Theorem 3.1 but not the
+    ``O(D + D^2/k)`` shape.
+    """
+
+    uses_k = True
+
+    def __init__(self, k: float, budget_scale: float):
+        if budget_scale <= 0:
+            raise ValueError(f"budget_scale must be positive, got {budget_scale}")
+        self.k = float(k)
+        self.budget_scale = float(budget_scale)
+        self.name = f"A_k(k={k:g}, c={budget_scale:g})"
+
+    def families(self) -> Iterator[ExcursionFamily]:
+        for spec in nonuniform_schedule(self.k):
+            budget = max(1, int(round(spec.budget * self.budget_scale)))
+            yield UniformBallFamily(spec.radius, budget)
+
+    def describe(self) -> str:
+        return (
+            f"A_k with k={self.k:g} and spiral budgets scaled by "
+            f"{self.budget_scale:g} (E10 ablation)"
+        )

@@ -8,6 +8,7 @@ Examples::
     repro-ants run E1 --workers 4        # fan sweep groups out to a pool
     repro-ants sweep nonuniform --distances 16,32,64 --ks 1,4,16 --trials 60
     repro-ants sweep uniform --param eps=0.5 --distances 64 --ks 1,2,4,8
+    repro-ants sweep levy --param mu=2 --distances 32 --ks 4 --horizon 40960
     repro-ants demo                      # 30-second guided demo
 
 Experiment runs and ad-hoc sweeps share the cached sweep engine: re-running
@@ -66,7 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_p.add_argument(
         "algorithm",
-        help="registered sweep algorithm (nonuniform, uniform, harmonic, ...)",
+        help=(
+            "registered sweep strategy (nonuniform, uniform, harmonic, "
+            "random_walk, biased_walk, levy, ...); walker baselines "
+            "require --horizon"
+        ),
     )
     sweep_p.add_argument(
         "--distances",
@@ -192,12 +197,15 @@ def _cmd_sweep(args) -> int:
     except (TypeError, ValueError) as error:
         raise SystemExit(str(error))
     started = time.perf_counter()
-    result = run_sweep(
-        spec,
-        workers=args.workers,
-        cache=not args.no_cache,
-        cache_dir=args.cache_dir,
-    )
+    try:
+        result = run_sweep(
+            spec,
+            workers=args.workers,
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+        )
+    except ValueError as error:  # e.g. walker strategy without --horizon
+        raise SystemExit(str(error))
     elapsed = time.perf_counter() - started
 
     title = f"sweep {args.algorithm}"

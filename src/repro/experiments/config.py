@@ -22,11 +22,10 @@ class ExperimentScale:
     trials: int
     distances: Sequence[int]
     ks: Sequence[int]
-    step_trials: int  # trials for step-level (slow) instrumentation
     seed: int = 20120716  # PODC 2012 started July 16, Madeira
 
     def __post_init__(self) -> None:
-        if self.trials < 1 or self.step_trials < 1:
+        if self.trials < 1:
             raise ValueError("trial counts must be >= 1")
         if not self.distances or not self.ks:
             raise ValueError("distances and ks must be non-empty")
@@ -37,7 +36,6 @@ QUICK = ExperimentScale(
     trials=60,
     distances=(16, 32, 64),
     ks=(1, 4, 16),
-    step_trials=8,
 )
 
 FULL = ExperimentScale(
@@ -45,7 +43,6 @@ FULL = ExperimentScale(
     trials=300,
     distances=(32, 64, 128, 256, 512),
     ks=(1, 2, 4, 8, 16, 32, 64, 128, 256),
-    step_trials=30,
 )
 
 

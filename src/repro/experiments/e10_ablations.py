@@ -15,19 +15,24 @@ Four ablations:
 * **budget constant**: scaling every spiral budget of ``A_k`` by ``c``
   perturbs the constant but not the O(D + D^2/k) shape (flat ratio in c
   within a small band).
+
+All four run on :func:`repro.sweep.runner.run_sweep` (cached, poolable).
+Every spec's seed is *derived* from the root seed plus a stable key —
+``(section, knob value)`` — via :func:`repro.sim.rng.derive_seed`, never
+consumed sequentially: the old ``idx``-advancing pattern silently shifted
+every later cell onto a different stream whenever a cell was skipped
+(``k > D``) or a grid changed shape between quick and full mode.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from ..algorithms import NonUniformSearch, SingleSpiralSearch, UniformSearch
-from ..algorithms.base import ExcursionAlgorithm, UniformBallFamily
+from ..algorithms import ScaledBudgetSearch, SingleSpiralSearch
 from ..analysis.competitiveness import competitiveness, optimal_time
-from ..core.schedule import nonuniform_schedule
-from ..sim.events import simulate_find_times
-from ..sim.rng import spawn_seeds
+from ..sim.rng import derive_seed
 from ..sim.world import place_treasure
+from ..sweep import SweepSpec, run_sweep
 from .config import scale
 from .io import ResultTable
 
@@ -36,32 +41,29 @@ __all__ = ["run", "ScaledBudgetSearch"]
 EXPERIMENT_ID = "E10"
 TITLE = "E10: ablations"
 
-
-class ScaledBudgetSearch(ExcursionAlgorithm):
-    """``A_k`` with every spiral budget multiplied by ``c`` (ablation knob)."""
-
-    uses_k = True
-
-    def __init__(self, k: float, budget_scale: float):
-        if budget_scale <= 0:
-            raise ValueError(f"budget_scale must be positive, got {budget_scale}")
-        self.k = float(k)
-        self.budget_scale = float(budget_scale)
-        self.name = f"A_k(k={k:g}, c={budget_scale:g})"
-
-    def families(self):
-        for spec in nonuniform_schedule(self.k):
-            budget = max(1, int(round(spec.budget * self.budget_scale)))
-            yield UniformBallFamily(spec.radius, budget)
+# Stable section keys for seed derivation (never renumber).
+_EPS_SECTION, _PLACEMENT_SECTION, _DISPERSION_SECTION, _BUDGET_SECTION = range(4)
 
 
-def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
+def run(
+    quick: bool = True,
+    seed: int | None = None,
+    workers: int = 0,
+    cache: bool = True,
+) -> List[ResultTable]:
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
     trials = cfg.trials
     distance = 32 if quick else 128
     k = 8 if quick else 32
-    eps_seed, place_seed, disp_seed, budget_seed = spawn_seeds(seed, 4)
+
+    def sweep(section: int, *key: int, **spec_kwargs):
+        spec = SweepSpec(
+            trials=trials,
+            seed=derive_seed(seed, section, *key),
+            **spec_kwargs,
+        )
+        return run_sweep(spec, workers=workers, cache=cache)
 
     # --- eps sweep --------------------------------------------------------
     eps_table = ResultTable(
@@ -69,19 +71,24 @@ def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
         columns=["eps", "k", "phi"],
     )
     ks = (2, 8, 32) if quick else (2, 8, 32, 128)
-    world = place_treasure(distance, "offaxis")
-    seeds = spawn_seeds(eps_seed, 4 * len(ks))
-    idx = 0
     for eps in (0.1, 0.3, 0.5, 1.0):
-        for kk in ks:
-            if kk > distance:
-                continue
-            times = simulate_find_times(UniformSearch(eps), world, kk, trials, seeds[idx])
-            idx += 1
+        # One spec per eps; require_k_le_d drops k > D cells without
+        # disturbing any other cell's seed (the old sequential-idx bug).
+        result = sweep(
+            _EPS_SECTION,
+            int(round(eps * 1000)),
+            algorithm="uniform",
+            params={"eps": eps},
+            distances=(distance,),
+            ks=ks,
+            placement="offaxis",
+            require_k_le_d=True,
+        )
+        for cell in result:
             eps_table.add_row(
                 eps=eps,
-                k=kk,
-                phi=competitiveness(float(times.mean()), distance, kk),
+                k=cell.k,
+                phi=competitiveness(cell.mean, distance, cell.k),
             )
 
     # --- placement --------------------------------------------------------
@@ -89,17 +96,21 @@ def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
         title="E10b: placement ablation (commuting highways vs spiral order)",
         columns=["placement", "mean_time", "vs_optimal"],
     )
-    p_seeds = spawn_seeds(place_seed, 8)
     optimal = optimal_time(distance, k)
     for i, placement in enumerate(("axis", "corner", "offaxis", "random")):
-        world_p = place_treasure(distance, placement, seed=p_seeds[2 * i])
-        times = simulate_find_times(
-            NonUniformSearch(k=k), world_p, k, trials, p_seeds[2 * i + 1]
+        result = sweep(
+            _PLACEMENT_SECTION,
+            i,
+            algorithm="nonuniform",
+            distances=(distance,),
+            ks=(k,),
+            placement=placement,
         )
+        mean = result.cell(distance, k).mean
         place_table.add_row(
             placement=placement,
-            mean_time=float(times.mean()),
-            vs_optimal=float(times.mean()) / optimal,
+            mean_time=mean,
+            vs_optimal=mean / optimal,
         )
 
     # --- dispersion -------------------------------------------------------
@@ -115,13 +126,15 @@ def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
         mean_time=spiral_time,
         speedup_vs_k1=1.0,
     )
-    d_seeds = spawn_seeds(disp_seed, 2)
-    t1 = float(
-        simulate_find_times(NonUniformSearch(k=1), world_c, 1, trials, d_seeds[0]).mean()
+    disp_result = sweep(
+        _DISPERSION_SECTION,
+        algorithm="nonuniform",
+        distances=(distance,),
+        ks=(1, k),
+        placement="offaxis",
     )
-    tk = float(
-        simulate_find_times(NonUniformSearch(k=k), world_c, k, trials, d_seeds[1]).mean()
-    )
+    t1 = disp_result.cell(distance, 1).mean
+    tk = disp_result.cell(distance, k).mean
     disp_table.add_row(
         strategy="A_k (dispersed)", k=1, mean_time=t1, speedup_vs_k1=1.0
     )
@@ -135,15 +148,21 @@ def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
         title="E10d: spiral-budget constant ablation (shape is robust)",
         columns=["budget_scale", "mean_time", "phi"],
     )
-    b_seeds = spawn_seeds(budget_seed, 4)
-    for i, c in enumerate((0.5, 1.0, 2.0, 4.0)):
-        times = simulate_find_times(
-            ScaledBudgetSearch(k=k, budget_scale=c), world_c, k, trials, b_seeds[i]
+    for c in (0.5, 1.0, 2.0, 4.0):
+        result = sweep(
+            _BUDGET_SECTION,
+            int(round(c * 1000)),
+            algorithm="nonuniform_scaled",
+            params={"budget_scale": c},
+            distances=(distance,),
+            ks=(k,),
+            placement="offaxis",
         )
+        mean = result.cell(distance, k).mean
         budget_table.add_row(
             budget_scale=c,
-            mean_time=float(times.mean()),
-            phi=competitiveness(float(times.mean()), distance, k),
+            mean_time=mean,
+            phi=competitiveness(mean, distance, k),
         )
     budget_table.add_note("phi varies by small constants only across c in [0.5, 4]")
 

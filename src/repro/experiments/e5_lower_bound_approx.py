@@ -15,6 +15,14 @@ The paper proves the lower bound; we bracket it empirically:
 
 Workload: estimate ``k_tilde`` fixed; true ``k`` sweeps the allowed range
 ``[k_tilde^(1-eps), k_tilde]``.
+
+Execution runs on :func:`repro.sweep.runner.run_sweep`: one spec per
+``(strategy, true k)`` pair covering the whole ``D`` sweep, so every pair
+is resolved by a single batched-engine call (shared excursion draws pair
+the noise of the cross-``D`` supremum) and inherits the npz cache and
+``--workers`` pool.  Seeds derive from ``(root seed, strategy index, k)``
+rather than sequential consumption, so a cell's stream never shifts when
+the grid changes shape.
 """
 
 from __future__ import annotations
@@ -22,11 +30,10 @@ from __future__ import annotations
 import math
 from typing import List
 
-from ..algorithms import HedgedApproxSearch, NaiveTrustSearch, NonUniformSearch
+from ..algorithms import HedgedApproxSearch
 from ..analysis.competitiveness import competitiveness
-from ..sim.events import simulate_find_times
-from ..sim.rng import spawn_seeds
-from ..sim.world import place_treasure
+from ..sim.rng import derive_seed
+from ..sweep import SweepSpec, run_sweep
 from .config import scale
 from .io import ResultTable
 
@@ -38,7 +45,12 @@ TITLE = "E5 (Thm 4.2): polynomial estimates of k cost Theta(eps log k)"
 EPS = 0.5
 
 
-def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
+def run(
+    quick: bool = True,
+    seed: int | None = None,
+    workers: int = 0,
+    cache: bool = True,
+) -> List[ResultTable]:
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
 
@@ -64,21 +76,29 @@ def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
         columns=["true_k", "naive_phi", "naive_worst_D", "hedged_phi", "oracle_phi"],
     )
 
-    seeds = spawn_seeds(seed, 3 * len(true_ks) * len(distances))
-    idx = 0
+    strategies = (
+        ("naive", "naive", {"k_tilde": k_tilde}),
+        ("hedged", "hedged", {"k_tilde": k_tilde, "eps": EPS}),
+        ("oracle", "nonuniform", {}),
+    )
     for k in true_ks:
         worst = {"naive": 0.0, "hedged": 0.0, "oracle": 0.0}
         naive_worst_d = None
-        for distance in distances:
-            world = place_treasure(distance, "offaxis")
-            for name, alg in (
-                ("naive", NaiveTrustSearch(k_tilde=k_tilde)),
-                ("hedged", HedgedApproxSearch(k_tilde=k_tilde, eps=EPS)),
-                ("oracle", NonUniformSearch(k=k)),
-            ):
-                times = simulate_find_times(alg, world, k, trials, seeds[idx])
-                idx += 1
-                phi = competitiveness(float(times.mean()), distance, k)
+        for strategy_index, (name, algorithm, params) in enumerate(strategies):
+            spec = SweepSpec(
+                algorithm=algorithm,
+                distances=distances,
+                ks=(k,),
+                trials=trials,
+                params=params,
+                placement="offaxis",
+                seed=derive_seed(seed, strategy_index, k),
+            )
+            result = run_sweep(spec, workers=workers, cache=cache)
+            for distance in distances:
+                phi = competitiveness(
+                    result.cell(distance, k).mean, distance, k
+                )
                 if phi > worst[name]:
                     worst[name] = phi
                     if name == "naive":

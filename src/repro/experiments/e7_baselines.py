@@ -13,31 +13,32 @@ Expected ordering (the paper's narrative in one table):
 * the correlated/Levy walkers limp with partial success by the horizon;
 * the simple random walk mostly fails — on ``Z^2`` its expected hitting
   time is infinite (the paper's motivating observation).
+
+Every stochastic row runs through :func:`repro.sweep.runner.run_sweep` at
+full ``cfg.trials``: the excursion rows on the batched excursion engine,
+the walker rows on the batched walker engine of :mod:`repro.sim.walkers`
+(previously the biased/Levy walkers were capped at a dozen step-level
+trials).  Each row is its own single-cell spec with a seed derived from
+``(root seed, row index)``, so rows are reproducible independently of
+execution order, ``--workers``, and the cache.
+
+Capped means are *lower bounds* on the true expectation whenever any
+trial was censored at the horizon; the ``censored`` column reports that
+fraction per row so the bound's looseness is visible instead of silently
+folded into ``mean_time``.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Mapping
 
-import numpy as np
-
-from ..algorithms import (
-    BiasedWalkSearch,
-    KnownDSearch,
-    LevyFlightSearch,
-    NonUniformSearch,
-    RestartingHarmonicSearch,
-    SingleSpiralSearch,
-    UniformSearch,
-    random_walk_find_times,
-)
+from ..algorithms import KnownDSearch, SingleSpiralSearch
 from ..algorithms.sector import SectorSearch, sector_find_times
 from ..analysis.competitiveness import optimal_time
 from ..analysis.estimators import success_rate, truncated_mean
-from ..sim.engine import run_search
-from ..sim.events import simulate_find_times
-from ..sim.rng import make_rng, spawn_seeds
+from ..sim.rng import derive_seed
 from ..sim.world import place_treasure
+from ..sweep import SweepSpec, run_sweep
 from .config import scale
 from .io import ResultTable
 
@@ -47,26 +48,29 @@ EXPERIMENT_ID = "E7"
 TITLE = "E7: every strategy, one scenario (who wins and by how much)"
 
 
-def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
+def run(
+    quick: bool = True,
+    seed: int | None = None,
+    workers: int = 0,
+    cache: bool = True,
+) -> List[ResultTable]:
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
     distance = 32 if quick else 64
     k = 4 if quick else 8
     horizon = 40 * distance * distance  # generous cap for the stragglers
     trials = cfg.trials
-    # Step-level baselines cost horizon x k x trials Python steps; a dozen
-    # trials is plenty to place them on the leaderboard.
-    step_trials = min(cfg.step_trials, 12)
 
     world = place_treasure(distance, "offaxis")
     optimal = optimal_time(distance, k)
 
     table = ResultTable(
         title=f"{TITLE}  [D={distance}, k={k}, horizon={horizon}]",
-        columns=["algorithm", "mean_time", "vs_optimal", "success", "trials"],
+        columns=[
+            "algorithm", "mean_time", "vs_optimal", "success", "censored",
+            "trials",
+        ],
     )
-
-    seeds = spawn_seeds(seed, 8)
 
     # Exact closed forms first.
     t_known = KnownDSearch(distance).exact_find_time(world)
@@ -75,6 +79,7 @@ def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
         mean_time=float(t_known),
         vs_optimal=t_known / optimal,
         success=1.0,
+        censored=0.0,
         trials=0,
     )
     t_spiral = SingleSpiralSearch().exact_find_time(world)
@@ -83,6 +88,7 @@ def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
         mean_time=float(t_spiral),
         vs_optimal=t_spiral / optimal,
         success=1.0,
+        censored=0.0,
         trials=0,
     )
     table.add_row(
@@ -90,69 +96,69 @@ def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
         mean_time=float(t_spiral),  # identical deterministic agents
         vs_optimal=t_spiral / optimal,
         success=1.0,
+        censored=0.0,
         trials=0,
     )
 
-    # Vectorised engines.
-    for name, alg, s in (
-        (f"A_k (knows k={k})", NonUniformSearch(k=k), seeds[0]),
-        ("A_uniform(eps=0.5)", UniformSearch(0.5), seeds[1]),
-        ("restarting harmonic(0.5)", RestartingHarmonicSearch(0.5), seeds[2]),
+    def sweep_times(row_index: int, algorithm: str, params: Mapping[str, float]):
+        """One single-cell sweep: the row's raw find times at full trials."""
+        spec = SweepSpec(
+            algorithm=algorithm,
+            distances=(distance,),
+            ks=(k,),
+            trials=trials,
+            params=params,
+            placement="offaxis",
+            seed=derive_seed(seed, row_index),
+            horizon=float(horizon),
+        )
+        result = run_sweep(spec, workers=workers, cache=cache)
+        return result.cell(distance, k).times
+
+    # Excursion constructions and walker baselines, all at full trials on
+    # the batched engines (walker rows were step-level before).
+    for row_index, (name, algorithm, params) in enumerate(
+        (
+            (f"A_k (knows k={k})", "nonuniform", {}),
+            ("A_uniform(eps=0.5)", "uniform", {"eps": 0.5}),
+            ("restarting harmonic(0.5)", "restarting_harmonic", {"delta": 0.5}),
+            ("random walk", "random_walk", {}),
+            ("biased walk (p=0.9)", "biased_walk", {"persistence": 0.9}),
+            ("Levy flight (mu=2)", "levy", {"mu": 2.0}),
+        )
     ):
-        times = simulate_find_times(alg, world, k, trials, s, horizon=horizon)
+        times = sweep_times(row_index, algorithm, params)
         tm = truncated_mean(times, horizon)
         table.add_row(
             algorithm=name,
             mean_time=tm.mean,
             vs_optimal=tm.mean / optimal,
             success=success_rate(times, horizon),
+            censored=tm.censored_fraction,
             trials=trials,
         )
 
-    # Random walk: vectorised chunked simulator.
-    rw_times = random_walk_find_times(
-        world, k, trials, horizon, make_rng(seeds[3])
-    )
-    tm = truncated_mean(rw_times, horizon)
-    table.add_row(
-        algorithm="random walk",
-        mean_time=tm.mean,
-        vs_optimal=tm.mean / optimal,
-        success=success_rate(rw_times, horizon),
-        trials=trials,
-    )
-
     # Sector sweep: the coordination-free direction-splitting strawman.
+    # Closed-form cost model, so it stays outside the sweep engine;
+    # truncated_mean pins censored values at the horizon itself.
     sector = SectorSearch(width=0.125)
-    sector_times = sector_find_times(sector, world, k, trials, seeds[6])
-    tm = truncated_mean(np.minimum(sector_times, horizon + 1.0), horizon)
+    sector_times = sector_find_times(
+        sector, world, k, trials, derive_seed(seed, 6)
+    )
+    tm = truncated_mean(sector_times, horizon)
     table.add_row(
         algorithm="sector sweep (w=1/8)",
         mean_time=tm.mean,
         vs_optimal=tm.mean / optimal,
         success=success_rate(sector_times, horizon),
+        censored=tm.censored_fraction,
         trials=trials,
     )
 
-    # Step-level stragglers (few trials; they are slow by nature).
-    for name, alg, s in (
-        ("biased walk (p=0.9)", BiasedWalkSearch(0.9), seeds[4]),
-        ("Levy flight (mu=2)", LevyFlightSearch(2.0), seeds[5]),
-    ):
-        step_seeds = spawn_seeds(s, step_trials)
-        times = []
-        for run_seed in step_seeds:
-            result = run_search(alg, world, k, run_seed, horizon=horizon).result
-            times.append(result.time)
-        tm = truncated_mean(times, horizon)
-        table.add_row(
-            algorithm=name,
-            mean_time=tm.mean,
-            vs_optimal=tm.mean / optimal,
-            success=success_rate(times, horizon),
-            trials=step_trials,
-        )
-
-    table.add_note(f"optimal = D + D^2/k = {optimal:.1f}; capped means are lower bounds")
+    table.add_note(f"optimal = D + D^2/k = {optimal:.1f}")
+    table.add_note(
+        "rows with censored > 0 report a lower bound on the true mean "
+        "(censored trials pinned at the horizon)"
+    )
     table.add_note("k-spiral control: deterministic identical agents => zero speed-up")
     return [table]

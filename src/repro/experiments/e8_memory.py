@@ -19,7 +19,7 @@ from typing import List
 import numpy as np
 
 from ..memory.counter import walk_distance_samples
-from ..sim.rng import make_rng, spawn_seeds
+from ..sim.rng import derive_rng
 from .config import scale
 from .io import ResultTable
 
@@ -47,11 +47,12 @@ def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
             "exact_odometer_bits",
         ],
     )
-    seeds = spawn_seeds(seed, 2 * len(ells))
-    for i, ell in enumerate(ells):
-        rng = make_rng(seeds[2 * i])
+    # Seeds are keyed by (ell, variant) rather than consumed positionally,
+    # so a row's stream is identical in quick and full mode.
+    for ell in ells:
+        rng = derive_rng(seed, ell, 0)
         walks = np.asarray(walk_distance_samples(rng, ell, samples))
-        rng3 = make_rng(seeds[2 * i + 1])
+        rng3 = derive_rng(seed, ell, 1)
         walks3 = np.asarray(walk_distance_samples(rng3, ell, samples, median_of=3))
         target = 2.0**ell - 1
         table.add_row(

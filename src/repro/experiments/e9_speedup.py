@@ -9,18 +9,19 @@ algorithm ``A_k``:
   amount of agents crosses;
 * every measured time respects the proof's explicit barrier
   ``max(D, D^2/(4k))``.
+
+The ``k`` sweep is one :class:`repro.sweep.spec.SweepSpec` resolved by
+:func:`repro.sweep.runner.run_sweep` (each ``k`` is its own group), so the
+curve inherits the npz cache and the ``--workers`` pool.
 """
 
 from __future__ import annotations
 
 from typing import List
 
-from ..algorithms import NonUniformSearch
 from ..analysis.competitiveness import optimal_time
 from ..analysis.theory import lower_bound_time
-from ..sim.events import simulate_find_times
-from ..sim.rng import spawn_seeds
-from ..sim.world import place_treasure
+from ..sweep import SweepSpec, run_sweep
 from .config import scale
 from .io import ResultTable
 
@@ -30,24 +31,34 @@ EXPERIMENT_ID = "E9"
 TITLE = "E9 (Sec 2): speed-up saturates at the Omega(D + D^2/k) barrier"
 
 
-def run(quick: bool = True, seed: int | None = None) -> List[ResultTable]:
+def run(
+    quick: bool = True,
+    seed: int | None = None,
+    workers: int = 0,
+    cache: bool = True,
+) -> List[ResultTable]:
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
     distance = 32 if quick else 128
-    ks = [1, 2, 4, 8, 16, 32, 64] if quick else [1, 4, 16, 64, 128, 256, 512, 1024]
+    ks = (1, 2, 4, 8, 16, 32, 64) if quick else (1, 4, 16, 64, 128, 256, 512, 1024)
 
-    world = place_treasure(distance, "offaxis")
+    spec = SweepSpec(
+        algorithm="nonuniform",
+        distances=(distance,),
+        ks=ks,
+        trials=cfg.trials,
+        placement="offaxis",
+        seed=seed,
+    )
+    result = run_sweep(spec, workers=workers, cache=cache)
+
     table = ResultTable(
         title=f"{TITLE}  [D={distance}]",
         columns=["k", "mean_time", "optimal", "barrier", "speedup", "efficiency"],
     )
-    seeds = spawn_seeds(seed, len(ks))
     t1 = None
-    for k, k_seed in zip(ks, seeds):
-        times = simulate_find_times(
-            NonUniformSearch(k=k), world, k, cfg.trials, k_seed
-        )
-        mean = float(times.mean())
+    for k in ks:
+        mean = result.cell(distance, k).mean
         if t1 is None:
             t1 = mean
         table.add_row(

@@ -1,10 +1,14 @@
 """Simulation engines, worlds, and reproducible randomness.
 
-Two engines execute the same algorithms:
+Three engine families execute the same algorithms:
 
 * :mod:`repro.sim.engine` — exact step-level reference engine;
-* :mod:`repro.sim.events` — vectorised excursion-level engine, exact in
-  distribution and fast enough for the paper-scale sweeps.
+* :mod:`repro.sim.events` — vectorised excursion-level engine (scalar and
+  batched multi-world), exact in distribution and fast enough for the
+  paper-scale sweeps;
+* :mod:`repro.sim.walkers` — batched walker engine for the memoryless
+  baselines (random/biased walks, Lévy flights), exact in distribution
+  against the step engine.
 """
 
 from .engine import AgentTrace, StepRun, first_visit_times, run_agent, run_search
@@ -13,6 +17,14 @@ from .events import (
     expected_find_time,
     simulate_find_times,
     simulate_find_times_batch,
+)
+from .walkers import (
+    BiasedWalker,
+    LevyWalker,
+    RandomWalker,
+    Walker,
+    walker_find_times,
+    walker_find_times_batch,
 )
 from .metrics import (
     AnnulusCoverage,
@@ -27,8 +39,12 @@ from .world import Result, World, place_treasure
 __all__ = [
     "AgentTrace",
     "AnnulusCoverage",
+    "BiasedWalker",
+    "LevyWalker",
+    "RandomWalker",
     "Result",
     "StepRun",
+    "Walker",
     "World",
     "ball_coverage_fraction",
     "coverage_by_annulus",
@@ -47,4 +63,6 @@ __all__ = [
     "spawn_rngs",
     "spawn_seeds",
     "union_first_visits",
+    "walker_find_times",
+    "walker_find_times_batch",
 ]

@@ -52,20 +52,48 @@ def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
 
 
 def _key_sequence(seed: SeedLike, *key: int) -> np.random.SeedSequence:
-    """The shared seed-plus-key normalisation behind the ``derive_*`` pair."""
+    """The shared seed-plus-key normalisation behind the ``derive_*`` pair.
+
+    Two collision traps are defused here:
+
+    * a ``SeedSequence``'s identity is ``(entropy, spawn_key)``; folding in
+      only the entropy would collapse every spawned child of one root onto
+      the same derived stream (``spawn_seeds(s, n)`` children differ *only*
+      by spawn key), so the spawn key participates in the derivation;
+    * ``numpy`` strips trailing zero entropy words (``SeedSequence((7,))``
+      and ``SeedSequence((7, 0))`` are the same stream), which would alias
+      ``derive(seed, 0)`` with the root and any two keys differing only by
+      trailing zeros.
+
+    The word layout is a self-delimiting encoding — length prefixes for
+    the entropy base and the spawn key, the key itself, then a nonzero
+    terminator that keeps the tail unstrippable — so distinct
+    ``(entropy, spawn_key, key)`` triples always map to distinct streams
+    (tuple seeds included: ``(7, 1)`` must not parse like child 1 of 7).
+    """
     if isinstance(seed, np.random.SeedSequence):
         entropy = seed.entropy
+        spawn_key = tuple(int(v) for v in seed.spawn_key)
     elif isinstance(seed, np.random.Generator):
         raise TypeError("key derivation needs a stable seed, not a live Generator")
     else:
         entropy = seed
+        spawn_key = ()
     if entropy is None:
         entropy = 0
     if isinstance(entropy, (list, tuple)):
         base = tuple(int(e) for e in entropy)
     else:
         base = (int(entropy),)
-    return np.random.SeedSequence(base + tuple(key))
+    words = (
+        (len(base),)
+        + base
+        + (len(spawn_key),)
+        + spawn_key
+        + tuple(key)
+        + (len(key) + 1,)
+    )
+    return np.random.SeedSequence(words)
 
 
 def derive_rng(seed: SeedLike, *key: int) -> np.random.Generator:

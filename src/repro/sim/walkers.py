@@ -1,0 +1,403 @@
+"""Batched walker engine: vectorised memoryless baselines (engine 4).
+
+The non-excursion baselines — simple random walks, correlated (persistent)
+walks, and Lévy flights — have no excursion structure, so the excursion
+engine of :mod:`repro.sim.events` cannot touch them and they historically
+ran through the per-step Python engine at ``horizon x k x trials``
+generator steps.  This module replaces that path with chunked NumPy
+simulation, exact in distribution against the step engine (validated by
+``tests/test_walker_engine.py``) and orders of magnitude faster, so the
+walker baselines can run at the same sample sizes as the paper's
+constructions.
+
+Two simulation shapes:
+
+* **step-chunked** (:class:`RandomWalker`): all ``trials x k`` walkers
+  advance through a shared clock in chunks of ``span`` steps; per chunk
+  the per-step offsets are drawn as a ``(walkers, span)`` matrix,
+  positions are two cumulative sums, and treasure hits are an
+  elementwise comparison.
+
+* **segment-chunked** (:class:`BiasedWalker`, :class:`LevyWalker`):
+  walkers consume whole straight segments rather than steps, each walker
+  on its own clock.  A segment's treasure hit is a closed-form ray test
+  (the treasure lies on the axis-aligned ray within the segment length),
+  so a length-``L`` run costs O(1) work instead of ``L`` steps.  The
+  correlated walk's per-step reorientation coin makes its straight runs
+  geometric, so its headings are resampled per *run* — vectorised
+  ``rng.geometric`` lengths with uniform headings — instead of per step;
+  Lévy flights draw vectorised Zipf lengths the same way.
+
+Both shapes prune at trial granularity: once any walker of a trial has
+found, siblings whose clock has passed that find time are retired (their
+future hits could never improve the trial's first find).
+
+Memory stays at ``O(live walkers x chunk)`` 64-bit entries (the offset
+and cumulative-position matrices); the default chunk is sized so that a
+matrix stays around a few million elements, degrading to ``16 x walkers``
+— a small constant factor over the unavoidable per-walker state — when
+the walker count alone exceeds the budget.
+
+Walkers are registered as sweepable strategies in
+:mod:`repro.sweep.spec`, so ``SweepSpec``/``run_sweep`` dispatch them —
+with the npz cache and the multiprocessing pool — exactly like excursion
+algorithms.  A sweep over walkers must set a ``horizon``: memoryless
+walks on ``Z^2`` have infinite expected hitting times (the paper's
+motivating observation), so an uncapped simulation need not terminate.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .rng import SeedLike, make_rng, spawn_seeds
+from .world import World
+
+__all__ = [
+    "Walker",
+    "RandomWalker",
+    "BiasedWalker",
+    "LevyWalker",
+    "walker_find_times",
+    "walker_find_times_batch",
+]
+
+#: Unit moves in the step-program order: +x, +y, -x, -y.
+_DIR_X = np.array([1, 0, -1, 0], dtype=np.int64)
+_DIR_Y = np.array([0, 1, 0, -1], dtype=np.int64)
+
+#: Soft cap on elements per per-chunk matrix when no chunk is given.
+_CHUNK_BUDGET = 1 << 22
+
+
+def _auto_chunk(walkers: int, chunk: Optional[int], floor: int, cap: int) -> int:
+    """Chunk width: explicit value, or budgeted by the walker count."""
+    if chunk is not None:
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        return int(chunk)
+    return max(floor, min(cap, _CHUNK_BUDGET // max(walkers, 1)))
+
+
+def _validate(k: int, trials: int, horizon: float) -> int:
+    if k < 1 or trials < 1:
+        raise ValueError("k and trials must be >= 1")
+    if horizon is None or not math.isfinite(horizon) or horizon < 1:
+        raise ValueError(
+            f"walker simulation needs a finite horizon >= 1, got {horizon!r} "
+            "(memoryless walks on Z^2 have infinite expected hitting time)"
+        )
+    return int(horizon)
+
+
+class Walker(ABC):
+    """A memoryless baseline simulable by the batched walker engine.
+
+    Subclasses implement :meth:`find_times` (the vectorised simulator) and
+    :meth:`step_algorithm` (the equivalent
+    :class:`repro.algorithms.base.SearchAlgorithm`, used by the
+    cross-engine parity tests).  ``uses_k`` mirrors the step-program
+    baselines: walkers are k-oblivious.
+    """
+
+    uses_k = False
+    name = "walker"
+
+    @abstractmethod
+    def find_times(
+        self,
+        world: World,
+        k: int,
+        trials: int,
+        seed: SeedLike = None,
+        *,
+        horizon: float,
+        chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        """First times any of ``k`` walkers stands on the treasure.
+
+        Returns a float array of shape ``(trials,)``: the first time at
+        which any of the trial's ``k`` independent walkers visits the
+        treasure, or ``inf`` if none does within ``horizon`` steps.  A hit
+        at exactly ``horizon`` is kept (the step engine's rule).
+        """
+
+    @abstractmethod
+    def step_algorithm(self):
+        """The step-program twin (``repro.algorithms.baselines``) for parity."""
+
+    def describe(self) -> str:
+        return self.step_algorithm().describe()
+
+
+class RandomWalker(Walker):
+    """Simple symmetric random walk on ``Z^2`` (:class:`RandomWalkSearch`)."""
+
+    name = "random-walk"
+
+    def find_times(
+        self,
+        world: World,
+        k: int,
+        trials: int,
+        seed: SeedLike = None,
+        *,
+        horizon: float,
+        chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        horizon = _validate(k, trials, horizon)
+        rng = make_rng(seed)
+        tx, ty = world.treasure
+        n = trials * k
+        span_cap = _auto_chunk(n, chunk, floor=16, cap=8192)
+        x = np.zeros(n, dtype=np.int64)
+        y = np.zeros(n, dtype=np.int64)
+        trial_of = np.repeat(np.arange(trials), k)
+        trial_best = np.full(trials, np.inf)
+        alive = np.arange(n)
+        t = 0
+        while t < horizon and alive.size:
+            span = min(span_cap, horizon - t)
+            moves = rng.integers(0, 4, size=(alive.size, span))
+            px = x[alive, None] + np.cumsum(_DIR_X[moves], axis=1)
+            py = y[alive, None] + np.cumsum(_DIR_Y[moves], axis=1)
+            hit = (px == tx) & (py == ty)
+            any_hit = hit.any(axis=1)
+            if np.any(any_hit):
+                first = np.argmax(hit[any_hit], axis=1)
+                np.minimum.at(
+                    trial_best, trial_of[alive[any_hit]], t + first + 1.0
+                )
+            x[alive] = px[:, -1]
+            y[alive] = py[:, -1]
+            t += span
+            # Finders stop; siblings of a finished trial can only hit at
+            # times > t >= the trial's recorded find, so they retire too.
+            alive = alive[~any_hit]
+            alive = alive[t < trial_best[trial_of[alive]]]
+        return trial_best
+
+    def step_algorithm(self):
+        from ..algorithms.baselines import RandomWalkSearch
+
+        return RandomWalkSearch()
+
+
+class _SegmentWalker(Walker):
+    """Shared chunk loop for walkers that move in straight segments.
+
+    Subclasses provide :meth:`_sample_segments` — ``(lengths, headings)``
+    matrices for the steady-state segment stream — and optionally
+    :meth:`_initial_segments` when the first segment per walker is
+    distributed differently (the correlated walk's first run).
+    """
+
+    def _initial_segments(
+        self, rng: np.random.Generator, count: int
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Per-walker first segment ``(lengths, headings)``, or ``None``."""
+        return None
+
+    @abstractmethod
+    def _sample_segments(
+        self, rng: np.random.Generator, count: int, segments: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw a ``(count, segments)`` block of segment lengths/headings."""
+
+    def find_times(
+        self,
+        world: World,
+        k: int,
+        trials: int,
+        seed: SeedLike = None,
+        *,
+        horizon: float,
+        chunk: Optional[int] = None,
+    ) -> np.ndarray:
+        horizon = _validate(k, trials, horizon)
+        rng = make_rng(seed)
+        tx, ty = world.treasure
+        n = trials * k
+        segs = _auto_chunk(n, chunk, floor=16, cap=512)
+        x = np.zeros(n, dtype=np.int64)
+        y = np.zeros(n, dtype=np.int64)
+        t = np.zeros(n, dtype=np.int64)
+        trial_of = np.repeat(np.arange(trials), k)
+        trial_best = np.full(trials, np.inf)
+        alive = np.arange(n)
+
+        first_block = self._initial_segments(rng, n)
+        if first_block is not None:
+            lengths, dirs = first_block
+            alive = self._consume(
+                x, y, t, trial_of, trial_best, alive,
+                lengths[:, None], dirs[:, None], tx, ty, horizon,
+            )
+        while alive.size:
+            lengths, dirs = self._sample_segments(rng, alive.size, segs)
+            alive = self._consume(
+                x, y, t, trial_of, trial_best, alive,
+                lengths, dirs, tx, ty, horizon,
+            )
+        return trial_best
+
+    @staticmethod
+    def _consume(
+        x, y, t, trial_of, trial_best, alive, lengths, dirs, tx, ty, horizon
+    ) -> np.ndarray:
+        """Walk one ``(alive, segments)`` block; returns the surviving rows."""
+        dx = _DIR_X[dirs]
+        dy = _DIR_Y[dirs]
+        step_x = dx * lengths
+        step_y = dy * lengths
+        end_x = x[alive, None] + np.cumsum(step_x, axis=1)
+        end_y = y[alive, None] + np.cumsum(step_y, axis=1)
+        end_t = t[alive, None] + np.cumsum(lengths, axis=1)
+        start_x = end_x - step_x
+        start_y = end_y - step_y
+        start_t = end_t - lengths
+        # Ray test: steps along the segment's axis to reach the treasure.
+        off_x = (tx - start_x) * dx
+        off_y = (ty - start_y) * dy
+        hit = np.where(
+            dx != 0,
+            (start_y == ty) & (off_x >= 1) & (off_x <= lengths),
+            (start_x == tx) & (off_y >= 1) & (off_y <= lengths),
+        )
+        offset = np.where(dx != 0, off_x, off_y)
+        hit_time = start_t + offset
+        valid = hit & (hit_time <= horizon)
+        any_hit = valid.any(axis=1)
+        if np.any(any_hit):
+            first = np.argmax(valid[any_hit], axis=1)
+            np.minimum.at(
+                trial_best,
+                trial_of[alive[any_hit]],
+                hit_time[any_hit, first].astype(np.float64),
+            )
+        x[alive] = end_x[:, -1]
+        y[alive] = end_y[:, -1]
+        t[alive] = end_t[:, -1]
+        # Survivors: no hit, clock inside the horizon, and — since a live
+        # walker's future hits happen strictly after its clock — still able
+        # to beat the trial's recorded find.
+        alive = alive[~any_hit]
+        return alive[
+            (t[alive] < horizon) & (t[alive] < trial_best[trial_of[alive]])
+        ]
+
+
+class BiasedWalker(_SegmentWalker):
+    """Correlated random walk with heading persistence (:class:`BiasedWalkSearch`).
+
+    Each step keeps the current heading with probability ``persistence``
+    and otherwise redraws it uniformly from the four axis directions.  The
+    i.i.d. reorientation coins make straight runs geometric — length
+    ``~ Geometric(1 - persistence)`` with an independent uniform heading
+    per run — so the engine resamples headings per *run* (the first run is
+    one step shorter: the step program checks the coin before the first
+    move, so the initial heading survives zero or more steps).
+    """
+
+    def __init__(self, persistence: float = 0.9):
+        if not 0 <= persistence < 1:
+            raise ValueError(f"persistence must be in [0, 1), got {persistence}")
+        self.persistence = float(persistence)
+        self.name = f"biased-walk(p={persistence:g})"
+
+    def _initial_segments(self, rng, count):
+        lengths = rng.geometric(1.0 - self.persistence, size=count) - 1
+        return lengths.astype(np.int64), rng.integers(0, 4, size=count)
+
+    def _sample_segments(self, rng, count, segments):
+        lengths = rng.geometric(1.0 - self.persistence, size=(count, segments))
+        return lengths.astype(np.int64), rng.integers(0, 4, size=(count, segments))
+
+    def step_algorithm(self):
+        from ..algorithms.baselines import BiasedWalkSearch
+
+        return BiasedWalkSearch(self.persistence)
+
+
+class LevyWalker(_SegmentWalker):
+    """Lévy flight with Zipf segment lengths (:class:`LevyFlightSearch`).
+
+    Per chunk, each live walker draws a batch of ``(length, direction)``
+    pairs (``length ~ Zipf(mu)`` capped at ``max_segment``) and resolves
+    them with the closed-form ray test, so a length-``L`` flight costs
+    O(1) instead of ``L`` per-cell steps.
+    """
+
+    def __init__(self, mu: float = 2.0, max_segment: int = 10**6):
+        if not 1.0 < mu <= 4.0:
+            raise ValueError(f"mu must be in (1, 4], got {mu}")
+        self.mu = float(mu)
+        self.max_segment = int(max_segment)
+        self.name = f"levy(mu={mu:g})"
+
+    def _sample_segments(self, rng, count, segments):
+        lengths = np.minimum(
+            rng.zipf(self.mu, size=(count, segments)), self.max_segment
+        ).astype(np.int64)
+        return lengths, rng.integers(0, 4, size=(count, segments))
+
+    def step_algorithm(self):
+        from ..algorithms.baselines import LevyFlightSearch
+
+        return LevyFlightSearch(self.mu, self.max_segment)
+
+
+WorldLike = Union[World, Tuple[int, int]]
+
+
+def walker_find_times(
+    walker: Walker,
+    world: World,
+    k: int,
+    trials: int,
+    seed: SeedLike = None,
+    *,
+    horizon: float,
+    chunk: Optional[int] = None,
+) -> np.ndarray:
+    """Functional entry point: ``walker.find_times`` with the same contract."""
+    return walker.find_times(world, k, trials, seed, horizon=horizon, chunk=chunk)
+
+
+def walker_find_times_batch(
+    walker: Walker,
+    worlds: Sequence[WorldLike],
+    k: int,
+    trials: int,
+    seed: SeedLike = None,
+    *,
+    horizon: float,
+    chunk: Optional[int] = None,
+) -> np.ndarray:
+    """Per-world find-time matrix, shape ``(len(worlds), trials)``.
+
+    The sweep-facing twin of :func:`walker_find_times` (the walker
+    counterpart of :func:`repro.sim.events.simulate_find_times_batch`):
+    world ``w`` is simulated with the ``w``-th child of ``seed``
+    (:func:`repro.sim.rng.spawn_seeds`), so each row is bitwise identical
+    to a direct :meth:`Walker.find_times` call with that child seed —
+    independent of how worlds are distributed across sweep workers.
+
+    Unlike the excursion batch engine, draws are *not* shared across
+    worlds: a walker's trajectory has ``horizon`` steps of state, so
+    cross-world sharing would couple entire paths rather than pairing
+    noise, and the chunked simulators are already within a small factor
+    of memory bandwidth.
+    """
+    if not worlds:
+        raise ValueError("worlds must be non-empty")
+    resolved = [w if isinstance(w, World) else World(tuple(w)) for w in worlds]
+    rows = [
+        walker.find_times(w, k, trials, s, horizon=horizon, chunk=chunk)
+        for w, s in zip(resolved, spawn_seeds(seed, len(resolved)))
+    ]
+    return np.stack(rows)

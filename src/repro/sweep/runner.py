@@ -6,10 +6,12 @@
 1. the on-disk cache is consulted (keyed by the spec's content hash) —
    a hit returns immediately, which is what makes repeated experiment runs
    and quick/full mode switches cheap;
-2. on a miss, each ``k``-group of the grid is resolved by a single
-   :func:`repro.sim.events.simulate_find_times_batch` call over all of the
-   group's worlds (one per distance), sharing every phase's excursion draws
-   across the group;
+2. on a miss, each ``k``-group of the grid is resolved by a single batched
+   engine call over all of the group's worlds (one per distance):
+   :func:`repro.sim.events.simulate_find_times_batch` for excursion
+   algorithms (sharing every phase's excursion draws across the group) or
+   :func:`repro.sim.walkers.walker_find_times_batch` for walker baselines
+   (one child seed per world);
 3. groups are independent, so with ``workers > 1`` they are fanned out to a
    ``multiprocessing`` pool (each task ships the picklable spec plus its
    spawned child seed, so results are bitwise identical to a serial run);
@@ -33,6 +35,7 @@ import numpy as np
 
 from ..sim.events import find_time_statistics, simulate_find_times_batch
 from ..sim.rng import spawn_seeds
+from ..sim.walkers import Walker, walker_find_times_batch
 from ..sim.world import place_treasure
 from .cache import cache_path, load_result, save_result
 from .spec import SweepCell, SweepSpec, build_algorithm
@@ -113,15 +116,19 @@ class SweepResult:
 def _execute_group(task) -> np.ndarray:
     """Resolve one k-group; module-level so the pool can pickle it."""
     spec, k, distances, group_seed = task
-    algorithm = build_algorithm(spec.algorithm, k, spec.param_dict())
+    strategy = build_algorithm(spec.algorithm, k, spec.param_dict())
     child_seeds = spawn_seeds(group_seed, 1 + len(distances))
     sim_seed, placement_seeds = child_seeds[0], child_seeds[1:]
     worlds = [
         place_treasure(distance, spec.placement, seed=placement_seed)
         for distance, placement_seed in zip(distances, placement_seeds)
     ]
+    if isinstance(strategy, Walker):
+        return walker_find_times_batch(
+            strategy, worlds, k, spec.trials, sim_seed, horizon=spec.horizon
+        )
     return simulate_find_times_batch(
-        algorithm, worlds, k, spec.trials, sim_seed, horizon=spec.horizon
+        strategy, worlds, k, spec.trials, sim_seed, horizon=spec.horizon
     )
 
 
@@ -139,7 +146,19 @@ def run_sweep(
     Serial and pooled runs produce bitwise-identical results.  ``cache``
     toggles both lookup and write-back; ``cache_dir`` overrides the default
     cache location (see :func:`repro.sweep.cache.default_cache_dir`).
+
+    Walker strategies (``random_walk``, ``biased_walk``, ``levy``) require
+    the spec to carry a finite ``horizon``: memoryless walks on ``Z^2``
+    have infinite expected hitting times, so an uncapped walker sweep
+    need not terminate.
     """
+    probe = build_algorithm(spec.algorithm, spec.ks[0], spec.param_dict())
+    if isinstance(probe, Walker) and spec.horizon is None:
+        raise ValueError(
+            f"sweep algorithm {spec.algorithm!r} is a walker baseline and "
+            f"needs a finite spec horizon (walks on Z^2 have infinite "
+            f"expected hitting time)"
+        )
     path = cache_path(spec, cache_dir) if cache else None
     if path is not None:
         loaded = load_result(spec, path)

@@ -12,10 +12,13 @@ serialisable data.  Two properties follow from that:
   :func:`repro.sweep.runner.run_sweep` multiprocessing pool does.
 
 Execution is organised in *groups*: all distances that share a ``k`` form
-one group, resolved by a single :func:`repro.sim.events.simulate_find_times_batch`
-call that shares each phase's excursion draws across the group's worlds
-(common random numbers — per-cell means stay unbiased while cross-distance
-comparisons see paired noise).
+one group.  Excursion algorithms resolve a group with a single
+:func:`repro.sim.events.simulate_find_times_batch` call that shares each
+phase's excursion draws across the group's worlds (common random numbers —
+per-cell means stay unbiased while cross-distance comparisons see paired
+noise); walker baselines (:mod:`repro.sim.walkers`) resolve it with
+:func:`repro.sim.walkers.walker_find_times_batch`, one child seed per
+world.  The runner dispatches on the built strategy's type.
 """
 
 from __future__ import annotations
@@ -27,13 +30,16 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 
 from ..algorithms import (
     HarmonicSearch,
+    HedgedApproxSearch,
     NaiveTrustSearch,
     NonUniformSearch,
     RestartingHarmonicSearch,
     RhoApproxSearch,
+    ScaledBudgetSearch,
     UniformSearch,
 )
 from ..algorithms.base import ExcursionAlgorithm
+from ..sim.walkers import BiasedWalker, LevyWalker, RandomWalker, Walker
 
 __all__ = [
     "SPEC_VERSION",
@@ -43,6 +49,7 @@ __all__ = [
     "SweepCell",
     "SweepGroup",
     "SweepSpec",
+    "SweepStrategy",
 ]
 
 #: Bumped whenever the execution semantics change in a way that invalidates
@@ -51,25 +58,31 @@ SPEC_VERSION = 1
 
 ParamsLike = Union[Mapping[str, float], Sequence[Tuple[str, float]]]
 
-#: name -> builder(k, params) for every algorithm a sweep can name.
+#: What a builder may return: an excursion algorithm (resolved by the
+#: batched excursion engine) or a walker baseline (resolved by the batched
+#: walker engine of :mod:`repro.sim.walkers`).  The runner dispatches on
+#: the instance type.
+SweepStrategy = Union[ExcursionAlgorithm, Walker]
+
+#: name -> builder(k, params) for every strategy a sweep can name.
 #: Builders receive the true agent count ``k`` so that k-aware algorithms
-#: (``A_k``) can use it; k-oblivious algorithms ignore it.
+#: (``A_k``) can use it; k-oblivious algorithms and walkers ignore it.
 ALGORITHM_BUILDERS: Dict[
-    str, Callable[[int, Mapping[str, float]], ExcursionAlgorithm]
+    str, Callable[[int, Mapping[str, float]], SweepStrategy]
 ] = {}
 
 
 def register_algorithm(
-    name: str, builder: Callable[[int, Mapping[str, float]], ExcursionAlgorithm]
+    name: str, builder: Callable[[int, Mapping[str, float]], SweepStrategy]
 ) -> None:
-    """Register a sweepable algorithm under ``name`` (overwrites quietly)."""
+    """Register a sweepable strategy under ``name`` (overwrites quietly)."""
     ALGORITHM_BUILDERS[name] = builder
 
 
 def build_algorithm(
     name: str, k: int, params: Mapping[str, float]
-) -> ExcursionAlgorithm:
-    """Instantiate the registered algorithm ``name`` for ``k`` agents."""
+) -> SweepStrategy:
+    """Instantiate the registered strategy ``name`` for ``k`` agents."""
     if name not in ALGORITHM_BUILDERS:
         known = ", ".join(sorted(ALGORITHM_BUILDERS))
         raise KeyError(f"unknown sweep algorithm {name!r}; known: {known}")
@@ -77,6 +90,12 @@ def build_algorithm(
 
 
 register_algorithm("nonuniform", lambda k, p: NonUniformSearch(k=p.get("k", k)))
+register_algorithm(
+    "nonuniform_scaled",
+    lambda k, p: ScaledBudgetSearch(
+        k=p.get("k", k), budget_scale=p.get("budget_scale", 1.0)
+    ),
+)
 register_algorithm("uniform", lambda k, p: UniformSearch(p.get("eps", 0.5)))
 register_algorithm("harmonic", lambda k, p: HarmonicSearch(p.get("delta", 0.5)))
 register_algorithm(
@@ -85,6 +104,22 @@ register_algorithm(
 )
 register_algorithm("rho", lambda k, p: RhoApproxSearch(k_a=p["k_a"], rho=p["rho"]))
 register_algorithm("naive", lambda k, p: NaiveTrustSearch(k_tilde=p["k_tilde"]))
+register_algorithm(
+    "hedged",
+    lambda k, p: HedgedApproxSearch(
+        k_tilde=p["k_tilde"], eps=p.get("eps", 0.5)
+    ),
+)
+
+# Walker baselines (require a spec horizon; see repro.sim.walkers).
+register_algorithm("random_walk", lambda k, p: RandomWalker())
+register_algorithm(
+    "biased_walk", lambda k, p: BiasedWalker(p.get("persistence", 0.9))
+)
+register_algorithm(
+    "levy",
+    lambda k, p: LevyWalker(p.get("mu", 2.0), int(p.get("max_segment", 10**6))),
+)
 
 
 @dataclass(frozen=True)

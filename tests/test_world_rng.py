@@ -110,3 +110,43 @@ class TestRng:
     def test_derive_rng_rejects_generator(self):
         with pytest.raises(TypeError):
             derive_rng(np.random.default_rng(0), 1)
+
+    def test_derive_rng_distinguishes_spawned_siblings(self):
+        """Spawned children differ only by spawn key; folding in only the
+        entropy used to collapse every child onto one derived stream (which
+        silently made per-child step-engine runs identical replicas)."""
+        child_a, child_b = spawn_seeds(7, 2)
+        a = derive_rng(child_a, 0).integers(0, 10**6, 8)
+        b = derive_rng(child_b, 0).integers(0, 10**6, 8)
+        assert not np.array_equal(a, b)
+
+    def test_derive_rng_spawned_child_differs_from_root(self):
+        (child,) = spawn_seeds(7, 1)
+        a = derive_rng(child, 0).integers(0, 10**6, 8)
+        b = derive_rng(7, 0).integers(0, 10**6, 8)
+        assert not np.array_equal(a, b)
+
+    def test_derive_rng_trailing_zero_keys_do_not_alias(self):
+        """numpy strips trailing zero entropy words; the derivation must
+        not let (seed, 1) and (seed, 1, 0) — or (seed, 0) and the bare
+        seed — collapse onto one stream."""
+        draws = [
+            make_rng(np.random.SeedSequence(9)).integers(0, 10**6, 8),
+            derive_rng(9, 0).integers(0, 10**6, 8),
+            derive_rng(9, 1).integers(0, 10**6, 8),
+            derive_rng(9, 1, 0).integers(0, 10**6, 8),
+            derive_rng(9, 1, 0, 0).integers(0, 10**6, 8),
+        ]
+        for i, a in enumerate(draws):
+            for b in draws[i + 1:]:
+                assert not np.array_equal(a, b)
+
+    def test_derive_rng_tuple_seed_does_not_parse_as_spawned_child(self):
+        """The word encoding is self-delimiting: the tuple seed (7, 1) must
+        not produce the same stream as the first spawned child of root 7
+        (whose words would otherwise read entropy 7, spawn-length 1,
+        spawn-key 0 — the same raw sequence)."""
+        child = spawn_seeds(7, 1)[0]
+        a = derive_rng((7, 1), 5).integers(0, 10**6, 8)
+        b = derive_rng(child, 5).integers(0, 10**6, 8)
+        assert not np.array_equal(a, b)
