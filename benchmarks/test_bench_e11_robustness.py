@@ -1,0 +1,24 @@
+"""Bench E11 — regenerates the robustness tables and asserts their claims."""
+
+from repro.experiments.e11_robustness import run
+
+SEED = 20120716
+
+
+def test_e11_robustness(once):
+    crash_table, speed_table = once(run, quick=True, seed=SEED)
+    print("\n" + crash_table.to_text())
+    print(speed_table.to_text())
+
+    # A_k keeps finding when mean lifetimes are 16x the optimal time;
+    # the random walk has already fallen off the cliff at the same hazard.
+    a_k = [r for r in crash_table.rows if r["algorithm"].startswith("A_k")]
+    walk = [r for r in crash_table.rows if r["algorithm"] == "random walk"]
+    assert a_k[1]["success"] >= 0.7
+    assert walk[1]["success"] <= a_k[1]["success"] - 0.2
+
+    # Heterogeneous speeds (total budget fixed) barely move the paper's
+    # constructions: the robustness claim in its purest form.
+    for row in speed_table.rows:
+        if row["algorithm"].startswith(("A_k", "A_uniform")):
+            assert row["degradation"] < 1.6

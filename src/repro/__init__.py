@@ -34,6 +34,7 @@ from .algorithms import (
     UniformSearch,
 )
 from .analysis.competitiveness import competitiveness, optimal_time
+from .scenarios import AgentProfile, ScenarioSpec
 from .sim import (
     BiasedWalker,
     LevyWalker,
@@ -56,6 +57,7 @@ from .sweep import SweepSpec, run_sweep
 __version__ = "1.0.0"
 
 __all__ = [
+    "AgentProfile",
     "BiasedWalkSearch",
     "BiasedWalker",
     "ExcursionAlgorithm",
@@ -72,6 +74,7 @@ __all__ = [
     "Result",
     "RestartingHarmonicSearch",
     "RhoApproxSearch",
+    "ScenarioSpec",
     "SearchAlgorithm",
     "SingleSpiralSearch",
     "SweepSpec",

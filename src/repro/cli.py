@@ -41,7 +41,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "experiments",
         nargs="+",
-        help="experiment ids (E1..E10) or 'all'",
+        help="experiment ids (E1..E11) or 'all'",
     )
     mode = run_p.add_mutually_exclusive_group()
     mode.add_argument("--quick", action="store_true", help="small grids (default)")
@@ -100,6 +100,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--require-k-le-d",
         action="store_true",
         help="skip cells with k > D (the paper's analysis regime)",
+    )
+    scenario_g = sweep_p.add_argument_group(
+        "scenario", "fault/heterogeneity perturbations (see DESIGN.md §6)"
+    )
+    scenario_g.add_argument(
+        "--crash-hazard",
+        type=float,
+        default=0.0,
+        help="per-time-unit crash hazard (geometric agent lifetimes)",
+    )
+    scenario_g.add_argument(
+        "--speed-spread",
+        type=float,
+        default=0.0,
+        help="speed heterogeneity: fastest/slowest = (1+spread)^2, mean 1",
+    )
+    scenario_g.add_argument(
+        "--start-stagger",
+        type=float,
+        default=0.0,
+        help="agent i starts at time i * stagger (asynchronous starts)",
+    )
+    scenario_g.add_argument(
+        "--detection-prob",
+        type=float,
+        default=1.0,
+        help="probability of noticing the treasure per crossing",
     )
     sweep_p.add_argument("--workers", type=int, default=0)
     sweep_p.add_argument("--no-cache", action="store_true")
@@ -161,6 +188,7 @@ def _parse_int_list(text: str, label: str) -> tuple:
 
 def _cmd_sweep(args) -> int:
     from .analysis.competitiveness import competitiveness
+    from .scenarios import ScenarioSpec
     from .sweep import ALGORITHM_BUILDERS, SweepSpec, run_sweep
     from .experiments.io import ResultTable
 
@@ -183,6 +211,12 @@ def _cmd_sweep(args) -> int:
             )
 
     try:
+        scenario = ScenarioSpec(
+            crash_hazard=args.crash_hazard,
+            speed_spread=args.speed_spread,
+            start_stagger=args.start_stagger,
+            detection_prob=args.detection_prob,
+        )
         spec = SweepSpec(
             algorithm=args.algorithm,
             distances=_parse_int_list(args.distances, "distances"),
@@ -193,6 +227,7 @@ def _cmd_sweep(args) -> int:
             seed=args.seed,
             horizon=args.horizon,
             require_k_le_d=args.require_k_le_d,
+            scenario=scenario,
         )
     except (TypeError, ValueError) as error:
         raise SystemExit(str(error))
@@ -227,6 +262,8 @@ def _cmd_sweep(args) -> int:
             ratio=competitiveness(cell.mean, cell.distance, cell.k),
         )
     table.add_note("ratio = mean_time / (D + D^2/k), the universal benchmark")
+    if spec.scenario is not None:
+        table.add_note(f"scenario: {spec.scenario.describe()}")
     source = "cache" if result.from_cache else f"computed in {elapsed:.1f}s"
     table.add_note(f"spec {spec.spec_hash()} ({source})")
     print(table.to_text())

@@ -22,6 +22,7 @@ from . import (
     e8_memory,
     e9_speedup,
     e10_ablations,
+    e11_robustness,
 )
 from .io import ResultTable
 
@@ -49,6 +50,7 @@ _MODULES = (
     (e8_memory, "Section 6"),
     (e9_speedup, "Section 2 observation"),
     (e10_ablations, "design ablations"),
+    (e11_robustness, "Sections 1-2 robustness"),
 )
 
 EXPERIMENTS: Dict[str, ExperimentInfo] = {

@@ -1,0 +1,252 @@
+"""Declarative fault/heterogeneity scenarios for every simulation engine.
+
+The paper's model (Section 2) assumes perfect, identical, immortal agents
+that start simultaneously — and then argues (Sections 1-2) that the
+*point* of non-communicating search is robustness: the algorithms keep
+working when agents crash, start late, or differ.  This module makes that
+axis first-class: a :class:`ScenarioSpec` declares per-agent perturbations
+as plain serialisable data, and all engines
+(:mod:`repro.sim.events`, :mod:`repro.sim.engine`, :mod:`repro.sim.walkers`)
+accept one through their ``scenario`` keyword.  The sweep subsystem hashes
+the scenario into its cache key and the CLI exposes the knobs as flags;
+experiment E11 sweeps them.
+
+Perturbation semantics (shared by every engine; see DESIGN.md §6):
+
+* **Crash failures** (``crash_hazard``): each agent draws an independent
+  geometric lifetime with per-time-unit hazard ``h`` — the discrete
+  constant-hazard-rate model — measured from the agent's own start.  The
+  agent behaves normally until its crash time; treasure hits strictly
+  after it do not count and the agent never moves again.  Excursion
+  engines apply the lifetime in closed form at excursion granularity
+  (a hit counts iff its wall-clock time is within the lifetime), which is
+  exact: no per-step coin flipping is ever needed.
+* **Heterogeneous speeds** (``speed_spread``): agent ``i`` of ``k`` gets
+  a speed from a deterministic geometric ladder with fastest/slowest
+  ratio ``(1 + spread) ** 2``, normalised so the *arithmetic* mean speed
+  is exactly 1 — the swarm's total edge budget per unit time is
+  spread-invariant, so any change in find times is attributable to
+  heterogeneity rather than a hidden collective speed bonus.  An edge
+  traversal costs ``1 / speed`` time units; find times remain wall-clock.
+* **Start delays** (``start_stagger``): agent ``i`` begins at time
+  ``i * stagger`` (the paper's asynchronous-start remark, generalising
+  the events-engine-only ``start_delays`` array to every engine; explicit
+  arrays remain supported alongside and the two add).
+* **Lossy detection** (``detection_prob``): every time an agent walks
+  over the treasure it *notices* it only with probability ``q``,
+  independently per crossing — a sensor-failure model.  Engines that
+  resolve whole legs in closed form flip one coin per potential crossing
+  (outbound leg, spiral, return leg), which is exact because each leg
+  crosses a fixed cell at most once.
+
+Seed policy: scenario randomness (crash lifetimes, detection coins) is
+drawn from the engine's own stream *after* scenario activation is checked,
+so the zero-perturbation path consumes exactly the random numbers it
+always did and stays bitwise identical to the pre-scenario engines
+(enforced by ``tests/test_scenarios.py``).  The step engine draws
+per-agent scenario randomness from ``derive_rng(seed, agent,
+SCENARIO_STREAM)`` so an agent's *trajectory* stream stays untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "AgentProfile",
+    "ScenarioSpec",
+    "SCENARIO_STREAM",
+    "resolve_scenario",
+    "steps_within",
+]
+
+#: Key appended to ``derive_rng(seed, agent, SCENARIO_STREAM)`` for per-agent
+#: scenario randomness in the step engine, keeping trajectory streams
+#: untouched.  An arbitrary constant far outside plausible agent/trial keys.
+SCENARIO_STREAM = 0x5CE7A510
+
+
+@dataclass(frozen=True)
+class AgentProfile:
+    """The resolved perturbations of one agent: its slice of a scenario.
+
+    ``speed`` multiplies edge-traversal rate (an edge costs ``1 / speed``
+    time units), ``start_delay`` is the wall-clock time at which the agent
+    begins, ``crash_hazard`` the per-time-unit failure probability, and
+    ``detection_prob`` the probability of noticing the treasure per
+    crossing.
+    """
+
+    speed: float = 1.0
+    start_delay: float = 0.0
+    crash_hazard: float = 0.0
+    detection_prob: float = 1.0
+
+    @property
+    def is_default(self) -> bool:
+        return (
+            self.speed == 1.0
+            and self.start_delay == 0.0
+            and self.crash_hazard == 0.0
+            and self.detection_prob == 1.0
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A declarative per-agent perturbation layer, serialisable and hashable.
+
+    All-default fields mean "the paper's model"; engines treat that case
+    as exactly equivalent to passing no scenario at all (same code path,
+    same random-number consumption, bitwise-identical output).
+    """
+
+    crash_hazard: float = 0.0
+    speed_spread: float = 0.0
+    start_stagger: float = 0.0
+    detection_prob: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crash_hazard", float(self.crash_hazard))
+        object.__setattr__(self, "speed_spread", float(self.speed_spread))
+        object.__setattr__(self, "start_stagger", float(self.start_stagger))
+        object.__setattr__(self, "detection_prob", float(self.detection_prob))
+        if not 0.0 <= self.crash_hazard <= 1.0:
+            raise ValueError(
+                f"crash_hazard must be in [0, 1], got {self.crash_hazard}"
+            )
+        if self.speed_spread < 0.0:
+            raise ValueError(
+                f"speed_spread must be >= 0, got {self.speed_spread}"
+            )
+        if self.start_stagger < 0.0:
+            raise ValueError(
+                f"start_stagger must be >= 0, got {self.start_stagger}"
+            )
+        if not 0.0 <= self.detection_prob <= 1.0:
+            raise ValueError(
+                f"detection_prob must be in [0, 1], got {self.detection_prob}"
+            )
+
+    @property
+    def is_default(self) -> bool:
+        """Whether this scenario is the unperturbed paper model."""
+        return (
+            self.crash_hazard == 0.0
+            and self.speed_spread == 0.0
+            and self.start_stagger == 0.0
+            and self.detection_prob == 1.0
+        )
+
+    def speeds(self, k: int) -> np.ndarray:
+        """Per-agent speed ladder, shape ``(k,)``, arithmetic mean exactly 1.
+
+        Geometrically spaced with fastest/slowest ratio
+        ``(1 + spread) ** 2``, rescaled so the speeds sum to ``k`` (the
+        swarm's total edge budget per unit time is spread-invariant).
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if k == 1 or self.speed_spread == 0.0:
+            return np.ones(k, dtype=np.float64)
+        exponents = 2.0 * np.arange(k, dtype=np.float64) / (k - 1) - 1.0
+        ladder = (1.0 + self.speed_spread) ** exponents
+        return ladder * (k / ladder.sum())
+
+    def delays(self, k: int) -> np.ndarray:
+        """Per-agent start delays, shape ``(k,)``: ``i * start_stagger``."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return np.arange(k, dtype=np.float64) * self.start_stagger
+
+    def profile(self, agent: int, k: int) -> AgentProfile:
+        """The resolved :class:`AgentProfile` of agent ``agent`` of ``k``."""
+        if not 0 <= agent < k:
+            raise ValueError(f"agent must be in [0, {k}), got {agent}")
+        return AgentProfile(
+            speed=float(self.speeds(k)[agent]),
+            start_delay=float(agent * self.start_stagger),
+            crash_hazard=self.crash_hazard,
+            detection_prob=self.detection_prob,
+        )
+
+    def profiles(self, k: int) -> Tuple[AgentProfile, ...]:
+        """All ``k`` resolved agent profiles."""
+        speeds = self.speeds(k)
+        return tuple(
+            AgentProfile(
+                speed=float(speeds[i]),
+                start_delay=float(i * self.start_stagger),
+                crash_hazard=self.crash_hazard,
+                detection_prob=self.detection_prob,
+            )
+            for i in range(k)
+        )
+
+    def describe(self) -> str:
+        """Compact human-readable knob summary (only non-default knobs)."""
+        parts = []
+        if self.crash_hazard > 0:
+            parts.append(f"crash_hazard={self.crash_hazard:g}")
+        if self.speed_spread > 0:
+            parts.append(f"speed_spread={self.speed_spread:g}")
+        if self.start_stagger > 0:
+            parts.append(f"start_stagger={self.start_stagger:g}")
+        if self.detection_prob < 1:
+            parts.append(f"detection_prob={self.detection_prob:g}")
+        return ", ".join(parts) if parts else "default"
+
+    def to_dict(self) -> Dict[str, float]:
+        """Canonical JSON-able form (the sweep-cache hashing basis)."""
+        return {
+            "crash_hazard": self.crash_hazard,
+            "speed_spread": self.speed_spread,
+            "start_stagger": self.start_stagger,
+            "detection_prob": self.detection_prob,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+        return cls(
+            crash_hazard=float(data.get("crash_hazard", 0.0)),
+            speed_spread=float(data.get("speed_spread", 0.0)),
+            start_stagger=float(data.get("start_stagger", 0.0)),
+            detection_prob=float(data.get("detection_prob", 1.0)),
+        )
+
+
+def steps_within(budget, speed=1.0):
+    """Largest step count whose wall-clock cost fits in ``budget`` at ``speed``.
+
+    The single source of the horizon/crash-time boundary rule shared by
+    the step and walker engines: step ``t`` happens at wall-clock
+    ``t / speed``, a hit at exactly the boundary is kept, and the tiny
+    relative slack absorbs float round-off so integral boundaries are
+    never lost to rounding.  Accepts scalars or arrays; returns floats
+    (callers cast to their step-counter type).
+    """
+    return np.floor(
+        np.maximum(budget, 0.0) * speed * (1.0 + 1e-12) + 1e-9
+    )
+
+
+def resolve_scenario(
+    scenario: Optional[ScenarioSpec],
+) -> Optional[ScenarioSpec]:
+    """Canonicalise: a ``None`` or all-default scenario resolves to ``None``.
+
+    Engines branch on the result — ``None`` means "take the exact legacy
+    code path" — so the zero-perturbation guarantee is structural rather
+    than a property of careful arithmetic.
+    """
+    if scenario is None:
+        return None
+    if not isinstance(scenario, ScenarioSpec):
+        raise TypeError(
+            f"scenario must be a ScenarioSpec or None, "
+            f"got {type(scenario).__name__}"
+        )
+    return None if scenario.is_default else scenario

@@ -9,6 +9,11 @@ Three engine families execute the same algorithms:
 * :mod:`repro.sim.walkers` — batched walker engine for the memoryless
   baselines (random/biased walks, Lévy flights), exact in distribution
   against the step engine.
+
+All engines accept a :class:`repro.scenarios.ScenarioSpec` through their
+``scenario`` keyword (crash failures, heterogeneous speeds, staggered
+starts, lossy detection); the default scenario is bitwise identical to
+the unperturbed engines.
 """
 
 from .engine import AgentTrace, StepRun, first_visit_times, run_agent, run_search
@@ -35,14 +40,17 @@ from .metrics import (
 )
 from .rng import derive_rng, derive_seed, make_rng, spawn_rngs, spawn_seeds
 from .world import Result, World, place_treasure
+from ..scenarios import AgentProfile, ScenarioSpec
 
 __all__ = [
+    "AgentProfile",
     "AgentTrace",
     "AnnulusCoverage",
     "BiasedWalker",
     "LevyWalker",
     "RandomWalker",
     "Result",
+    "ScenarioSpec",
     "StepRun",
     "Walker",
     "World",

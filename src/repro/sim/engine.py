@@ -19,12 +19,19 @@ far as their horizon, which prunes most of the work.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..algorithms.base import Point, SearchAlgorithm
+from ..scenarios import (
+    SCENARIO_STREAM,
+    ScenarioSpec,
+    resolve_scenario,
+    steps_within,
+)
 from .rng import SeedLike, derive_rng
 from .world import Result, World
 
@@ -67,6 +74,8 @@ def run_agent(
     agent: int = 0,
     record_visits: bool = False,
     stop_at_find: bool = True,
+    detection_prob: float = 1.0,
+    detect_rng: Optional[np.random.Generator] = None,
 ) -> AgentTrace:
     """Run one agent's step program for up to ``horizon`` steps.
 
@@ -74,9 +83,16 @@ def run_agent(
     otherwise it runs the full horizon (used by coverage instrumentation,
     where "by time 2T" semantics require every agent to walk the whole
     window).
+
+    With ``detection_prob < 1`` each treasure visit is *noticed* only with
+    that probability (one coin per visit from ``detect_rng``, a stream
+    separate from the trajectory's ``rng`` so the walk itself is
+    unperturbed); unnoticed visits leave the agent searching.
     """
     if horizon < 0:
         raise ValueError(f"horizon must be non-negative, got {horizon}")
+    if detection_prob < 1.0 and detect_rng is None:
+        raise ValueError("detection_prob < 1 requires a detect_rng stream")
     treasure = world.treasure
     visited: Optional[Dict[Point, int]] = None
     if record_visits:
@@ -92,9 +108,10 @@ def run_agent(
         if visited is not None and position not in visited:
             visited[position] = t
         if find_time is None and position == treasure:
-            find_time = t
-            if stop_at_find:
-                break
+            if detection_prob >= 1.0 or detect_rng.random() < detection_prob:
+                find_time = t
+                if stop_at_find:
+                    break
     return AgentTrace(agent=agent, find_time=find_time, steps=steps, visited=visited)
 
 
@@ -107,6 +124,8 @@ def run_search(
     horizon: int = 10**7,
     record_visits: bool = False,
     prune: bool = True,
+    scenario: Optional[ScenarioSpec] = None,
+    start_delays=None,
 ) -> StepRun:
     """Simulate ``k`` agents at step level; the search ends at the first find.
 
@@ -116,17 +135,70 @@ def run_search(
     needs to be simulated up to the best find time seen so far.
     Pruning is disabled automatically when ``record_visits`` is set, since
     coverage instrumentation needs full-horizon walks.
+
+    ``scenario`` (:class:`repro.scenarios.ScenarioSpec`) and
+    ``start_delays`` (length ``k``) perturb the agents exactly as in the
+    vectorised engines: ``horizon`` and ``Result.time`` become wall-clock
+    (agent ``i``'s step ``t`` happens at ``delay_i + t / speed_i``), crash
+    lifetimes cap each agent's walk, and lossy detection flips one coin
+    per treasure visit.  Per-agent scenario randomness comes from
+    ``derive_rng(seed, i, SCENARIO_STREAM)``, so trajectory streams are
+    untouched and the default scenario is exactly the legacy behaviour.
+    ``AgentTrace.find_time`` stays the *step index* of the find; the
+    wall-clock conversion lives in ``Result.time``.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    scn = resolve_scenario(scenario)
+    delays = np.zeros(k, dtype=np.float64)
+    if start_delays is not None:
+        given = np.asarray(start_delays, dtype=np.float64)
+        if given.shape != (k,):
+            raise ValueError(
+                f"start_delays must have shape ({k},), got {given.shape}"
+            )
+        if np.any(given < 0):
+            raise ValueError("start delays must be non-negative")
+        delays = delays + given
+    speeds = np.ones(k, dtype=np.float64)
+    if scn is not None:
+        delays = delays + scn.delays(k)
+        speeds = scn.speeds(k)
+    perturbed = scn is not None or start_delays is not None
+
     traces: List[AgentTrace] = []
-    best_time: Optional[int] = None
+    best_wall: Optional[float] = None
     finder: Optional[int] = None
     effective_prune = prune and not record_visits
     for i in range(k):
-        agent_horizon = horizon
-        if effective_prune and best_time is not None:
-            agent_horizon = min(horizon, best_time - 1)
+        speed = float(speeds[i])
+        delay = float(delays[i])
+        detect_rng = None
+        detection_prob = 1.0
+        if perturbed:
+            # Steps inside the wall-clock horizon: delay + t/speed <= horizon.
+            agent_horizon = int(steps_within(horizon - delay, speed))
+            if scn is not None and (
+                scn.crash_hazard > 0 or scn.detection_prob < 1
+            ):
+                srng = derive_rng(seed, i, SCENARIO_STREAM)
+                if scn.crash_hazard > 0:
+                    lifetime = float(srng.geometric(scn.crash_hazard))
+                    agent_horizon = min(
+                        agent_horizon, int(steps_within(lifetime, speed))
+                    )
+                if scn.detection_prob < 1:
+                    detect_rng = srng
+                    detection_prob = scn.detection_prob
+        else:
+            agent_horizon = horizon
+        if effective_prune and best_wall is not None:
+            # Step t can only improve the record if delay + t/speed < best.
+            if perturbed:
+                cap = int(math.ceil((best_wall - delay) * speed)) - 1
+            else:
+                cap = int(best_wall) - 1
+            agent_horizon = min(agent_horizon, max(cap, 0))
         trace = run_agent(
             algorithm,
             world,
@@ -135,21 +207,25 @@ def run_search(
             agent=i,
             record_visits=record_visits,
             stop_at_find=not record_visits,
+            detection_prob=detection_prob,
+            detect_rng=detect_rng,
         )
         traces.append(trace)
-        if trace.find_time is not None and (
-            best_time is None or trace.find_time < best_time
-        ):
-            best_time = trace.find_time
-            finder = i
+        if trace.find_time is not None:
+            wall = delay + trace.find_time / speed if perturbed else float(
+                trace.find_time
+            )
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+                finder = i
     total_steps = sum(trace.steps for trace in traces)
-    if best_time is None:
+    if best_wall is None:
         result = Result(
             time=float("inf"), found=False, finder=None, steps_simulated=total_steps
         )
     else:
         result = Result(
-            time=float(best_time), found=True, finder=finder,
+            time=float(best_wall), found=True, finder=finder,
             steps_simulated=total_steps,
         )
     return StepRun(result=result, traces=traces)

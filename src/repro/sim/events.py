@@ -40,6 +40,7 @@ from ..core.spiral import (
     spiral_position,
     spiral_position_array,
 )
+from ..scenarios import ScenarioSpec, resolve_scenario
 from .rng import SeedLike, make_rng
 from .world import World
 
@@ -101,6 +102,44 @@ def _return_hit_offsets(
     return on_x_leg | on_y_leg, offset
 
 
+def _scenario_state(
+    scn: Optional[ScenarioSpec],
+    k: int,
+    trials: int,
+    cum: np.ndarray,
+    rng: np.random.Generator,
+) -> Tuple[
+    np.ndarray, Optional[np.ndarray], Optional[np.ndarray], Optional[float]
+]:
+    """Resolve an active scenario against the initial agent clocks.
+
+    Returns ``(cum, speeds, crash_abs, q)``: the (possibly delayed)
+    per-slot clocks, the per-agent speed row (``None`` for unit speeds),
+    the absolute wall-clock crash times (``None`` for immortal agents;
+    lifetimes are geometric with the spec's per-time-unit hazard, measured
+    from each agent's own start) and the detection probability (``None``
+    for perfect detection).  A ``None`` scenario returns everything
+    untouched — the engines then never branch off the legacy path.
+
+    Crash lifetimes come from a *spawned child* of ``rng``, not the main
+    stream: the excursion draws that follow are then identical across
+    hazard settings of the same seed, so a hazard sweep (E11) compares
+    paired executions rather than independent resamples.
+    """
+    if scn is None:
+        return cum, None, None, None
+    if scn.start_stagger > 0:
+        cum = cum + scn.delays(k)
+    speeds = scn.speeds(k) if scn.speed_spread > 0 else None
+    crash_abs = None
+    if scn.crash_hazard > 0:
+        (life_rng,) = rng.spawn(1)
+        lifetimes = life_rng.geometric(scn.crash_hazard, size=(trials, k))
+        crash_abs = cum + lifetimes.astype(np.float64)
+    q = scn.detection_prob if scn.detection_prob < 1 else None
+    return cum, speeds, crash_abs, q
+
+
 def simulate_find_times(
     algorithm: ExcursionAlgorithm,
     world: World,
@@ -111,6 +150,7 @@ def simulate_find_times(
     horizon: Optional[float] = None,
     max_phases: int = 1_000_000,
     start_delays: Optional[np.ndarray] = None,
+    scenario: Optional[ScenarioSpec] = None,
 ) -> np.ndarray:
     """First times at which any of ``k`` agents finds the treasure.
 
@@ -125,6 +165,12 @@ def simulate_find_times(
     ``start_delays`` (shape ``(k,)`` or ``(trials, k)``, non-negative)
     models the paper's asynchronous-start remark (Section 2): agent ``i``
     only begins executing at its delay; times remain measured from ``t0 = 0``.
+
+    ``scenario`` (:class:`repro.scenarios.ScenarioSpec`) perturbs agents
+    with crash failures, heterogeneous speeds, staggered starts, and lossy
+    detection; all times stay wall-clock (an edge costs ``1 / speed``).
+    A ``None`` or all-default scenario takes exactly the legacy code path
+    and is bitwise identical to the unperturbed engine.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -132,6 +178,7 @@ def simulate_find_times(
         raise ValueError(f"trials must be >= 1, got {trials}")
     rng = make_rng(seed)
     tx, ty = world.treasure
+    scn = resolve_scenario(scenario)
 
     cum = np.zeros((trials, k), dtype=np.float64)
     if start_delays is not None:
@@ -139,6 +186,7 @@ def simulate_find_times(
         if np.any(delays < 0):
             raise ValueError("start delays must be non-negative")
         cum = cum + np.broadcast_to(delays, (trials, k))
+    cum, speeds, crash_abs, q = _scenario_state(scn, k, trials, cum, rng)
     best = np.full(trials, np.inf)
     cap = np.inf if horizon is None else float(horizon)
 
@@ -149,6 +197,9 @@ def simulate_find_times(
                 f"simulation exceeded max_phases={max_phases}; "
                 f"pass a horizon or raise the cap"
             )
+        if crash_abs is not None:
+            # Crashed agents never move again; park their clocks at +inf.
+            cum[cum >= crash_abs] = np.inf
         active = cum < np.minimum(best, cap)[:, None]
         if not np.any(active):
             break
@@ -166,10 +217,14 @@ def simulate_find_times(
         hit_offset = np.full(count, np.inf)
 
         out_mask, out_off = _outbound_hit_offsets(ux, uy, tx, ty)
+        if q is not None:
+            out_mask = out_mask & (rng.random(count) < q)
         hit_offset[out_mask] = np.minimum(hit_offset[out_mask], out_off[out_mask])
 
         spiral_hit = _hit_times(tx - ux, ty - uy)
         sp_mask = spiral_hit <= budgets
+        if q is not None:
+            sp_mask = sp_mask & (rng.random(count) < q)
         sp_time = travel + spiral_hit
         hit_offset[sp_mask] = np.minimum(hit_offset[sp_mask], sp_time[sp_mask])
 
@@ -177,18 +232,30 @@ def simulate_find_times(
         ex = ux + dx_end
         ey = uy + dy_end
         ret_mask, ret_off = _return_hit_offsets(ex, ey, tx, ty)
+        if q is not None:
+            ret_mask = ret_mask & (rng.random(count) < q)
         ret_time = travel + budgets + ret_off
         hit_offset[ret_mask] = np.minimum(hit_offset[ret_mask], ret_time[ret_mask])
 
+        # Offsets are step counts; wall-clock conversion divides by speed.
+        if speeds is not None:
+            speed = speeds[cols]
+            hit_wall = start + hit_offset / speed
+        else:
+            hit_wall = start + hit_offset
         found = np.isfinite(hit_offset)
+        if crash_abs is not None:
+            # A hit after the agent's crash time never happens.
+            found &= hit_wall <= crash_abs[rows, cols]
         if np.any(found):
-            find_times = start[found] + hit_offset[found]
-            np.minimum.at(best, rows[found], find_times)
+            np.minimum.at(best, rows[found], hit_wall[found])
             # Finders stop searching; park their clocks at +inf.
             cum[rows[found], cols[found]] = np.inf
 
         not_found = ~found
         duration = travel + budgets + np.abs(ex) + np.abs(ey)
+        if speeds is not None:
+            duration = duration / speed
         cum[rows[not_found], cols[not_found]] = (
             start[not_found] + duration[not_found]
         )
@@ -233,6 +300,7 @@ def simulate_find_times_batch(
     horizon: Optional[float] = None,
     max_phases: int = 1_000_000,
     start_delays: Optional[np.ndarray] = None,
+    scenario: Optional[ScenarioSpec] = None,
 ) -> np.ndarray:
     """First find times for many worlds at once, sharing excursion draws.
 
@@ -258,8 +326,13 @@ def simulate_find_times_batch(
     already found in some world can never improve that world's ``best``
     because a hit is never later than the end of its excursion.
 
-    ``horizon``, ``max_phases`` and ``start_delays`` behave exactly as in
-    :func:`simulate_find_times`; the horizon is shared by all worlds.
+    ``horizon``, ``max_phases``, ``start_delays`` and ``scenario`` behave
+    exactly as in :func:`simulate_find_times`; the horizon is shared by all
+    worlds.  Scenario perturbations are per *slot* (trial, agent) or per
+    draw — crash times, speeds, delays and detection coins are all
+    world-independent — so the shared-draw pairing across worlds is
+    preserved and the single-world bitwise-twin contract holds under any
+    scenario.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -268,6 +341,7 @@ def simulate_find_times_batch(
     tx, ty = _as_treasure_arrays(worlds)
     n_worlds = tx.shape[0]
     rng = make_rng(seed)
+    scn = resolve_scenario(scenario)
 
     cum = np.zeros((trials, k), dtype=np.float64)
     if start_delays is not None:
@@ -275,6 +349,7 @@ def simulate_find_times_batch(
         if np.any(delays < 0):
             raise ValueError("start delays must be non-negative")
         cum = cum + np.broadcast_to(delays, (trials, k))
+    cum, speeds, crash_abs, q = _scenario_state(scn, k, trials, cum, rng)
     best = np.full((n_worlds, trials), np.inf)
     cap = np.inf if horizon is None else float(horizon)
 
@@ -285,6 +360,10 @@ def simulate_find_times_batch(
                 f"simulation exceeded max_phases={max_phases}; "
                 f"pass a horizon or raise the cap"
             )
+        if crash_abs is not None:
+            # Crashed slots never move again (crashes are world-independent,
+            # so parking keeps the clocks world-independent too).
+            cum[cum >= crash_abs] = np.inf
         # A slot (trial, agent) is live while the slowest world still wants
         # it: cum < min(best[w], cap) for some w.
         targets = np.minimum(best, cap)
@@ -312,7 +391,14 @@ def simulate_find_times_batch(
         travel = np.abs(ux) + np.abs(uy)
 
         # Earliest hit per (open world, draw), inf when the excursion misses.
+        # Detection coins are drawn once per draw and shared across worlds
+        # (common random numbers, like the excursion draws themselves):
+        # per-world marginals are exact Bernoulli(q) per crossing, and with
+        # a single world the coin stream is bitwise identical to the
+        # scalar engine's.
         out_mask, out_off = _outbound_hit_offsets(ux, uy, txo, tyo)
+        if q is not None:
+            out_mask = out_mask & (rng.random(count) < q)
         hit_offset = np.where(out_mask, out_off.astype(np.float64), np.inf)
 
         # Spiral hits are possible only where the budget reaches the
@@ -326,12 +412,17 @@ def simulate_find_times_batch(
             2.0 * np.maximum(np.abs(dxg), np.abs(dyg)) - 1.0, 0.0
         )
         cand_w, cand_s = np.nonzero(reach * reach * (1.0 - 1e-12) <= budgets)
+        # The spiral coin stream must stay draw-indexed (one coin per draw,
+        # drawn whether or not the draw is a candidate anywhere) to keep
+        # the scalar engine's consumption order.
+        sp_coins = (rng.random(count) < q) if q is not None else None
         if cand_w.size:
             spiral_hit = _hit_times(dxg[cand_w, cand_s], dyg[cand_w, cand_s])
             cand_budgets = budgets[cand_s]
-            sp_time = np.where(
-                spiral_hit <= cand_budgets, travel[cand_s] + spiral_hit, np.inf
-            )
+            sp_mask = spiral_hit <= cand_budgets
+            if sp_coins is not None:
+                sp_mask = sp_mask & sp_coins[cand_s]
+            sp_time = np.where(sp_mask, travel[cand_s] + spiral_hit, np.inf)
             hit_offset[cand_w, cand_s] = np.minimum(
                 hit_offset[cand_w, cand_s], sp_time
             )
@@ -340,13 +431,25 @@ def simulate_find_times_batch(
         ex = ux + dx_end
         ey = uy + dy_end
         ret_mask, ret_off = _return_hit_offsets(ex, ey, txo, tyo)
+        if q is not None:
+            ret_mask = ret_mask & (rng.random(count) < q)
         ret_time = travel + budgets + ret_off
         np.minimum(hit_offset, np.where(ret_mask, ret_time, np.inf),
                    out=hit_offset)
 
+        speed = speeds[cols] if speeds is not None else None
         w_sub, s_idx = np.nonzero(np.isfinite(hit_offset))
         if w_sub.size:
-            find_times = start[s_idx] + hit_offset[w_sub, s_idx]
+            if speed is not None:
+                find_times = start[s_idx] + hit_offset[w_sub, s_idx] / speed[s_idx]
+            else:
+                find_times = start[s_idx] + hit_offset[w_sub, s_idx]
+            if crash_abs is not None:
+                # Hits after the slot's crash time never happen, in any world.
+                alive = find_times <= crash_abs[rows[s_idx], cols[s_idx]]
+                w_sub, s_idx = w_sub[alive], s_idx[alive]
+                find_times = find_times[alive]
+        if w_sub.size:
             w_idx = open_worlds[w_sub]
             np.minimum.at(best.ravel(), w_idx * trials + rows[s_idx], find_times)
 
@@ -355,6 +458,8 @@ def simulate_find_times_batch(
         # excursion duration is safe (see docstring) and keeps the clocks
         # world-independent.
         duration = travel + budgets + np.abs(ex) + np.abs(ey)
+        if speed is not None:
+            duration = duration / speed
         cum[rows, cols] = start + duration
 
     best[best > cap] = np.inf

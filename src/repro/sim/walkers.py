@@ -50,10 +50,12 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..scenarios import ScenarioSpec, resolve_scenario, steps_within
 from .rng import SeedLike, make_rng, spawn_seeds
 from .world import World
 
@@ -94,6 +96,86 @@ def _validate(k: int, trials: int, horizon: float) -> int:
     return int(horizon)
 
 
+@dataclass
+class _SlotPlan:
+    """Resolved per-slot perturbations for one walker simulation.
+
+    Slots are laid out trial-major (``slot = trial * k + agent``), matching
+    ``trial_of``.  ``step_cap`` is the last *step index* a slot may take —
+    the wall-clock horizon and the slot's crash time, both converted to
+    steps via its speed — so hits are valid iff ``step <= step_cap`` and a
+    slot retires once its step clock reaches the cap.  ``None`` plan means
+    "no scenario, no delays": the engines then keep the exact legacy path.
+    """
+
+    speeds: np.ndarray
+    delays: np.ndarray
+    step_cap: np.ndarray
+    detection: Optional[float]
+
+    def wall(self, slots: np.ndarray, steps) -> np.ndarray:
+        """Wall-clock time of the given slots after ``steps`` steps."""
+        return self.delays[slots] + steps / self.speeds[slots]
+
+    def mask_missed(self, hits: np.ndarray, rng: np.random.Generator):
+        """Clear hit cells whose detection coin fails (in place).
+
+        One coin per hit cell — each cell crossing is an independent
+        detection opportunity — flipped only at the rare hits rather than
+        per simulated step/segment.
+        """
+        if self.detection is not None:
+            hr, hc = np.nonzero(hits)
+            if hr.size:
+                missed = rng.random(hr.size) >= self.detection
+                hits[hr[missed], hc[missed]] = False
+        return hits
+
+
+def _slot_plan(
+    scenario: Optional[ScenarioSpec],
+    start_delays,
+    k: int,
+    trials: int,
+    horizon: int,
+    rng: np.random.Generator,
+) -> Optional[_SlotPlan]:
+    """Build the per-slot plan, or ``None`` when nothing is perturbed."""
+    scn = resolve_scenario(scenario)
+    if scn is None and start_delays is None:
+        return None
+    n = trials * k
+    delays = np.zeros(n, dtype=np.float64)
+    if start_delays is not None:
+        given = np.asarray(start_delays, dtype=np.float64)
+        if np.any(given < 0):
+            raise ValueError("start delays must be non-negative")
+        delays += np.broadcast_to(given, (trials, k)).ravel()
+    speeds = np.ones(n, dtype=np.float64)
+    detection = None
+    if scn is not None:
+        if scn.start_stagger > 0:
+            delays += np.tile(scn.delays(k), trials)
+        if scn.speed_spread > 0:
+            speeds = np.tile(scn.speeds(k), trials)
+        if scn.detection_prob < 1:
+            detection = scn.detection_prob
+    # Steps allowed inside the wall-clock horizon: delay + step/speed <=
+    # horizon (a hit at exactly the horizon is kept — the step engine's
+    # rule).  Crash lifetimes come from a spawned child of ``rng`` so the
+    # movement draws that follow stay identical across hazard settings
+    # (paired hazard sweeps, as in the excursion engines).
+    step_cap = steps_within(horizon - delays, speeds).astype(np.int64)
+    if scn is not None and scn.crash_hazard > 0:
+        (life_rng,) = rng.spawn(1)
+        lifetimes = life_rng.geometric(scn.crash_hazard, size=n)
+        crash_cap = steps_within(lifetimes.astype(np.float64), speeds)
+        step_cap = np.minimum(step_cap, crash_cap.astype(np.int64))
+    return _SlotPlan(
+        speeds=speeds, delays=delays, step_cap=step_cap, detection=detection
+    )
+
+
 class Walker(ABC):
     """A memoryless baseline simulable by the batched walker engine.
 
@@ -117,6 +199,8 @@ class Walker(ABC):
         *,
         horizon: float,
         chunk: Optional[int] = None,
+        scenario: Optional[ScenarioSpec] = None,
+        start_delays=None,
     ) -> np.ndarray:
         """First times any of ``k`` walkers stands on the treasure.
 
@@ -124,6 +208,15 @@ class Walker(ABC):
         which any of the trial's ``k`` independent walkers visits the
         treasure, or ``inf`` if none does within ``horizon`` steps.  A hit
         at exactly ``horizon`` is kept (the step engine's rule).
+
+        ``scenario`` (:class:`repro.scenarios.ScenarioSpec`) perturbs the
+        walkers — crash lifetimes, per-agent speeds (times become
+        wall-clock: a step costs ``1 / speed``), staggered starts, lossy
+        detection.  ``start_delays`` (shape ``(k,)`` or ``(trials, k)``)
+        gives explicit per-agent delays, matching the excursion engines'
+        parameter; both perturbations combine additively.  The default
+        (no scenario, no delays) is bitwise identical to the unperturbed
+        engine.
         """
 
     @abstractmethod
@@ -148,6 +241,8 @@ class RandomWalker(Walker):
         *,
         horizon: float,
         chunk: Optional[int] = None,
+        scenario: Optional[ScenarioSpec] = None,
+        start_delays=None,
     ) -> np.ndarray:
         horizon = _validate(k, trials, horizon)
         rng = make_rng(seed)
@@ -159,26 +254,52 @@ class RandomWalker(Walker):
         trial_of = np.repeat(np.arange(trials), k)
         trial_best = np.full(trials, np.inf)
         alive = np.arange(n)
+        plan = _slot_plan(scenario, start_delays, k, trials, horizon, rng)
+        max_steps = horizon
+        if plan is not None:
+            alive = alive[plan.step_cap[alive] > 0]
+            max_steps = int(plan.step_cap.max(initial=0))
         t = 0
-        while t < horizon and alive.size:
-            span = min(span_cap, horizon - t)
+        while t < max_steps and alive.size:
+            span = min(span_cap, max_steps - t)
             moves = rng.integers(0, 4, size=(alive.size, span))
             px = x[alive, None] + np.cumsum(_DIR_X[moves], axis=1)
             py = y[alive, None] + np.cumsum(_DIR_Y[moves], axis=1)
             hit = (px == tx) & (py == ty)
+            if plan is not None:
+                # Hit at chunk column j happens at step t + j + 1; only
+                # steps within the slot's cap (horizon and crash, in its
+                # own speed) count, and each crossing is noticed only with
+                # the scenario's detection probability.
+                steps = t + 1 + np.arange(span, dtype=np.int64)
+                hit = hit & (steps[None, :] <= plan.step_cap[alive, None])
+                hit = plan.mask_missed(hit, rng)
             any_hit = hit.any(axis=1)
             if np.any(any_hit):
                 first = np.argmax(hit[any_hit], axis=1)
-                np.minimum.at(
-                    trial_best, trial_of[alive[any_hit]], t + first + 1.0
-                )
+                if plan is not None:
+                    sel = alive[any_hit]
+                    np.minimum.at(
+                        trial_best, trial_of[sel],
+                        plan.wall(sel, t + first + 1.0),
+                    )
+                else:
+                    np.minimum.at(
+                        trial_best, trial_of[alive[any_hit]], t + first + 1.0
+                    )
             x[alive] = px[:, -1]
             y[alive] = py[:, -1]
             t += span
             # Finders stop; siblings of a finished trial can only hit at
             # times > t >= the trial's recorded find, so they retire too.
             alive = alive[~any_hit]
-            alive = alive[t < trial_best[trial_of[alive]]]
+            if plan is not None:
+                alive = alive[t < plan.step_cap[alive]]
+                alive = alive[
+                    plan.wall(alive, t) < trial_best[trial_of[alive]]
+                ]
+            else:
+                alive = alive[t < trial_best[trial_of[alive]]]
         return trial_best
 
     def step_algorithm(self):
@@ -217,6 +338,8 @@ class _SegmentWalker(Walker):
         *,
         horizon: float,
         chunk: Optional[int] = None,
+        scenario: Optional[ScenarioSpec] = None,
+        start_delays=None,
     ) -> np.ndarray:
         horizon = _validate(k, trials, horizon)
         rng = make_rng(seed)
@@ -229,25 +352,31 @@ class _SegmentWalker(Walker):
         trial_of = np.repeat(np.arange(trials), k)
         trial_best = np.full(trials, np.inf)
         alive = np.arange(n)
+        plan = _slot_plan(scenario, start_delays, k, trials, horizon, rng)
+        if plan is not None:
+            alive = alive[plan.step_cap[alive] > 0]
 
         first_block = self._initial_segments(rng, n)
         if first_block is not None:
             lengths, dirs = first_block
+            if plan is not None:
+                lengths, dirs = lengths[alive], dirs[alive]
             alive = self._consume(
                 x, y, t, trial_of, trial_best, alive,
-                lengths[:, None], dirs[:, None], tx, ty, horizon,
+                lengths[:, None], dirs[:, None], tx, ty, horizon, plan, rng,
             )
         while alive.size:
             lengths, dirs = self._sample_segments(rng, alive.size, segs)
             alive = self._consume(
                 x, y, t, trial_of, trial_best, alive,
-                lengths, dirs, tx, ty, horizon,
+                lengths, dirs, tx, ty, horizon, plan, rng,
             )
         return trial_best
 
     @staticmethod
     def _consume(
-        x, y, t, trial_of, trial_best, alive, lengths, dirs, tx, ty, horizon
+        x, y, t, trial_of, trial_best, alive, lengths, dirs, tx, ty, horizon,
+        plan=None, rng=None,
     ) -> np.ndarray:
         """Walk one ``(alive, segments)`` block; returns the surviving rows."""
         dx = _DIR_X[dirs]
@@ -270,24 +399,46 @@ class _SegmentWalker(Walker):
         )
         offset = np.where(dx != 0, off_x, off_y)
         hit_time = start_t + offset
-        valid = hit & (hit_time <= horizon)
+        if plan is None:
+            valid = hit & (hit_time <= horizon)
+        else:
+            # Per-slot caps fold the wall-clock horizon and the crash time
+            # into one step bound; each crossing is noticed only with the
+            # scenario's detection probability (a straight segment crosses
+            # a fixed cell at most once, so one coin per hitting segment
+            # is exact).
+            valid = hit & (hit_time <= plan.step_cap[alive, None])
+            valid = plan.mask_missed(valid, rng)
         any_hit = valid.any(axis=1)
         if np.any(any_hit):
             first = np.argmax(valid[any_hit], axis=1)
-            np.minimum.at(
-                trial_best,
-                trial_of[alive[any_hit]],
-                hit_time[any_hit, first].astype(np.float64),
-            )
+            if plan is None:
+                np.minimum.at(
+                    trial_best,
+                    trial_of[alive[any_hit]],
+                    hit_time[any_hit, first].astype(np.float64),
+                )
+            else:
+                sel = alive[any_hit]
+                np.minimum.at(
+                    trial_best,
+                    trial_of[sel],
+                    plan.wall(sel, hit_time[any_hit, first].astype(np.float64)),
+                )
         x[alive] = end_x[:, -1]
         y[alive] = end_y[:, -1]
         t[alive] = end_t[:, -1]
-        # Survivors: no hit, clock inside the horizon, and — since a live
-        # walker's future hits happen strictly after its clock — still able
-        # to beat the trial's recorded find.
+        # Survivors: no hit, clock inside the horizon (and crash cap), and
+        # — since a live walker's future hits happen strictly after its
+        # clock — still able to beat the trial's recorded find.
         alive = alive[~any_hit]
+        if plan is None:
+            return alive[
+                (t[alive] < horizon) & (t[alive] < trial_best[trial_of[alive]])
+            ]
         return alive[
-            (t[alive] < horizon) & (t[alive] < trial_best[trial_of[alive]])
+            (t[alive] < plan.step_cap[alive])
+            & (plan.wall(alive, t[alive]) < trial_best[trial_of[alive]])
         ]
 
 
@@ -363,9 +514,14 @@ def walker_find_times(
     *,
     horizon: float,
     chunk: Optional[int] = None,
+    scenario: Optional[ScenarioSpec] = None,
+    start_delays=None,
 ) -> np.ndarray:
     """Functional entry point: ``walker.find_times`` with the same contract."""
-    return walker.find_times(world, k, trials, seed, horizon=horizon, chunk=chunk)
+    return walker.find_times(
+        world, k, trials, seed, horizon=horizon, chunk=chunk,
+        scenario=scenario, start_delays=start_delays,
+    )
 
 
 def walker_find_times_batch(
@@ -377,6 +533,8 @@ def walker_find_times_batch(
     *,
     horizon: float,
     chunk: Optional[int] = None,
+    scenario: Optional[ScenarioSpec] = None,
+    start_delays=None,
 ) -> np.ndarray:
     """Per-world find-time matrix, shape ``(len(worlds), trials)``.
 
@@ -397,7 +555,10 @@ def walker_find_times_batch(
         raise ValueError("worlds must be non-empty")
     resolved = [w if isinstance(w, World) else World(tuple(w)) for w in worlds]
     rows = [
-        walker.find_times(w, k, trials, s, horizon=horizon, chunk=chunk)
+        walker.find_times(
+            w, k, trials, s, horizon=horizon, chunk=chunk,
+            scenario=scenario, start_delays=start_delays,
+        )
         for w, s in zip(resolved, spawn_seeds(seed, len(resolved)))
     ]
     return np.stack(rows)

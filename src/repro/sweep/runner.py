@@ -125,10 +125,12 @@ def _execute_group(task) -> np.ndarray:
     ]
     if isinstance(strategy, Walker):
         return walker_find_times_batch(
-            strategy, worlds, k, spec.trials, sim_seed, horizon=spec.horizon
+            strategy, worlds, k, spec.trials, sim_seed,
+            horizon=spec.horizon, scenario=spec.scenario,
         )
     return simulate_find_times_batch(
-        strategy, worlds, k, spec.trials, sim_seed, horizon=spec.horizon
+        strategy, worlds, k, spec.trials, sim_seed,
+        horizon=spec.horizon, scenario=spec.scenario,
     )
 
 

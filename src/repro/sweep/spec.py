@@ -39,6 +39,7 @@ from ..algorithms import (
     UniformSearch,
 )
 from ..algorithms.base import ExcursionAlgorithm
+from ..scenarios import ScenarioSpec
 from ..sim.walkers import BiasedWalker, LevyWalker, RandomWalker, Walker
 
 __all__ = [
@@ -54,7 +55,8 @@ __all__ = [
 
 #: Bumped whenever the execution semantics change in a way that invalidates
 #: cached results (seed derivation, engine semantics, npz layout).
-SPEC_VERSION = 1
+#: v2: the spec dict gained the scenario layer (fault/heterogeneity knobs).
+SPEC_VERSION = 2
 
 ParamsLike = Union[Mapping[str, float], Sequence[Tuple[str, float]]]
 
@@ -146,6 +148,14 @@ class SweepSpec:
     sorted tuple so that equal specs hash equally.  ``seed`` must be a plain
     integer (serialisable); derive one from a structured key with
     :func:`repro.sim.rng.derive_seed`.
+
+    ``scenario`` (:class:`repro.scenarios.ScenarioSpec`, a mapping, or
+    ``None``) is the fault/heterogeneity layer and participates in the
+    content hash — two sweeps that differ only in scenario cache
+    separately.  The all-default scenario is canonicalised to ``None``, so
+    "no scenario" and "explicitly unperturbed" are the *same* spec (and
+    the same cache entry, which the zero-perturbation engine guarantee
+    makes sound).
     """
 
     algorithm: str
@@ -157,6 +167,7 @@ class SweepSpec:
     seed: int = 0
     horizon: Optional[float] = None
     require_k_le_d: bool = False
+    scenario: Optional[ScenarioSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -185,6 +196,19 @@ class SweepSpec:
             raise TypeError(
                 f"spec seed must be a plain int, got {type(self.seed).__name__}"
             )
+        scenario = self.scenario
+        if isinstance(scenario, Mapping):
+            scenario = ScenarioSpec.from_dict(scenario)
+        if scenario is not None and not isinstance(scenario, ScenarioSpec):
+            raise TypeError(
+                f"spec scenario must be a ScenarioSpec, mapping or None, "
+                f"got {type(scenario).__name__}"
+            )
+        # Canonicalise: the all-default scenario IS the absent scenario, so
+        # specs that mean the same sweep hash (and cache) identically.
+        if scenario is not None and scenario.is_default:
+            scenario = None
+        object.__setattr__(self, "scenario", scenario)
 
     def param_dict(self) -> Dict[str, float]:
         return dict(self.params)
@@ -228,6 +252,9 @@ class SweepSpec:
             "seed": self.seed,
             "horizon": self.horizon,
             "require_k_le_d": self.require_k_le_d,
+            "scenario": (
+                self.scenario.to_dict() if self.scenario is not None else None
+            ),
         }
 
     @classmethod
@@ -242,6 +269,7 @@ class SweepSpec:
             seed=int(data["seed"]),
             horizon=data["horizon"],
             require_k_le_d=bool(data["require_k_le_d"]),
+            scenario=data.get("scenario"),
         )
 
     def spec_hash(self) -> str:

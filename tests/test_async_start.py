@@ -2,15 +2,17 @@
 
 The paper assumes simultaneous starts but notes the assumption "can easily
 be removed by starting to count the time after the last agent initiates
-the search".  The vectorised engine models per-agent delays; these tests
-check the remark quantitatively.
+the search".  Every engine models per-agent delays — the scalar excursion
+engine, the batched multi-world engine, the walker engine, and the step
+engine — and these tests check the remark quantitatively on each.
 """
 
 import numpy as np
 import pytest
 
 from repro.algorithms import NonUniformSearch
-from repro.sim.events import simulate_find_times
+from repro.sim.events import simulate_find_times, simulate_find_times_batch
+from repro.sim.walkers import BiasedWalker, LevyWalker, RandomWalker
 from repro.sim.world import place_treasure
 
 
@@ -93,3 +95,94 @@ class TestStartDelays:
                 seed=10,
                 start_delays=np.array([0.0, -1.0]),
             )
+
+
+class TestBatchStartDelays:
+    """The batched multi-world engine honours delays like the scalar one."""
+
+    def test_zero_delays_match_default(self):
+        worlds = [place_treasure(d, "offaxis") for d in (8, 12, 16)]
+        a = simulate_find_times_batch(
+            NonUniformSearch(k=4), worlds, 4, 40, seed=21
+        )
+        b = simulate_find_times_batch(
+            NonUniformSearch(k=4), worlds, 4, 40, seed=21,
+            start_delays=np.zeros(4),
+        )
+        assert np.array_equal(a, b)
+
+    def test_uniform_delay_shifts_every_world_exactly(self):
+        worlds = [place_treasure(d, "offaxis") for d in (8, 12)]
+        sync = simulate_find_times_batch(
+            NonUniformSearch(k=3), worlds, 3, 50, seed=22
+        )
+        shifted = simulate_find_times_batch(
+            NonUniformSearch(k=3), worlds, 3, 50, seed=22,
+            start_delays=np.full(3, 40.0),
+        )
+        assert np.allclose(shifted, sync + 40.0)
+
+    def test_delays_never_speed_up_any_world(self):
+        worlds = [place_treasure(d, "offaxis") for d in (8, 12, 16)]
+        sync = simulate_find_times_batch(
+            NonUniformSearch(k=4), worlds, 4, 60, seed=23
+        )
+        delayed = simulate_find_times_batch(
+            NonUniformSearch(k=4), worlds, 4, 60, seed=23,
+            start_delays=np.array([0.0, 30.0, 60.0, 90.0]),
+        )
+        assert np.all(delayed.mean(axis=1) >= sync.mean(axis=1))
+
+    def test_rejects_negative_delays(self):
+        worlds = [place_treasure(8, "offaxis")]
+        with pytest.raises(ValueError):
+            simulate_find_times_batch(
+                NonUniformSearch(k=2), worlds, 2, 5, seed=24,
+                start_delays=np.array([0.0, -1.0]),
+            )
+
+
+class TestWalkerStartDelays:
+    """Walkers honour delays too (previously an events-engine exclusive)."""
+
+    @pytest.mark.parametrize(
+        "walker",
+        [RandomWalker(), BiasedWalker(0.9), LevyWalker(2.0)],
+        ids=lambda w: w.name,
+    )
+    def test_zero_delays_match_default(self, walker):
+        world = place_treasure(5, "offaxis")
+        a = walker.find_times(world, 3, 40, seed=25, horizon=4000)
+        b = walker.find_times(
+            world, 3, 40, seed=25, horizon=4000, start_delays=np.zeros(3)
+        )
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "walker",
+        [RandomWalker(), BiasedWalker(0.9), LevyWalker(2.0)],
+        ids=lambda w: w.name,
+    )
+    def test_uniform_delay_shifts_times_exactly(self, walker):
+        # With every walker delayed by d and the horizon extended by d,
+        # the simulation is step-for-step the undelayed one shifted in
+        # wall-clock: identical RNG consumption, identical hits.
+        world = place_treasure(4, "offaxis")
+        delay = 512.0
+        base = walker.find_times(world, 2, 40, seed=26, horizon=3584)
+        delayed = walker.find_times(
+            world, 2, 40, seed=26, horizon=3584 + delay,
+            start_delays=np.full(2, delay),
+        )
+        finite = np.isfinite(base)
+        assert np.array_equal(np.isfinite(delayed), finite)
+        assert np.array_equal(delayed[finite], base[finite] + delay)
+
+    def test_per_trial_delays_shape(self):
+        world = place_treasure(4, "offaxis")
+        delays = np.zeros((30, 2))
+        delays[:, 1] = 100.0
+        times = RandomWalker().find_times(
+            world, 2, 30, seed=27, horizon=2000, start_delays=delays
+        )
+        assert times.shape == (30,)

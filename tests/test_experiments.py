@@ -26,10 +26,10 @@ def results():
 
 
 class TestRegistry:
-    def test_all_ten_registered(self):
-        assert len(EXPERIMENTS) == 10
+    def test_all_eleven_registered(self):
+        assert len(EXPERIMENTS) == 11
         assert [i.experiment_id for i in list_experiments()] == [
-            f"E{n}" for n in range(1, 11)
+            f"E{n}" for n in range(1, 12)
         ]
 
     def test_unknown_id_rejected(self):
@@ -211,3 +211,44 @@ class TestE10Shape:
         budget = results["E10"][3]
         phis = budget.column("phi")
         assert max(phis) / min(phis) < 4.0
+
+
+class TestE11Shape:
+    def test_crash_success_degrades_monotonically(self, results):
+        crash, _ = results["E11"]
+        for name in {r["algorithm"] for r in crash.rows}:
+            rates = [r["success"] for r in crash.rows if r["algorithm"] == name]
+            # Hazard grows along the rows; success can only fall (small
+            # slack for common-random-number resampling noise).
+            for earlier, later in zip(rates, rates[1:]):
+                assert later <= earlier + 0.05
+
+    def test_nonuniform_degrades_sublinearly_walk_falls_off_cliff(self, results):
+        crash, _ = results["E11"]
+        by_alg = {}
+        for row in crash.rows:
+            by_alg.setdefault(row["algorithm"], []).append(row)
+        a_k = next(v for k, v in by_alg.items() if k.startswith("A_k"))
+        walk = by_alg["random walk"]
+        # At mean lifetimes 16x the optimal time, A_k still succeeds in
+        # most trials while the random walk has already collapsed.
+        assert a_k[1]["success"] >= 0.7
+        assert walk[1]["success"] <= a_k[1]["success"] - 0.2
+        # A_k dominates the walk at every hazard level.
+        for a_row, w_row in zip(a_k, walk):
+            assert a_row["success"] >= w_row["success"] - 0.05
+
+    def test_speed_heterogeneity_is_benign(self, results):
+        _, speed = results["E11"]
+        for row in speed.rows:
+            if row["algorithm"].startswith(("A_k", "A_uniform")):
+                # Total edge budget is spread-invariant, so the paper's
+                # constructions barely notice heterogeneity.
+                assert row["success"] >= 0.9
+                assert row["degradation"] < 1.6
+
+    def test_fault_free_rows_match_unperturbed_engines(self, results):
+        crash, speed = results["E11"]
+        for table in (crash, speed):
+            first = table.rows[0]
+            assert first["degradation"] == 1.0

@@ -1,0 +1,210 @@
+"""Golden statistical-regression suite for the quick-config experiments.
+
+The PR-2 identical-replica bug shifted every E7 walker row without any
+test noticing: the engines were self-consistent, just quietly wrong.
+This suite pins the *values*.  Small JSON fixtures under ``tests/golden/``
+record every cell of the quick-config E1/E3/E7 tables at the default seed
+together with a per-value tolerance, and the tests assert that a fresh
+``run_experiment`` reproduces them.
+
+Today the reproduction is bitwise (seeded engines are deterministic), so
+any mismatch at all means execution semantics changed.  The stored
+tolerances — ``6 x stderr`` where a row carries its standard error, loose
+relative bands otherwise — exist so that a *distribution-preserving*
+refactor (one that legitimately resamples, e.g. reordering vectorised
+draws) can regenerate the fixtures knowingly instead of silently: run
+
+    PYTHONPATH=src python tests/test_golden_regression.py --regen
+
+and review the diff.  A change larger than the tolerance is flagged as a
+statistical regression even if every internal consistency test passes.
+"""
+
+import json
+import math
+import os
+import sys
+
+import pytest
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+GOLDEN_SEED = 20120716  # the experiments' default root seed
+EXPERIMENT_IDS = ("E1", "E3", "E7")
+
+#: Columns that must reproduce exactly (grid coordinates and closed forms).
+EXACT_COLUMNS = {"D", "k", "trials", "eps", "optimal", "cells"}
+
+#: (relative, absolute) tolerance floors per statistical column, used when
+#: no stderr-based tolerance applies.
+FALLBACK_TOLS = {
+    "mean_time": (0.30, 1e-9),
+    "ratio": (0.30, 1e-9),
+    "phi": (0.30, 1e-9),
+    "vs_optimal": (0.35, 1e-9),
+    "success": (0.0, 0.18),
+    "censored": (0.0, 0.18),
+    "stderr": (0.60, 1e-9),
+    "min_ratio": (0.30, 1e-9),
+    "max_ratio": (0.30, 1e-9),
+    "spread": (0.30, 1e-9),
+    "a": (0.45, 0.1),
+    "b": (0.45, 0.1),
+    "r2": (0.45, 0.1),
+    "phi_at_kmax": (0.30, 1e-9),
+}
+
+
+def _tolerance(column, value, row):
+    """Tolerance for one numeric table value.
+
+    Rows that carry their own standard error get a ``6 x stderr`` band on
+    mean-like columns — the issue-grade statistical tolerance — scaled to
+    the benchmark for ratio columns; everything else falls back to the
+    per-column bands above.
+    """
+    if column in EXACT_COLUMNS:
+        return 0.0
+    stderr = row.get("stderr")
+    stderr_ok = (
+        isinstance(stderr, (int, float))
+        and math.isfinite(stderr)
+        and stderr > 0
+    )
+    if column == "mean_time" and stderr_ok:
+        return 6.0 * stderr
+    if column == "ratio" and stderr_ok and row.get("optimal"):
+        return 6.0 * stderr / row["optimal"]
+    rel, floor = FALLBACK_TOLS.get(column, (0.30, 1e-9))
+    return rel * abs(value) + floor
+
+
+def _encode(value):
+    """JSON-safe encoding: non-finite floats become marker strings."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return {"nonfinite": repr(value)}
+    return value
+
+
+def _table_record(table):
+    checks = []
+    for row_index, row in enumerate(table.rows):
+        for column, value in row.items():
+            if isinstance(value, str):
+                checks.append(
+                    {"row": row_index, "column": column, "value": value}
+                )
+                continue
+            value = float(value)
+            if not math.isfinite(value):
+                checks.append(
+                    {
+                        "row": row_index,
+                        "column": column,
+                        "value": _encode(value),
+                    }
+                )
+                continue
+            checks.append(
+                {
+                    "row": row_index,
+                    "column": column,
+                    "value": value,
+                    "tol": _tolerance(column, value, row),
+                }
+            )
+    return {"title": table.title, "rows": len(table.rows), "checks": checks}
+
+
+def _run(experiment_id):
+    from repro.experiments.registry import run_experiment
+
+    return run_experiment(experiment_id, quick=True, seed=GOLDEN_SEED)
+
+
+def _fixture_path(experiment_id):
+    return os.path.join(GOLDEN_DIR, f"{experiment_id.lower()}_quick.json")
+
+
+def regenerate():
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for experiment_id in EXPERIMENT_IDS:
+        record = {
+            "experiment": experiment_id,
+            "seed": GOLDEN_SEED,
+            "quick": True,
+            "tables": [_table_record(t) for t in _run(experiment_id)],
+        }
+        path = _fixture_path(experiment_id)
+        with open(path, "w") as handle:
+            json.dump(record, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {path}")
+
+
+@pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+def test_quick_run_matches_golden(experiment_id):
+    path = _fixture_path(experiment_id)
+    assert os.path.exists(path), (
+        f"missing golden fixture {path}; regenerate with "
+        f"PYTHONPATH=src python tests/test_golden_regression.py --regen"
+    )
+    with open(path) as handle:
+        golden = json.load(handle)
+    assert golden["seed"] == GOLDEN_SEED
+
+    tables = _run(experiment_id)
+    assert len(tables) == len(golden["tables"]), (
+        f"{experiment_id} now returns {len(tables)} tables, golden has "
+        f"{len(golden['tables'])}"
+    )
+    failures = []
+    for table, expected in zip(tables, golden["tables"]):
+        if len(table.rows) != expected["rows"]:
+            failures.append(
+                f"{expected['title']!r}: {len(table.rows)} rows, "
+                f"golden has {expected['rows']}"
+            )
+            continue
+        for check in expected["checks"]:
+            row = table.rows[check["row"]]
+            column = check["column"]
+            where = f"{expected['title']!r} row {check['row']} col {column}"
+            if column not in row:
+                failures.append(f"{where}: column vanished")
+                continue
+            actual = row[column]
+            stored = check["value"]
+            if isinstance(stored, str):
+                if actual != stored:
+                    failures.append(f"{where}: {actual!r} != {stored!r}")
+                continue
+            if isinstance(stored, dict):  # non-finite marker
+                want = float(stored["nonfinite"])
+                actual = float(actual)
+                same = (
+                    math.isnan(want) and math.isnan(actual)
+                ) or actual == want
+                if not same:
+                    failures.append(f"{where}: {actual!r} != {want!r}")
+                continue
+            actual = float(actual)
+            tol = check["tol"]
+            if not math.isfinite(actual) or abs(actual - stored) > tol + 1e-12:
+                failures.append(
+                    f"{where}: {actual:.6g} deviates from golden "
+                    f"{stored:.6g} by more than tol {tol:.3g}"
+                )
+    assert not failures, (
+        "statistical regression against golden fixtures:\n  "
+        + "\n  ".join(failures)
+        + "\n(if the change is an intended, distribution-preserving "
+        "refactor, regenerate via --regen and review the diff)"
+    )
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print(__doc__)
+        print("usage: PYTHONPATH=src python tests/test_golden_regression.py --regen")

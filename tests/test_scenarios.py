@@ -1,0 +1,464 @@
+"""Tests for the scenario layer (repro.scenarios) and its engine threading.
+
+The load-bearing guarantee is *zero-perturbation parity*: every engine
+given a default :class:`ScenarioSpec` (no faults, unit speeds, zero
+delays, perfect detection) must be bitwise identical to its pre-scenario
+behaviour — checked here property-style over engines x algorithms.  On
+top of that, each perturbation is checked for its defining behaviour:
+crashes cut success, lossy detection slows search (and q=0 never finds),
+staggered starts equal explicit delay arrays, and speed ladders keep the
+swarm's total edge budget fixed.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    HarmonicSearch,
+    NonUniformSearch,
+    RandomWalkSearch,
+    RestartingHarmonicSearch,
+    UniformSearch,
+)
+from repro.scenarios import AgentProfile, ScenarioSpec, resolve_scenario
+from repro.sim.engine import run_agent, run_search
+from repro.sim.events import simulate_find_times, simulate_find_times_batch
+from repro.sim.rng import make_rng
+from repro.sim.walkers import BiasedWalker, LevyWalker, RandomWalker
+from repro.sim.world import place_treasure
+
+EXCURSION_ALGORITHMS = [
+    NonUniformSearch(k=4),
+    UniformSearch(0.5),
+    HarmonicSearch(0.5),
+    RestartingHarmonicSearch(0.5),
+]
+WALKERS = [RandomWalker(), BiasedWalker(0.9), LevyWalker(2.0)]
+
+#: Scenarios that must be *indistinguishable* from passing no scenario.
+NEUTRAL_SCENARIOS = [
+    ScenarioSpec(),
+    ScenarioSpec(crash_hazard=0.0, speed_spread=0.0,
+                 start_stagger=0.0, detection_prob=1.0),
+]
+
+
+class TestScenarioSpec:
+    def test_default_is_default(self):
+        assert ScenarioSpec().is_default
+        assert not ScenarioSpec(crash_hazard=0.1).is_default
+        assert not ScenarioSpec(speed_spread=1.0).is_default
+        assert not ScenarioSpec(start_stagger=5.0).is_default
+        assert not ScenarioSpec(detection_prob=0.5).is_default
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"crash_hazard": -0.1},
+            {"crash_hazard": 1.5},
+            {"speed_spread": -1.0},
+            {"start_stagger": -3.0},
+            {"detection_prob": -0.2},
+            {"detection_prob": 1.2},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioSpec(**kwargs)
+
+    def test_speed_ladder_mean_one_and_monotone(self):
+        for spread in (0.5, 1.0, 3.0):
+            for k in (2, 3, 8):
+                speeds = ScenarioSpec(speed_spread=spread).speeds(k)
+                assert speeds.mean() == pytest.approx(1.0)
+                assert np.all(np.diff(speeds) > 0)
+                assert speeds[-1] / speeds[0] == pytest.approx(
+                    (1.0 + spread) ** 2
+                )
+
+    def test_speed_ladder_neutral_cases(self):
+        assert np.array_equal(ScenarioSpec(speed_spread=2.0).speeds(1), [1.0])
+        assert np.array_equal(ScenarioSpec().speeds(5), np.ones(5))
+
+    def test_delay_ladder(self):
+        delays = ScenarioSpec(start_stagger=7.0).delays(4)
+        assert np.array_equal(delays, [0.0, 7.0, 14.0, 21.0])
+
+    def test_profiles_match_arrays(self):
+        spec = ScenarioSpec(
+            crash_hazard=0.01, speed_spread=1.0,
+            start_stagger=2.0, detection_prob=0.8,
+        )
+        profiles = spec.profiles(4)
+        assert len(profiles) == 4
+        for i, profile in enumerate(profiles):
+            assert profile == spec.profile(i, 4)
+            assert profile.speed == pytest.approx(spec.speeds(4)[i])
+            assert profile.start_delay == 2.0 * i
+            assert profile.crash_hazard == 0.01
+            assert profile.detection_prob == 0.8
+            assert not profile.is_default
+        assert AgentProfile().is_default
+
+    def test_profile_rejects_out_of_range_agent(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec().profile(4, 4)
+
+    def test_dict_roundtrip(self):
+        spec = ScenarioSpec(
+            crash_hazard=0.05, speed_spread=2.0,
+            start_stagger=10.0, detection_prob=0.9,
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert ScenarioSpec.from_dict({}) == ScenarioSpec()
+
+    def test_describe(self):
+        assert ScenarioSpec().describe() == "default"
+        text = ScenarioSpec(crash_hazard=0.05, detection_prob=0.9).describe()
+        assert "crash_hazard=0.05" in text and "detection_prob=0.9" in text
+
+    def test_resolve_scenario(self):
+        assert resolve_scenario(None) is None
+        assert resolve_scenario(ScenarioSpec()) is None
+        active = ScenarioSpec(crash_hazard=0.1)
+        assert resolve_scenario(active) is active
+        with pytest.raises(TypeError):
+            resolve_scenario({"crash_hazard": 0.1})
+
+
+class TestDefaultParity:
+    """The zero-perturbation path is bitwise identical in every engine."""
+
+    @pytest.mark.parametrize(
+        "algorithm", EXCURSION_ALGORITHMS, ids=lambda a: a.name
+    )
+    @pytest.mark.parametrize("scenario", NEUTRAL_SCENARIOS, ids=["plain", "explicit"])
+    def test_events_scalar(self, algorithm, scenario):
+        world = place_treasure(10, "offaxis")
+        base = simulate_find_times(
+            algorithm, world, 4, 40, seed=3, horizon=5e4
+        )
+        same = simulate_find_times(
+            algorithm, world, 4, 40, seed=3, horizon=5e4, scenario=scenario
+        )
+        assert np.array_equal(base, same)
+
+    @pytest.mark.parametrize(
+        "algorithm", EXCURSION_ALGORITHMS, ids=lambda a: a.name
+    )
+    def test_events_batch(self, algorithm):
+        worlds = [place_treasure(d, "offaxis") for d in (6, 10, 14)]
+        base = simulate_find_times_batch(
+            algorithm, worlds, 4, 30, seed=4, horizon=5e4
+        )
+        same = simulate_find_times_batch(
+            algorithm, worlds, 4, 30, seed=4, horizon=5e4,
+            scenario=ScenarioSpec(),
+        )
+        assert np.array_equal(base, same)
+
+    @pytest.mark.parametrize("walker", WALKERS, ids=lambda w: w.name)
+    @pytest.mark.parametrize("scenario", NEUTRAL_SCENARIOS, ids=["plain", "explicit"])
+    def test_walkers(self, walker, scenario):
+        world = place_treasure(5, "offaxis")
+        base = walker.find_times(world, 3, 40, seed=5, horizon=4000)
+        same = walker.find_times(
+            world, 3, 40, seed=5, horizon=4000, scenario=scenario
+        )
+        assert np.array_equal(base, same)
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        [NonUniformSearch(k=3), UniformSearch(0.5), RandomWalkSearch()],
+        ids=lambda a: a.name,
+    )
+    def test_step_engine(self, algorithm):
+        world = place_treasure(4, "offaxis")
+        base = run_search(algorithm, world, 3, seed=6, horizon=3000)
+        same = run_search(
+            algorithm, world, 3, seed=6, horizon=3000, scenario=ScenarioSpec()
+        )
+        assert base.result == same.result
+        assert [t.find_time for t in base.traces] == [
+            t.find_time for t in same.traces
+        ]
+
+    def test_k1_speed_ladder_is_neutral(self):
+        # With a single agent the ladder collapses to speed 1.0, and
+        # dividing by 1.0 is exact: bitwise equality must survive.
+        world = place_treasure(10, "offaxis")
+        base = simulate_find_times(NonUniformSearch(k=1), world, 1, 40, seed=7)
+        same = simulate_find_times(
+            NonUniformSearch(k=1), world, 1, 40, seed=7,
+            scenario=ScenarioSpec(speed_spread=2.0),
+        )
+        assert np.array_equal(base, same)
+
+
+class TestCrashFailures:
+    def test_success_decreases_with_hazard_events(self):
+        world = place_treasure(10, "offaxis")
+        rates = []
+        for hazard in (0.0, 1e-3, 1e-2):
+            scenario = ScenarioSpec(crash_hazard=hazard) if hazard else None
+            times = simulate_find_times(
+                NonUniformSearch(k=4), world, 4, 150, seed=8,
+                horizon=1e5, scenario=scenario,
+            )
+            rates.append(np.isfinite(times).mean())
+        assert rates[0] == 1.0
+        assert rates[0] >= rates[1] >= rates[2]
+        assert rates[2] < rates[0]
+
+    def test_success_decreases_with_hazard_walkers(self):
+        world = place_treasure(4, "offaxis")
+        walker = RandomWalker()
+        base = walker.find_times(world, 3, 80, seed=9, horizon=4000)
+        crashed = walker.find_times(
+            world, 3, 80, seed=9, horizon=4000,
+            scenario=ScenarioSpec(crash_hazard=0.02),
+        )
+        assert np.isfinite(crashed).mean() < np.isfinite(base).mean()
+
+    def test_batch_crash_matches_scalar_distributionally(self):
+        # Same per-slot crash semantics in both excursion engines: success
+        # rates over many trials agree within sampling noise.
+        world = place_treasure(8, "offaxis")
+        scenario = ScenarioSpec(crash_hazard=2e-3)
+        scalar = simulate_find_times(
+            NonUniformSearch(k=4), world, 4, 300, seed=10,
+            horizon=1e5, scenario=scenario,
+        )
+        batch = simulate_find_times_batch(
+            NonUniformSearch(k=4), [world], 4, 300, seed=10,
+            horizon=1e5, scenario=scenario,
+        )[0]
+        assert np.array_equal(scalar, batch)  # single world: bitwise twin
+
+    def test_crash_sweeps_are_paired(self):
+        # Lifetimes come from a spawned child stream, so two hazard
+        # settings of the same seed share every excursion draw: in trials
+        # where nobody crashes before finding, the times are *identical*.
+        world = place_treasure(10, "offaxis")
+        mild = simulate_find_times(
+            NonUniformSearch(k=4), world, 4, 100, seed=28, horizon=1e5,
+            scenario=ScenarioSpec(crash_hazard=1e-9),
+        )
+        base = simulate_find_times(
+            NonUniformSearch(k=4), world, 4, 100, seed=28, horizon=1e5
+        )
+        # With mean lifetime 1e9 >> every find time, no crash ever bites.
+        assert np.array_equal(mild, base)
+
+    def test_certain_crash_never_finds_far_treasure(self):
+        # hazard 1.0 = one-step lifetimes: nobody reaches distance 5.
+        world = place_treasure(5, "offaxis")
+        times = simulate_find_times(
+            NonUniformSearch(k=4), world, 4, 30, seed=11,
+            horizon=1e5, scenario=ScenarioSpec(crash_hazard=1.0),
+        )
+        assert not np.isfinite(times).any()
+        run = run_search(
+            NonUniformSearch(k=4), world, 4, seed=11, horizon=3000,
+            scenario=ScenarioSpec(crash_hazard=1.0),
+        )
+        assert not run.found
+
+    def test_crashes_never_speed_up_search(self):
+        world = place_treasure(10, "offaxis")
+        base = simulate_find_times(
+            NonUniformSearch(k=4), world, 4, 120, seed=12, horizon=1e5
+        )
+        crashed = simulate_find_times(
+            NonUniformSearch(k=4), world, 4, 120, seed=12, horizon=1e5,
+            scenario=ScenarioSpec(crash_hazard=1e-3),
+        )
+        capped = np.minimum(crashed, 1e5)
+        assert capped.mean() >= np.minimum(base, 1e5).mean()
+
+
+class TestHeterogeneousSpeeds:
+    def test_speeds_keep_success_with_ample_horizon(self):
+        world = place_treasure(10, "offaxis")
+        times = simulate_find_times(
+            NonUniformSearch(k=4), world, 4, 80, seed=13,
+            scenario=ScenarioSpec(speed_spread=3.0),
+        )
+        assert np.isfinite(times).all()
+
+    def test_walker_single_fast_agent_scales_time_exactly(self):
+        # k=1 with spread 0 but an explicit speed through the profile is
+        # not expressible; instead check the walker wall-clock conversion
+        # via start delays: a delayed walker's finds shift by the delay.
+        world = place_treasure(4, "offaxis")
+        delay = 500.0
+        for walker in WALKERS:
+            base = walker.find_times(world, 2, 40, seed=14, horizon=3500)
+            delayed = walker.find_times(
+                world, 2, 40, seed=14, horizon=4000,
+                start_delays=np.full(2, delay),
+            )
+            finite = np.isfinite(base)
+            assert np.array_equal(delayed[finite], base[finite] + delay)
+            assert np.array_equal(np.isfinite(delayed), finite)
+
+    def test_walker_slot_plan_speed_conversion(self):
+        # The per-slot plan is where walker speed semantics live: a
+        # fast slot fits *more* steps into the wall-clock horizon
+        # (cap = horizon * speed) and its steps cost *less* wall time
+        # (wall = delay + steps / speed).  Flipping either division
+        # direction breaks both assertions.
+        from repro.sim.walkers import _slot_plan
+
+        scenario = ScenarioSpec(speed_spread=1.0, start_stagger=3.0)
+        k, trials, horizon = 2, 2, 1000
+        plan = _slot_plan(scenario, None, k, trials, horizon, make_rng(0))
+        speeds = scenario.speeds(k)
+        assert np.allclose(plan.speeds, np.tile(speeds, trials))
+        assert np.allclose(plan.delays, np.tile([0.0, 3.0], trials))
+        expected_caps = np.floor(
+            (horizon - plan.delays) * plan.speeds + 1e-6
+        )
+        assert np.array_equal(plan.step_cap, expected_caps)
+        assert plan.step_cap[1] > plan.step_cap[0]  # faster slot: more steps
+        slots = np.arange(2 * 2)
+        walls = plan.wall(slots, 100.0)
+        assert np.allclose(walls, plan.delays + 100.0 / plan.speeds)
+        assert walls[1] < walls[0] + 3.0  # fast slot reaches step 100 sooner
+
+    @pytest.mark.parametrize("walker", WALKERS, ids=lambda w: w.name)
+    def test_walker_speed_spread_end_to_end(self, walker):
+        # Wall-clock find times under a speed spread: fractional times
+        # appear (steps divided by non-unit speeds), nothing exceeds the
+        # horizon, and success stays in the same regime as the baseline.
+        world = place_treasure(3, "offaxis")
+        horizon = 3000
+        times = walker.find_times(
+            world, 2, 60, seed=30, horizon=horizon,
+            scenario=ScenarioSpec(speed_spread=2.0),
+        )
+        finite = times[np.isfinite(times)]
+        assert finite.size > 0
+        assert np.all(finite <= horizon)
+        assert np.any(finite != np.round(finite))  # genuinely wall-clock
+
+
+class TestLossyDetection:
+    def test_zero_detection_never_finds(self):
+        world = place_treasure(6, "offaxis")
+        blind = ScenarioSpec(detection_prob=0.0)
+        times = simulate_find_times(
+            NonUniformSearch(k=3), world, 3, 30, seed=15,
+            horizon=1e5, scenario=blind,
+        )
+        assert not np.isfinite(times).any()
+        for walker in WALKERS:
+            wt = walker.find_times(
+                world, 3, 30, seed=15, horizon=3000, scenario=blind
+            )
+            assert not np.isfinite(wt).any()
+        run = run_search(
+            NonUniformSearch(k=3), world, 3, seed=15, horizon=2000,
+            scenario=blind,
+        )
+        assert not run.found
+
+    def test_batch_detection_matches_scalar_bitwise_single_world(self):
+        # Detection coins are drawn per draw (shared across worlds), so
+        # the single-world batch run keeps the documented bitwise-twin
+        # contract even under lossy detection.
+        world = place_treasure(8, "offaxis")
+        scenario = ScenarioSpec(detection_prob=0.5, crash_hazard=1e-4)
+        scalar = simulate_find_times(
+            NonUniformSearch(k=4), world, 4, 120, seed=29,
+            horizon=1e5, scenario=scenario,
+        )
+        batch = simulate_find_times_batch(
+            NonUniformSearch(k=4), [world], 4, 120, seed=29,
+            horizon=1e5, scenario=scenario,
+        )[0]
+        assert np.array_equal(scalar, batch)
+
+    def test_lossy_detection_slows_search(self):
+        world = place_treasure(10, "offaxis")
+        base = simulate_find_times(
+            NonUniformSearch(k=4), world, 4, 150, seed=16, horizon=1e6
+        )
+        lossy = simulate_find_times(
+            NonUniformSearch(k=4), world, 4, 150, seed=16, horizon=1e6,
+            scenario=ScenarioSpec(detection_prob=0.25),
+        )
+        assert np.minimum(lossy, 1e6).mean() > base.mean()
+
+    def test_step_engine_detection_uses_separate_stream(self):
+        # The trajectory must be identical with and without detection
+        # coins: only whether a visit is noticed changes.  Walking the
+        # full horizon with visit recording pins the whole trajectory.
+        world = place_treasure(3, "offaxis")
+        full = run_agent(
+            RandomWalkSearch(), world, make_rng(0), 2000,
+            record_visits=True, stop_at_find=False,
+        )
+        lossy = run_agent(
+            RandomWalkSearch(), world, make_rng(0), 2000,
+            record_visits=True, stop_at_find=False,
+            detection_prob=0.5, detect_rng=make_rng(99),
+        )
+        assert lossy.visited == full.visited  # bitwise-identical walk
+        assert lossy.steps == full.steps
+        assert full.find_time is not None  # seed 0 visits the treasure
+        if lossy.find_time is not None:
+            assert lossy.find_time >= full.find_time
+
+    def test_run_agent_requires_detect_rng(self):
+        world = place_treasure(3, "offaxis")
+        with pytest.raises(ValueError):
+            run_agent(
+                RandomWalkSearch(), world, make_rng(0), 10, detection_prob=0.5
+            )
+
+
+class TestStaggeredStarts:
+    def test_stagger_equals_explicit_delays_events(self):
+        world = place_treasure(10, "offaxis")
+        stagger = simulate_find_times(
+            NonUniformSearch(k=4), world, 4, 60, seed=18,
+            scenario=ScenarioSpec(start_stagger=25.0),
+        )
+        explicit = simulate_find_times(
+            NonUniformSearch(k=4), world, 4, 60, seed=18,
+            start_delays=np.arange(4) * 25.0,
+        )
+        assert np.array_equal(stagger, explicit)
+
+    def test_stagger_equals_explicit_delays_batch(self):
+        worlds = [place_treasure(d, "offaxis") for d in (8, 12)]
+        stagger = simulate_find_times_batch(
+            NonUniformSearch(k=3), worlds, 3, 50, seed=19,
+            scenario=ScenarioSpec(start_stagger=10.0),
+        )
+        explicit = simulate_find_times_batch(
+            NonUniformSearch(k=3), worlds, 3, 50, seed=19,
+            start_delays=np.arange(3) * 10.0,
+        )
+        assert np.array_equal(stagger, explicit)
+
+    def test_step_engine_wall_clock_shift(self):
+        world = place_treasure(4, "offaxis")
+        base = run_search(NonUniformSearch(k=1), world, 1, seed=20, horizon=4000)
+        delayed = run_search(
+            NonUniformSearch(k=1), world, 1, seed=20, horizon=4100,
+            start_delays=[100.0],
+        )
+        assert base.found and delayed.found
+        assert delayed.result.time == base.result.time + 100.0
+
+    def test_walker_rejects_negative_delays(self):
+        world = place_treasure(4, "offaxis")
+        with pytest.raises(ValueError):
+            RandomWalker().find_times(
+                world, 2, 5, seed=0, horizon=100,
+                start_delays=np.array([0.0, -1.0]),
+            )

@@ -7,6 +7,7 @@ import numpy as np
 import pytest
 
 from repro.algorithms import NonUniformSearch, UniformSearch
+from repro.scenarios import ScenarioSpec
 from repro.sim.events import simulate_find_times_batch
 from repro.sim.rng import spawn_seeds
 from repro.sim.world import place_treasure
@@ -62,14 +63,44 @@ class TestSweepSpec:
             {"distances": (8, 32)},
             {"ks": (1, 2)},
             {"require_k_le_d": True},
+            {"scenario": ScenarioSpec(crash_hazard=0.01)},
+            {"scenario": ScenarioSpec(speed_spread=1.0)},
+            {"scenario": ScenarioSpec(start_stagger=5.0)},
+            {"scenario": ScenarioSpec(detection_prob=0.9)},
         ],
     )
     def test_hash_sensitive_to_every_knob(self, override):
         assert small_spec().spec_hash() != small_spec(**override).spec_hash()
 
+    def test_distinct_scenarios_hash_distinctly(self):
+        a = small_spec(scenario=ScenarioSpec(crash_hazard=0.01))
+        b = small_spec(scenario=ScenarioSpec(crash_hazard=0.02))
+        assert a.spec_hash() != b.spec_hash()
+
+    def test_default_scenario_is_canonicalised_to_none(self):
+        # "No scenario" and "explicitly unperturbed" are the same sweep:
+        # identical spec, identical hash, identical cache entry.
+        plain = small_spec()
+        explicit = small_spec(scenario=ScenarioSpec())
+        assert explicit.scenario is None
+        assert plain == explicit
+        assert plain.spec_hash() == explicit.spec_hash()
+
+    def test_scenario_accepts_mapping(self):
+        spec = small_spec(scenario={"crash_hazard": 0.05})
+        assert spec.scenario == ScenarioSpec(crash_hazard=0.05)
+        with pytest.raises(TypeError):
+            small_spec(scenario="crashy")
+
     def test_dict_roundtrip(self):
         spec = small_spec(
             algorithm="uniform", params={"eps": 0.3}, horizon=500.0
+        )
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+    def test_dict_roundtrip_with_scenario(self):
+        spec = small_spec(
+            scenario=ScenarioSpec(crash_hazard=0.01, speed_spread=2.0)
         )
         assert SweepSpec.from_dict(spec.to_dict()) == spec
 
@@ -175,6 +206,47 @@ class TestCache:
         assert len(os.listdir(tmp_path)) == 2
         assert run_sweep(quick, cache_dir=str(tmp_path)).from_cache
         assert run_sweep(full, cache_dir=str(tmp_path)).from_cache
+
+    def test_changed_scenario_misses_identical_scenario_hits(self, tmp_path):
+        plain = small_spec(trials=10)
+        crashy = small_spec(
+            trials=10, scenario=ScenarioSpec(crash_hazard=0.01), horizon=1e5
+        )
+        first = run_sweep(plain, cache_dir=str(tmp_path))
+        # A perturbed spec must not be served the unperturbed entry.
+        perturbed = run_sweep(crashy, cache_dir=str(tmp_path))
+        assert not perturbed.from_cache
+        assert len(os.listdir(tmp_path)) == 2
+        # Identical specs (including an equal-but-not-identical scenario)
+        # hit their own entries.
+        again = run_sweep(
+            small_spec(
+                trials=10, scenario=ScenarioSpec(crash_hazard=0.01),
+                horizon=1e5,
+            ),
+            cache_dir=str(tmp_path),
+        )
+        assert again.from_cache
+        for a, b in zip(perturbed.cells, again.cells):
+            assert np.array_equal(a.times, b.times)
+        # The default-scenario spec still hits the plain entry.
+        assert run_sweep(
+            small_spec(trials=10, scenario=ScenarioSpec()),
+            cache_dir=str(tmp_path),
+        ).from_cache
+
+    def test_scenario_changes_results(self, tmp_path):
+        plain = run_sweep(small_spec(trials=15, horizon=1e5), cache=False)
+        crashy = run_sweep(
+            small_spec(
+                trials=15, horizon=1e5,
+                scenario=ScenarioSpec(crash_hazard=0.05),
+            ),
+            cache=False,
+        )
+        plain_times = np.concatenate([c.times for c in plain.cells])
+        crashy_times = np.concatenate([c.times for c in crashy.cells])
+        assert not np.array_equal(plain_times, crashy_times)
 
 
 class TestCellResult:
