@@ -52,16 +52,26 @@ from .sim import (
     walker_find_times,
     walker_find_times_batch,
 )
+from .stats import (
+    BudgetPolicy,
+    FindTimeAccumulator,
+    FindTimeSummary,
+    StreamingMoments,
+    summarize_times,
+)
 from .sweep import SweepSpec, run_sweep
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AgentProfile",
     "BiasedWalkSearch",
     "BiasedWalker",
+    "BudgetPolicy",
     "ExcursionAlgorithm",
     "ExcursionFamily",
+    "FindTimeAccumulator",
+    "FindTimeSummary",
     "HarmonicSearch",
     "HedgedApproxSearch",
     "KnownDSearch",
@@ -77,6 +87,7 @@ __all__ = [
     "ScenarioSpec",
     "SearchAlgorithm",
     "SingleSpiralSearch",
+    "StreamingMoments",
     "SweepSpec",
     "UniformSearch",
     "Walker",
@@ -91,6 +102,7 @@ __all__ = [
     "run_sweep",
     "simulate_find_times",
     "simulate_find_times_batch",
+    "summarize_times",
     "walker_find_times",
     "walker_find_times_batch",
     "__version__",

@@ -13,6 +13,12 @@ estimators here are chosen accordingly:
 * :func:`success_rate` / :func:`wilson_interval` — for probability-of-find
   experiments (Theorem 5.1);
 * :class:`Welford` — streaming moments for long instrumentation runs.
+
+The streaming/mergeable machinery (block updates, merge, CI half-widths,
+censoring-aware composites) lives in :mod:`repro.stats`; this module
+keeps the historical strict API — :class:`Welford` raises on misuse where
+:class:`repro.stats.StreamingMoments` returns ``nan`` sentinels — and
+delegates the shared closed forms there.
 """
 
 from __future__ import annotations
@@ -24,6 +30,8 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from ..sim.rng import SeedLike, make_rng
+from ..stats import StreamingMoments
+from ..stats import wilson_interval as _wilson_interval
 
 __all__ = [
     "mean_with_ci",
@@ -112,20 +120,10 @@ def wilson_interval(
     """Wilson score interval for a binomial proportion.
 
     Better behaved than the normal approximation at the extremes — which is
-    where Theorem 5.1's success-probability curves live.
+    where Theorem 5.1's success-probability curves live.  Delegates to the
+    canonical implementation in :mod:`repro.stats`.
     """
-    if total <= 0:
-        raise ValueError(f"total must be positive, got {total}")
-    if not 0 <= successes <= total:
-        raise ValueError(f"need 0 <= successes <= total, got {successes}/{total}")
-    from scipy import stats as _stats
-
-    z = float(_stats.norm.ppf((1 + confidence) / 2))
-    p = successes / total
-    denom = 1 + z * z / total
-    centre = (p + z * z / (2 * total)) / denom
-    margin = z * math.sqrt(p * (1 - p) / total + z * z / (4 * total * total)) / denom
-    return max(0.0, centre - margin), min(1.0, centre + margin)
+    return _wilson_interval(successes, total, confidence)
 
 
 def quantiles(
@@ -145,22 +143,20 @@ def quantiles(
     return tuple(out)
 
 
-class Welford:
-    """Streaming mean/variance accumulator (numerically stable)."""
+class Welford(StreamingMoments):
+    """Streaming mean/variance accumulator (numerically stable).
 
-    def __init__(self) -> None:
-        self.count = 0
-        self._mean = 0.0
-        self._m2 = 0.0
+    The strict-API face of :class:`repro.stats.StreamingMoments` (which
+    also offers block updates and exact merge): this subclass raises on
+    under-determined queries instead of returning ``nan``, the behaviour
+    long-running instrumentation code relies on to fail fast.
+    """
 
     def add(self, value: float) -> None:
         """Fold one observation into the running moments."""
         if not math.isfinite(value):
             raise ValueError(f"Welford requires finite values, got {value}")
-        self.count += 1
-        delta = value - self._mean
-        self._mean += delta / self.count
-        self._m2 += delta * (value - self._mean)
+        self.update(value)
 
     def extend(self, values: Sequence[float]) -> None:
         for value in values:
@@ -170,14 +166,14 @@ class Welford:
     def mean(self) -> float:
         if self.count == 0:
             raise ValueError("no observations")
-        return self._mean
+        return StreamingMoments.mean.fget(self)
 
     @property
     def variance(self) -> float:
         """Unbiased sample variance (needs at least two observations)."""
         if self.count < 2:
             raise ValueError("variance needs at least two observations")
-        return self._m2 / (self.count - 1)
+        return StreamingMoments.variance.fget(self)
 
     @property
     def stderr(self) -> float:

@@ -9,11 +9,22 @@ Examples::
     repro-ants sweep nonuniform --distances 16,32,64 --ks 1,4,16 --trials 60
     repro-ants sweep uniform --param eps=0.5 --distances 64 --ks 1,2,4,8
     repro-ants sweep levy --param mu=2 --distances 32 --ks 4 --horizon 40960
+    repro-ants sweep uniform --param eps=0.5 --distances 64 --ks 1,4,16 \
+        --target-rel-ci 0.05 --max-trials 2048 --progress
+    repro-ants run E3 --target-rel-ci 0.03   # precision-targeted trials
+    repro-ants cache list                    # inspect the sweep cache
+    repro-ants cache prune --older-than 30   # drop entries > 30 days old
     repro-ants demo                      # 30-second guided demo
 
 Experiment runs and ad-hoc sweeps share the cached sweep engine: re-running
 the same grid hits the on-disk cache (disable with ``--no-cache``; relocate
-with ``$REPRO_SWEEP_CACHE`` or ``--cache-dir``).
+with ``$REPRO_SWEEP_CACHE`` or ``--cache-dir``; inspect with
+``repro-ants cache``).  ``--target-rel-ci`` switches trial allocation from
+a fixed count to a per-cell precision target (see DESIGN.md §7): easy
+cells stop early, noisy cells run until their mean's relative CI
+half-width reaches the target, and cached cells top up instead of
+recomputing.  ``--progress`` prints one line per finished cell with the
+allocated trials and the achieved CI half-width.
 """
 
 from __future__ import annotations
@@ -61,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bypass the on-disk sweep cache",
     )
+    _add_budget_arguments(run_p)
 
     sweep_p = sub.add_parser(
         "sweep", help="run one ad-hoc D x k sweep and print the cell table"
@@ -134,10 +146,115 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument(
         "--csv", metavar="FILE", default=None, help="also write the table as CSV"
     )
+    _add_budget_arguments(sweep_p)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect and prune the on-disk sweep cache"
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cache_list = cache_sub.add_parser(
+        "list", help="list cache entries (specs, shapes, sizes, ages)"
+    )
+    cache_list.add_argument("--cache-dir", default=None)
+    cache_prune = cache_sub.add_parser(
+        "prune", help="delete cache entries older than a cutoff"
+    )
+    cache_prune.add_argument(
+        "--older-than",
+        type=float,
+        required=True,
+        metavar="DAYS",
+        help="age cutoff in days (0 prunes everything)",
+    )
+    cache_prune.add_argument("--cache-dir", default=None)
+    cache_prune.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be deleted without deleting",
+    )
+    cache_path_p = cache_sub.add_parser(
+        "path", help="print the resolved cache directory"
+    )
+    cache_path_p.add_argument("--cache-dir", default=None)
 
     sub.add_parser("list", help="list registered experiments")
     sub.add_parser("demo", help="run a small end-to-end demonstration")
     return parser
+
+
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared adaptive-precision and progress flags (run + sweep)."""
+    group = parser.add_argument_group(
+        "adaptive precision",
+        "trial allocation driven by a precision target instead of a "
+        "fixed count (see DESIGN.md §7)",
+    )
+    group.add_argument(
+        "--target-rel-ci",
+        type=float,
+        default=None,
+        metavar="R",
+        help=(
+            "per-cell precision target: keep adding trial blocks until "
+            "the mean's relative 95%% CI half-width is <= R"
+        ),
+    )
+    group.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        help="stop a cell at/above this many trials even short of the target",
+    )
+    group.add_argument(
+        "--min-trials",
+        type=int,
+        default=None,
+        help="never stop a cell below this many trials (default 32)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per finished cell (trials, CI half-width)",
+    )
+
+
+def _budget_from_args(args):
+    """Build the BudgetPolicy the flags describe (None = fixed trials)."""
+    from .stats import BudgetPolicy
+    from .stats.policy import DEFAULT_MAX_TRIALS, DEFAULT_MIN_TRIALS
+
+    if args.target_rel_ci is None:
+        if args.max_trials is not None or args.min_trials is not None:
+            raise SystemExit(
+                "--max-trials/--min-trials need --target-rel-ci (without a "
+                "precision target, trial counts come from --trials)"
+            )
+        return None
+    try:
+        return BudgetPolicy.target_rel_ci(
+            args.target_rel_ci,
+            min_trials=(
+                args.min_trials if args.min_trials is not None
+                else DEFAULT_MIN_TRIALS
+            ),
+            max_trials=(
+                args.max_trials if args.max_trials is not None
+                else DEFAULT_MAX_TRIALS
+            ),
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _progress_printer(event) -> None:
+    """Render one ProgressEvent as a table-adjacent status line."""
+    from .experiments.io import format_value
+
+    print(
+        f"  cell D={event.distance} k={event.k}: "
+        f"trials={event.trials} (+{event.new_trials}) "
+        f"ci={format_value(event.ci_halfwidth)} [{event.source}]"
+    )
 
 
 def _cmd_list() -> int:
@@ -155,8 +272,12 @@ def _cmd_run(
     csv_dir: Optional[str],
     workers: int = 0,
     cache: bool = True,
+    budget=None,
+    progress=None,
 ) -> int:
-    from .experiments.registry import list_experiments, run_experiment
+    import inspect
+
+    from .experiments.registry import EXPERIMENTS, list_experiments, run_experiment
 
     if any(x.lower() == "all" for x in ids):
         ids = [info.experiment_id for info in list_experiments()]
@@ -164,8 +285,25 @@ def _cmd_run(
         os.makedirs(csv_dir, exist_ok=True)
     for experiment_id in ids:
         started = time.perf_counter()
+        info = EXPERIMENTS.get(experiment_id.upper())
+        if info is not None and (budget is not None or progress is not None):
+            # Don't let a flag look honoured when it isn't: the
+            # registry's signature-based forwarding silently drops
+            # kwargs a runner doesn't accept.
+            accepted = inspect.signature(info.runner).parameters
+            ignored = []
+            if budget is not None and "budget" not in accepted:
+                ignored.append("--target-rel-ci")
+            if progress is not None and "progress" not in accepted:
+                ignored.append("--progress")
+            if ignored:
+                print(
+                    f"[{info.experiment_id} has no adaptive allocation; "
+                    f"{'/'.join(ignored)} ignored, running at fixed trials]"
+                )
         tables = run_experiment(
-            experiment_id, quick=quick, seed=seed, workers=workers, cache=cache
+            experiment_id, quick=quick, seed=seed, workers=workers,
+            cache=cache, budget=budget, progress=progress,
         )
         elapsed = time.perf_counter() - started
         for i, table in enumerate(tables):
@@ -210,6 +348,7 @@ def _cmd_sweep(args) -> int:
                 f"--param {name} expects a numeric value, got {value!r}"
             )
 
+    budget = _budget_from_args(args)
     try:
         scenario = ScenarioSpec(
             crash_hazard=args.crash_hazard,
@@ -228,6 +367,7 @@ def _cmd_sweep(args) -> int:
             horizon=args.horizon,
             require_k_le_d=args.require_k_le_d,
             scenario=scenario,
+            budget=budget,
         )
     except (TypeError, ValueError) as error:
         raise SystemExit(str(error))
@@ -238,6 +378,7 @@ def _cmd_sweep(args) -> int:
             workers=args.workers,
             cache=not args.no_cache,
             cache_dir=args.cache_dir,
+            progress=_progress_printer if args.progress else None,
         )
     except ValueError as error:  # e.g. walker strategy without --horizon
         raise SystemExit(str(error))
@@ -249,27 +390,104 @@ def _cmd_sweep(args) -> int:
         title += f" ({rendered})"
     table = ResultTable(
         title=title,
-        columns=["D", "k", "trials", "mean_time", "stderr", "success", "ratio"],
+        columns=[
+            "D", "k", "trials", "mean_time", "stderr", "ci95", "success",
+            "censored", "ratio",
+        ],
     )
+    any_censored = False
     for cell in result:
+        summary = cell.summary(horizon=spec.horizon)
+        any_censored = any_censored or summary.censored_fraction > 0
         table.add_row(
             D=cell.distance,
             k=cell.k,
             trials=cell.trials,
             mean_time=cell.mean,
             stderr=cell.stderr,
+            ci95=summary.ci_halfwidth,
             success=cell.success_rate,
+            censored=summary.censored_fraction,
             ratio=competitiveness(cell.mean, cell.distance, cell.k),
         )
     table.add_note("ratio = mean_time / (D + D^2/k), the universal benchmark")
+    if any_censored:
+        table.add_note(
+            "rows with censored > 0: ci95 brackets the censoring-aware "
+            "mean (horizon-truncated when a horizon is set — a lower "
+            "bound; over finding trials only otherwise), not the "
+            "mean_time column's inf-propagating estimator"
+        )
     if spec.scenario is not None:
         table.add_note(f"scenario: {spec.scenario.describe()}")
+    if spec.budget is not None:
+        table.add_note(
+            f"adaptive allocation: {spec.budget.describe()} — "
+            f"{result.total_trials} trials total"
+        )
     source = "cache" if result.from_cache else f"computed in {elapsed:.1f}s"
     table.add_note(f"spec {spec.spec_hash()} ({source})")
     print(table.to_text())
     if args.csv:
         table.to_csv(args.csv)
     return 0
+
+
+def _cmd_cache(args) -> int:
+    from .experiments.io import ResultTable
+    from .sweep import default_cache_dir, list_entries, prune_entries
+
+    directory = args.cache_dir if args.cache_dir else default_cache_dir()
+    if args.cache_command == "path":
+        print(directory)
+        return 0
+    if args.cache_command == "list":
+        entries = list_entries(directory)
+        table = ResultTable(
+            title=f"sweep cache at {directory}",
+            columns=[
+                "file", "kind", "algorithm", "cells", "trials", "size_kb",
+                "age_days",
+            ],
+        )
+        now = time.time()
+        for entry in entries:
+            table.add_row(
+                file=os.path.basename(entry.path),
+                kind=entry.kind,
+                algorithm=entry.algorithm,
+                cells=entry.cells,
+                trials=entry.trials,
+                size_kb=entry.size_bytes / 1024.0,
+                age_days=max(0.0, (now - entry.mtime) / 86400.0),
+            )
+        table.add_note(
+            f"{len(entries)} entries, "
+            f"{sum(e.size_bytes for e in entries) / 1024.0:.1f} KiB total; "
+            "kind: sweep = fixed-trials matrix (v1), "
+            "blocks = adaptive block store (v2)"
+        )
+        print(table.to_text())
+        return 0
+    if args.cache_command == "prune":
+        if args.older_than < 0:
+            raise SystemExit(
+                f"--older-than expects a non-negative number of days, "
+                f"got {args.older_than}"
+            )
+        pruned = prune_entries(
+            directory, older_than_days=args.older_than, dry_run=args.dry_run
+        )
+        verb = "would prune" if args.dry_run else "pruned"
+        freed = sum(e.size_bytes for e in pruned) / 1024.0
+        print(
+            f"{verb} {len(pruned)} entries ({freed:.1f} KiB) older than "
+            f"{args.older_than:g} days from {directory}"
+        )
+        for entry in pruned:
+            print(f"  {os.path.basename(entry.path)}")
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
 def _cmd_demo() -> int:
@@ -311,9 +529,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.csv,
             workers=args.workers,
             cache=not args.no_cache,
+            budget=_budget_from_args(args),
+            progress=_progress_printer if args.progress else None,
         )
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -23,9 +23,12 @@ Every row is one single-cell sweep on the cached engine
 ``(section, strategy)`` key so a row's stream never depends on which
 other rows run; within a strategy the same seed is reused across knob
 values, pairing the excursion noise so degradation columns compare like
-with like.  Censored trials are pinned at the horizon
-(:func:`repro.analysis.estimators.truncated_mean`), making every reported
-mean an honest lower bound with the censored fraction printed beside it.
+with like.  Censored trials are pinned at the horizon by the streaming
+summary (:class:`repro.stats.FindTimeAccumulator`), making every reported
+mean an honest lower bound with the censored fraction and the CI
+half-width printed beside it.  An adaptive ``budget``
+(:class:`repro.stats.BudgetPolicy`) resolves the noisy hazard-cliff rows
+to a precision target instead of a fixed trial count.
 """
 
 from __future__ import annotations
@@ -34,9 +37,9 @@ import math
 from typing import List, Mapping, Optional
 
 from ..analysis.competitiveness import optimal_time
-from ..analysis.estimators import success_rate, truncated_mean
 from ..scenarios import ScenarioSpec
 from ..sim.rng import derive_seed
+from ..stats import BudgetPolicy
 from ..sweep import SweepSpec, run_sweep
 from .config import scale
 from .io import ResultTable
@@ -65,6 +68,8 @@ def run(
     seed: int | None = None,
     workers: int = 0,
     cache: bool = True,
+    budget: Optional[BudgetPolicy] = None,
+    progress=None,
 ) -> List[ResultTable]:
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
@@ -74,9 +79,9 @@ def run(
     trials = cfg.trials
     optimal = optimal_time(distance, k)
 
-    def row_times(section: int, strategy_index: int, algorithm: str,
-                  params: Mapping[str, float],
-                  scenario: Optional[ScenarioSpec]):
+    def row_cell(section: int, strategy_index: int, algorithm: str,
+                 params: Mapping[str, float],
+                 scenario: Optional[ScenarioSpec]):
         spec = SweepSpec(
             algorithm=algorithm,
             distances=(distance,),
@@ -87,9 +92,12 @@ def run(
             seed=derive_seed(seed, section, strategy_index),
             horizon=float(horizon),
             scenario=scenario,
+            budget=budget,
         )
-        result = run_sweep(spec, workers=workers, cache=cache)
-        return result.cell(distance, k).times
+        result = run_sweep(
+            spec, workers=workers, cache=cache, progress=progress
+        )
+        return result.cell(distance, k)
 
     crash = ResultTable(
         title=(
@@ -97,8 +105,8 @@ def run(
             f"[D={distance}, k={k}, horizon={horizon}]"
         ),
         columns=[
-            "algorithm", "lifetime_x_opt", "hazard", "mean_time",
-            "success", "censored", "degradation",
+            "algorithm", "lifetime_x_opt", "hazard", "trials", "mean_time",
+            "ci95", "success", "censored", "degradation",
         ],
     )
     for si, (name, algorithm, params) in enumerate(STRATEGIES):
@@ -110,27 +118,32 @@ def run(
             else:
                 hazard = min(1.0, 1.0 / (lifetime * optimal))
                 scenario = ScenarioSpec(crash_hazard=hazard)
-            times = row_times(0, si, algorithm, params, scenario)
-            tm = truncated_mean(times, horizon)
+            cell = row_cell(0, si, algorithm, params, scenario)
+            s = cell.summary(horizon=float(horizon))
             if baseline_mean is None:
-                baseline_mean = tm.mean
+                baseline_mean = s.mean
             crash.add_row(
                 algorithm=name,
                 lifetime_x_opt=lifetime,
                 hazard=hazard,
-                mean_time=tm.mean,
-                success=success_rate(times, horizon),
-                censored=tm.censored_fraction,
-                degradation=tm.mean / baseline_mean,
+                trials=cell.trials,
+                mean_time=s.mean,
+                ci95=s.ci_halfwidth,
+                success=s.success_rate,
+                censored=s.censored_fraction,
+                degradation=s.mean / baseline_mean,
             )
     crash.add_note(
         f"geometric agent lifetimes, mean = lifetime_x_opt * (D + D^2/k) "
         f"= lifetime_x_opt * {optimal:.0f}"
     )
     crash.add_note(
-        "mean_time pins censored trials at the horizon (lower bound); "
+        "mean_time pins censored trials at the horizon (lower bound, and "
+        "ci95 brackets that bound); "
         "degradation = mean_time / fault-free mean_time"
     )
+    if budget is not None:
+        crash.add_note(f"adaptive allocation: {budget.describe()}")
 
     speed = ResultTable(
         title=(
@@ -138,8 +151,8 @@ def run(
             f"[D={distance}, k={k}, horizon={horizon}]"
         ),
         columns=[
-            "algorithm", "spread", "speed_ratio", "mean_time",
-            "success", "degradation",
+            "algorithm", "spread", "speed_ratio", "trials", "mean_time",
+            "ci95", "success", "degradation",
         ],
     )
     for si, (name, algorithm, params) in enumerate(STRATEGIES):
@@ -148,17 +161,19 @@ def run(
             scenario = (
                 ScenarioSpec(speed_spread=spread) if spread > 0 else None
             )
-            times = row_times(1, si, algorithm, params, scenario)
-            tm = truncated_mean(times, horizon)
+            cell = row_cell(1, si, algorithm, params, scenario)
+            s = cell.summary(horizon=float(horizon))
             if baseline_mean is None:
-                baseline_mean = tm.mean
+                baseline_mean = s.mean
             speed.add_row(
                 algorithm=name,
                 spread=spread,
                 speed_ratio=(1.0 + spread) ** 2,
-                mean_time=tm.mean,
-                success=success_rate(times, horizon),
-                degradation=tm.mean / baseline_mean,
+                trials=cell.trials,
+                mean_time=s.mean,
+                ci95=s.ci_halfwidth,
+                success=s.success_rate,
+                degradation=s.mean / baseline_mean,
             )
     speed.add_note(
         "per-agent speeds spread geometrically (fastest/slowest = "

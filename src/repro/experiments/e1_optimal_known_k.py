@@ -17,10 +17,11 @@ Shape checks (asserted by the bench):
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..analysis.competitiveness import competitiveness, optimal_time
 from ..analysis.fitting import fit_power_law
+from ..stats import BudgetPolicy
 from ..sweep import SweepSpec, run_sweep
 from .config import scale
 from .io import ResultTable
@@ -36,6 +37,8 @@ def run(
     seed: int | None = None,
     workers: int = 0,
     cache: bool = True,
+    budget: Optional[BudgetPolicy] = None,
+    progress=None,
 ) -> List[ResultTable]:
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
@@ -48,12 +51,16 @@ def run(
         placement="offaxis",
         seed=seed,
         require_k_le_d=True,
+        budget=budget,
     )
-    result = run_sweep(spec, workers=workers, cache=cache)
+    result = run_sweep(spec, workers=workers, cache=cache, progress=progress)
 
     table = ResultTable(
         title=TITLE,
-        columns=["D", "k", "trials", "mean_time", "stderr", "optimal", "ratio"],
+        columns=[
+            "D", "k", "trials", "mean_time", "stderr", "ci95", "optimal",
+            "ratio",
+        ],
     )
     ratios = []
     for cell in result:
@@ -65,6 +72,7 @@ def run(
             trials=cell.trials,
             mean_time=cell.mean,
             stderr=cell.stderr,
+            ci95=cell.summary().ci_halfwidth,
             optimal=optimal_time(cell.distance, cell.k),
             ratio=ratio,
         )
@@ -89,5 +97,10 @@ def run(
         )
         summary.add_note(
             f"T(D) ~ D^{fit.b:.2f} at k={k_lo} (R^2={fit.r2:.3f}); theory: 2.0"
+        )
+    if spec.budget is not None:
+        table.add_note(
+            f"adaptive allocation: {spec.budget.describe()}; trials and "
+            f"ci95 are per cell"
         )
     return [table, summary]

@@ -20,21 +20,48 @@ Shape checks:
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..analysis.competitiveness import competitiveness, optimal_time
 from ..analysis.fitting import fit_polylog
 from ..sim.rng import derive_seed
-from ..sweep import SweepSpec, run_sweep
+from ..stats import BudgetPolicy
+from ..sweep import SweepResult, SweepSpec, run_sweep
 from .config import scale
 from .io import ResultTable
 
-__all__ = ["run", "phi_of_k"]
+__all__ = ["run", "phi_of_k", "phi_sweep"]
 
 EXPERIMENT_ID = "E3"
 TITLE = "E3 (Thm 3.3): A_uniform(eps) competitiveness grows ~ log^(1+eps) k"
 
 EPSILONS = (0.1, 0.5, 1.0)
+
+
+def phi_sweep(
+    eps: float,
+    distance: int,
+    ks,
+    trials: int,
+    seed: int,
+    *,
+    workers: int = 0,
+    cache: bool = True,
+    budget: Optional[BudgetPolicy] = None,
+    progress=None,
+) -> SweepResult:
+    """The ``phi(k)`` sweep for ``A_uniform(eps)`` at fixed ``D``."""
+    spec = SweepSpec(
+        algorithm="uniform",
+        params={"eps": eps},
+        distances=(distance,),
+        ks=tuple(ks),
+        trials=trials,
+        placement="offaxis",
+        seed=seed,
+        budget=budget,
+    )
+    return run_sweep(spec, workers=workers, cache=cache, progress=progress)
 
 
 def phi_of_k(
@@ -46,19 +73,15 @@ def phi_of_k(
     *,
     workers: int = 0,
     cache: bool = True,
+    budget: Optional[BudgetPolicy] = None,
+    progress=None,
 ) -> List[tuple]:
     """Measure ``phi(k)`` for ``A_uniform(eps)`` at fixed ``D``; rows of
     ``(k, mean_time, ratio)``."""
-    spec = SweepSpec(
-        algorithm="uniform",
-        params={"eps": eps},
-        distances=(distance,),
-        ks=tuple(ks),
-        trials=trials,
-        placement="offaxis",
-        seed=seed,
+    result = phi_sweep(
+        eps, distance, ks, trials, seed,
+        workers=workers, cache=cache, budget=budget, progress=progress,
     )
-    result = run_sweep(spec, workers=workers, cache=cache)
     rows = []
     for k in ks:
         cell = result.cell(distance, k)
@@ -71,6 +94,8 @@ def run(
     seed: int | None = None,
     workers: int = 0,
     cache: bool = True,
+    budget: Optional[BudgetPolicy] = None,
+    progress=None,
 ) -> List[ResultTable]:
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
@@ -83,7 +108,7 @@ def run(
 
     table = ResultTable(
         title=TITLE,
-        columns=["eps", "k", "mean_time", "optimal", "phi"],
+        columns=["eps", "k", "trials", "mean_time", "ci95", "optimal", "phi"],
     )
     fits = ResultTable(
         title="E3 fits: phi(k) = a * log(k)^b  (theory: b ~ 1 + eps)",
@@ -91,7 +116,7 @@ def run(
     )
 
     for index, eps in enumerate(EPSILONS):
-        rows = phi_of_k(
+        result = phi_sweep(
             eps,
             distance,
             ks,
@@ -99,12 +124,20 @@ def run(
             derive_seed(seed, index),
             workers=workers,
             cache=cache,
+            budget=budget,
+            progress=progress,
         )
-        for k, mean, phi in rows:
+        rows = []
+        for k in ks:
+            cell = result.cell(distance, k)
+            phi = competitiveness(cell.mean, distance, k)
+            rows.append((k, cell.mean, phi))
             table.add_row(
                 eps=eps,
                 k=k,
-                mean_time=mean,
+                trials=cell.trials,
+                mean_time=cell.mean,
+                ci95=cell.summary().ci_halfwidth,
                 optimal=optimal_time(distance, k),
                 phi=phi,
             )
@@ -115,6 +148,11 @@ def run(
                 eps=eps, a=fit.a, b=fit.b, r2=fit.r2, phi_at_kmax=fit_rows[-1][1]
             )
     table.add_note(f"D={distance} (analysis regime k <= D), offaxis placement")
+    if budget is not None:
+        table.add_note(
+            f"adaptive allocation: {budget.describe()}; trials and ci95 "
+            f"are per cell"
+        )
     fits.add_note("at laptop scale b tracks 1+eps from below: the additive")
     fits.add_note("constants in the schedule flatten the small-k head of the curve;")
     fits.add_note("the k=1 cell is excluded (log 1 = 0 degenerates the model)")

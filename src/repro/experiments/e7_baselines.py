@@ -23,21 +23,24 @@ trials).  Each row is its own single-cell spec with a seed derived from
 execution order, ``--workers``, and the cache.
 
 Capped means are *lower bounds* on the true expectation whenever any
-trial was censored at the horizon; the ``censored`` column reports that
-fraction per row so the bound's looseness is visible instead of silently
-folded into ``mean_time``.
+trial was censored at the horizon; every stochastic row runs through the
+streaming :class:`repro.stats.FindTimeAccumulator`, whose summary carries
+the censored fraction *and* the CI half-width side by side — the
+``censored`` column next to ``ci95`` makes the bound's looseness visible
+instead of silently folded into ``mean_time`` (a CI around a censored
+mean brackets the lower bound, not the true expectation).
 """
 
 from __future__ import annotations
 
-from typing import List, Mapping
+from typing import List, Mapping, Optional
 
 from ..algorithms import KnownDSearch, SingleSpiralSearch
 from ..algorithms.sector import SectorSearch, sector_find_times
 from ..analysis.competitiveness import optimal_time
-from ..analysis.estimators import success_rate, truncated_mean
 from ..sim.rng import derive_seed
 from ..sim.world import place_treasure
+from ..stats import BudgetPolicy, summarize_times
 from ..sweep import SweepSpec, run_sweep
 from .config import scale
 from .io import ResultTable
@@ -53,6 +56,8 @@ def run(
     seed: int | None = None,
     workers: int = 0,
     cache: bool = True,
+    budget: Optional[BudgetPolicy] = None,
+    progress=None,
 ) -> List[ResultTable]:
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
@@ -67,8 +72,8 @@ def run(
     table = ResultTable(
         title=f"{TITLE}  [D={distance}, k={k}, horizon={horizon}]",
         columns=[
-            "algorithm", "mean_time", "vs_optimal", "success", "censored",
-            "trials",
+            "algorithm", "mean_time", "ci95", "vs_optimal", "success",
+            "censored", "trials",
         ],
     )
 
@@ -77,6 +82,7 @@ def run(
     table.add_row(
         algorithm="known-D (O(D))",
         mean_time=float(t_known),
+        ci95=0.0,
         vs_optimal=t_known / optimal,
         success=1.0,
         censored=0.0,
@@ -86,6 +92,7 @@ def run(
     table.add_row(
         algorithm="single spiral (k=1)",
         mean_time=float(t_spiral),
+        ci95=0.0,
         vs_optimal=t_spiral / optimal,
         success=1.0,
         censored=0.0,
@@ -94,14 +101,15 @@ def run(
     table.add_row(
         algorithm=f"k-spiral control (k={k})",
         mean_time=float(t_spiral),  # identical deterministic agents
+        ci95=0.0,
         vs_optimal=t_spiral / optimal,
         success=1.0,
         censored=0.0,
         trials=0,
     )
 
-    def sweep_times(row_index: int, algorithm: str, params: Mapping[str, float]):
-        """One single-cell sweep: the row's raw find times at full trials."""
+    def sweep_cell(row_index: int, algorithm: str, params: Mapping[str, float]):
+        """One single-cell sweep: the row's cell at its allocated trials."""
         spec = SweepSpec(
             algorithm=algorithm,
             distances=(distance,),
@@ -111,9 +119,12 @@ def run(
             placement="offaxis",
             seed=derive_seed(seed, row_index),
             horizon=float(horizon),
+            budget=budget,
         )
-        result = run_sweep(spec, workers=workers, cache=cache)
-        return result.cell(distance, k).times
+        result = run_sweep(
+            spec, workers=workers, cache=cache, progress=progress
+        )
+        return result.cell(distance, k)
 
     # Excursion constructions and walker baselines, all at full trials on
     # the batched engines (walker rows were step-level before).
@@ -127,38 +138,43 @@ def run(
             ("Levy flight (mu=2)", "levy", {"mu": 2.0}),
         )
     ):
-        times = sweep_times(row_index, algorithm, params)
-        tm = truncated_mean(times, horizon)
+        cell = sweep_cell(row_index, algorithm, params)
+        s = cell.summary(horizon=float(horizon))
         table.add_row(
             algorithm=name,
-            mean_time=tm.mean,
-            vs_optimal=tm.mean / optimal,
-            success=success_rate(times, horizon),
-            censored=tm.censored_fraction,
-            trials=trials,
+            mean_time=s.mean,
+            ci95=s.ci_halfwidth,
+            vs_optimal=s.mean / optimal,
+            success=s.success_rate,
+            censored=s.censored_fraction,
+            trials=cell.trials,
         )
 
     # Sector sweep: the coordination-free direction-splitting strawman.
-    # Closed-form cost model, so it stays outside the sweep engine;
-    # truncated_mean pins censored values at the horizon itself.
+    # Closed-form cost model, so it stays outside the sweep engine; the
+    # streaming summary pins censored values at the horizon itself.
     sector = SectorSearch(width=0.125)
     sector_times = sector_find_times(
         sector, world, k, trials, derive_seed(seed, 6)
     )
-    tm = truncated_mean(sector_times, horizon)
+    s = summarize_times(sector_times, horizon=float(horizon))
     table.add_row(
         algorithm="sector sweep (w=1/8)",
-        mean_time=tm.mean,
-        vs_optimal=tm.mean / optimal,
-        success=success_rate(sector_times, horizon),
-        censored=tm.censored_fraction,
+        mean_time=s.mean,
+        ci95=s.ci_halfwidth,
+        vs_optimal=s.mean / optimal,
+        success=s.success_rate,
+        censored=s.censored_fraction,
         trials=trials,
     )
 
     table.add_note(f"optimal = D + D^2/k = {optimal:.1f}")
     table.add_note(
         "rows with censored > 0 report a lower bound on the true mean "
-        "(censored trials pinned at the horizon)"
+        "(censored trials pinned at the horizon); their ci95 brackets "
+        "that lower bound, not the true expectation"
     )
     table.add_note("k-spiral control: deterministic identical agents => zero speed-up")
+    if budget is not None:
+        table.add_note(f"adaptive allocation: {budget.describe()}")
     return [table]

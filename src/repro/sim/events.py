@@ -41,11 +41,12 @@ from ..core.spiral import (
     spiral_position_array,
 )
 from ..scenarios import ScenarioSpec, resolve_scenario
-from .rng import SeedLike, make_rng
+from .rng import BLOCK_STREAM, SeedLike, derive_seed, make_rng
 from .world import World
 
 __all__ = [
     "simulate_find_times",
+    "simulate_find_times_block",
     "simulate_find_times_batch",
     "excursion_find_time",
     "expected_find_time",
@@ -262,6 +263,39 @@ def simulate_find_times(
 
     best[best > cap] = np.inf
     return best
+
+
+def simulate_find_times_block(
+    algorithm: ExcursionAlgorithm,
+    world: World,
+    k: int,
+    trials: int,
+    root_seed: SeedLike,
+    *,
+    distance: int,
+    block: int,
+    horizon: Optional[float] = None,
+    max_phases: int = 1_000_000,
+    scenario: Optional[ScenarioSpec] = None,
+) -> np.ndarray:
+    """One deterministic trial *block* of cell ``(distance, k)``.
+
+    The incremental sweep runner's entry point: block ``block`` of a cell
+    is seeded ``derive_seed(root_seed, BLOCK_STREAM, distance, k, block)``
+    and simulated with :func:`simulate_find_times`.  Because the seed
+    depends only on ``(root_seed, distance, k, block)`` — never on how
+    many blocks ran before, which process runs it, or which other cells
+    exist — blocks are *appendable*: a cached 200-trial cell tops up to
+    1000 by simulating blocks 3.. and concatenating, bitwise identical to
+    having run all blocks in one session.
+    """
+    if block < 0:
+        raise ValueError(f"block index must be >= 0, got {block}")
+    seed = derive_seed(root_seed, BLOCK_STREAM, int(distance), int(k), int(block))
+    return simulate_find_times(
+        algorithm, world, k, trials, seed,
+        horizon=horizon, max_phases=max_phases, scenario=scenario,
+    )
 
 
 def _as_treasure_arrays(worlds: WorldsLike) -> Tuple[np.ndarray, np.ndarray]:

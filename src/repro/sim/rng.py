@@ -14,9 +14,26 @@ from typing import List, Sequence, Union
 
 import numpy as np
 
-__all__ = ["make_rng", "spawn_rngs", "spawn_seeds", "derive_rng", "derive_seed"]
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "spawn_seeds",
+    "derive_rng",
+    "derive_seed",
+    "BLOCK_STREAM",
+]
 
 SeedLike = Union[None, int, Sequence[int], np.random.SeedSequence, np.random.Generator]
+
+#: Leading key of every block-seeded simulation stream:
+#: ``derive_seed(root, BLOCK_STREAM, distance, k, block)`` is the seed of
+#: trial block ``block`` of cell ``(distance, k)`` under root seed
+#: ``root``.  Giving blocks their own tagged namespace keeps them disjoint
+#: from group spawns (different derivation) and from experiment-level
+#: ``derive_seed(root, index)`` keys (different leading word), so a
+#: cell's block stream depends only on ``(root, distance, k, block)`` —
+#: the invariant that makes cached blocks appendable across runs.
+BLOCK_STREAM = 0xB10C5EED
 
 
 def make_rng(seed: SeedLike = None) -> np.random.Generator:

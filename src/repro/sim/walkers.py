@@ -56,7 +56,7 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..scenarios import ScenarioSpec, resolve_scenario, steps_within
-from .rng import SeedLike, make_rng, spawn_seeds
+from .rng import BLOCK_STREAM, SeedLike, derive_seed, make_rng, spawn_seeds
 from .world import World
 
 __all__ = [
@@ -65,6 +65,7 @@ __all__ = [
     "BiasedWalker",
     "LevyWalker",
     "walker_find_times",
+    "walker_find_times_block",
     "walker_find_times_batch",
 ]
 
@@ -521,6 +522,36 @@ def walker_find_times(
     return walker.find_times(
         world, k, trials, seed, horizon=horizon, chunk=chunk,
         scenario=scenario, start_delays=start_delays,
+    )
+
+
+def walker_find_times_block(
+    walker: Walker,
+    world: World,
+    k: int,
+    trials: int,
+    root_seed: SeedLike,
+    *,
+    distance: int,
+    block: int,
+    horizon: float,
+    chunk: Optional[int] = None,
+    scenario: Optional[ScenarioSpec] = None,
+) -> np.ndarray:
+    """One deterministic trial block of walker cell ``(distance, k)``.
+
+    The walker twin of :func:`repro.sim.events.simulate_find_times_block`:
+    block ``block`` is seeded
+    ``derive_seed(root_seed, BLOCK_STREAM, distance, k, block)``, so a
+    cell's blocks depend only on ``(root_seed, distance, k, block)`` and
+    cached blocks append bitwise-identically across runs and processes.
+    """
+    if block < 0:
+        raise ValueError(f"block index must be >= 0, got {block}")
+    seed = derive_seed(root_seed, BLOCK_STREAM, int(distance), int(k), int(block))
+    return walker.find_times(
+        world, k, trials, seed, horizon=horizon, chunk=chunk,
+        scenario=scenario,
     )
 
 

@@ -1,0 +1,218 @@
+"""Serialisable trial-budget policies for sweep cells.
+
+A :class:`BudgetPolicy` answers one question for the incremental sweep
+runner: *given what a cell's accumulator knows so far, is the cell done?*
+Three kinds:
+
+* ``fixed(n)`` — exactly ``n`` trials, today's behaviour.  On a
+  :class:`repro.sweep.spec.SweepSpec` a fixed policy is *canonicalised
+  away* (it becomes ``trials=n, budget=None``), so a fixed-budget spec is
+  the same spec — same content hash, same cache entry, bitwise identical
+  results — as a plain one.
+* ``target_rel_ci(r, min_trials, max_trials)`` — precision-targeted
+  sequential allocation: a cell keeps drawing trial blocks until the
+  relative confidence-interval half-width of its (truncated) mean drops
+  to ``r``, bounded below by ``min_trials`` (no stopping on tiny-sample
+  flukes) and above by ``max_trials`` (heavy-tailed cells terminate).
+  This is the scientifically right allocation for the paper's claims:
+  easy cells (small ``D``, large ``k``) stop early, the noisy tail cells
+  that decide the envelopes get the samples.
+* ``wall(seconds, min_trials, max_trials)`` — a per-cell wall-clock
+  budget: keep adding blocks while the cell has been simulating for less
+  than ``seconds`` (cached blocks are free and do not count).  Unlike
+  the other kinds, *how many* trials this allocates depends on machine
+  speed and load; the trial blocks themselves remain the deterministic
+  seeded stream, so two wall runs agree on every block they share.
+
+Policies are plain frozen dataclasses with a canonical dict form, so they
+serialise into sweep-spec hashes and cache metadata.  The stopping rule
+works on whole *blocks* (see the runner's deterministic block schedule),
+so ``max_trials`` is a stopping threshold, not an exact cap: allocation
+ends at the first block boundary at or past it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from .accumulators import FindTimeSummary
+
+__all__ = ["BudgetPolicy"]
+
+#: Default floor/ceiling for adaptive allocation.
+DEFAULT_MIN_TRIALS = 32
+DEFAULT_MAX_TRIALS = 4096
+
+_KINDS = ("fixed", "target_rel_ci", "wall")
+
+
+@dataclass(frozen=True)
+class BudgetPolicy:
+    """How many trials a sweep cell deserves (see module docstring).
+
+    Construct via the classmethods — :meth:`fixed`,
+    :meth:`target_rel_ci`, :meth:`wall` — rather than positionally.
+    """
+
+    kind: str
+    trials: Optional[int] = None
+    rel_ci: Optional[float] = None
+    min_trials: int = DEFAULT_MIN_TRIALS
+    max_trials: int = DEFAULT_MAX_TRIALS
+    seconds: Optional[float] = None
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown budget policy kind {self.kind!r}; known: {_KINDS}"
+            )
+        if not 0 < self.confidence < 1:
+            raise ValueError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+        if self.kind == "fixed":
+            if self.trials is None or int(self.trials) < 1:
+                raise ValueError(
+                    f"fixed policy needs trials >= 1, got {self.trials}"
+                )
+            object.__setattr__(self, "trials", int(self.trials))
+            return
+        if int(self.min_trials) < 1:
+            raise ValueError(f"min_trials must be >= 1, got {self.min_trials}")
+        if int(self.max_trials) < int(self.min_trials):
+            raise ValueError(
+                f"max_trials ({self.max_trials}) must be >= min_trials "
+                f"({self.min_trials})"
+            )
+        object.__setattr__(self, "min_trials", int(self.min_trials))
+        object.__setattr__(self, "max_trials", int(self.max_trials))
+        if self.kind == "target_rel_ci":
+            if self.rel_ci is None or not 0 < float(self.rel_ci):
+                raise ValueError(
+                    f"target_rel_ci needs rel_ci > 0, got {self.rel_ci}"
+                )
+            object.__setattr__(self, "rel_ci", float(self.rel_ci))
+        elif self.kind == "wall":
+            if self.seconds is None or not float(self.seconds) > 0:
+                raise ValueError(
+                    f"wall policy needs seconds > 0, got {self.seconds}"
+                )
+            object.__setattr__(self, "seconds", float(self.seconds))
+
+    # -- constructors -------------------------------------------------
+    @classmethod
+    def fixed(cls, trials: int) -> "BudgetPolicy":
+        """Exactly ``trials`` trials per cell (today's semantics)."""
+        return cls(kind="fixed", trials=trials)
+
+    @classmethod
+    def target_rel_ci(
+        cls,
+        rel_ci: float,
+        *,
+        min_trials: int = DEFAULT_MIN_TRIALS,
+        max_trials: int = DEFAULT_MAX_TRIALS,
+        confidence: float = 0.95,
+    ) -> "BudgetPolicy":
+        """Stop once the mean's relative CI half-width reaches ``rel_ci``."""
+        return cls(
+            kind="target_rel_ci",
+            rel_ci=rel_ci,
+            min_trials=min_trials,
+            max_trials=max_trials,
+            confidence=confidence,
+        )
+
+    @classmethod
+    def wall(
+        cls,
+        seconds: float,
+        *,
+        min_trials: int = DEFAULT_MIN_TRIALS,
+        max_trials: int = DEFAULT_MAX_TRIALS,
+    ) -> "BudgetPolicy":
+        """Stop once a cell has simulated for ``seconds`` wall-clock."""
+        return cls(
+            kind="wall",
+            seconds=seconds,
+            min_trials=min_trials,
+            max_trials=max_trials,
+        )
+
+    # -- behaviour ----------------------------------------------------
+    @property
+    def is_fixed(self) -> bool:
+        return self.kind == "fixed"
+
+    def satisfied(
+        self,
+        count: int,
+        summary: Optional[FindTimeSummary] = None,
+        elapsed: float = 0.0,
+    ) -> bool:
+        """Is a cell with ``count`` trials and this ``summary`` done?"""
+        if self.kind == "fixed":
+            return count >= self.trials
+        if count >= self.max_trials:
+            return True
+        if count < self.min_trials:
+            return False
+        if self.kind == "target_rel_ci":
+            if summary is None:
+                return False
+            rel = summary.rel_ci
+            return math.isfinite(rel) and rel <= self.rel_ci
+        return elapsed >= self.seconds  # wall
+
+    def describe(self) -> str:
+        if self.kind == "fixed":
+            return f"fixed({self.trials} trials)"
+        if self.kind == "target_rel_ci":
+            return (
+                f"target_rel_ci(r={self.rel_ci:g} @ {self.confidence:g}, "
+                f"trials in [{self.min_trials}, ~{self.max_trials}])"
+            )
+        return (
+            f"wall({self.seconds:g}s/cell, "
+            f"trials in [{self.min_trials}, ~{self.max_trials}])"
+        )
+
+    # -- serialisation ------------------------------------------------
+    def to_dict(self) -> Dict:
+        """Canonical JSON-able form (hashed into sweep-spec identity)."""
+        if self.kind == "fixed":
+            return {"kind": "fixed", "trials": self.trials}
+        data = {
+            "kind": self.kind,
+            "min_trials": self.min_trials,
+            "max_trials": self.max_trials,
+        }
+        if self.kind == "target_rel_ci":
+            data["rel_ci"] = self.rel_ci
+            data["confidence"] = self.confidence
+        else:
+            data["seconds"] = self.seconds
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "BudgetPolicy":
+        kind = data.get("kind")
+        if kind == "fixed":
+            return cls.fixed(data["trials"])
+        if kind == "target_rel_ci":
+            return cls.target_rel_ci(
+                data["rel_ci"],
+                min_trials=data.get("min_trials", DEFAULT_MIN_TRIALS),
+                max_trials=data.get("max_trials", DEFAULT_MAX_TRIALS),
+                confidence=data.get("confidence", 0.95),
+            )
+        if kind == "wall":
+            return cls.wall(
+                data["seconds"],
+                min_trials=data.get("min_trials", DEFAULT_MIN_TRIALS),
+                max_trials=data.get("max_trials", DEFAULT_MAX_TRIALS),
+            )
+        raise ValueError(f"unknown budget policy kind {kind!r}")

@@ -6,39 +6,70 @@ of worlds, not a single treasure.  This package turns that grid into one
 fast primitive:
 
 * :class:`SweepSpec` — a serialisable description of an
-  ``algorithm x D x k x trials`` sweep (see :mod:`repro.sweep.spec`);
+  ``algorithm x D x k x trials`` sweep, optionally carrying a
+  :class:`repro.stats.BudgetPolicy` for adaptive per-cell trial
+  allocation (see :mod:`repro.sweep.spec`);
 * :func:`run_sweep` — the executor: consults the on-disk cache, resolves
-  each ``k``-group with one batched engine call, optionally fans groups
-  out to a process pool (see :mod:`repro.sweep.runner`);
-* the cache itself lives in :mod:`repro.sweep.cache`.
+  fixed sweeps with one batched engine call per ``k``-group and adaptive
+  sweeps with per-cell seeded trial blocks, optionally fans work out to a
+  process pool, and reports per-cell :class:`ProgressEvent`s (see
+  :mod:`repro.sweep.runner`);
+* the cache — v1 full-matrix entries plus the v2 append-only block
+  store — lives in :mod:`repro.sweep.cache`.
 
-Experiments (E1/E2/E3/E6) and the ``repro-ants sweep`` CLI are thin
-consumers of :func:`run_sweep`.
+Experiments and the ``repro-ants sweep``/``cache`` CLI are thin
+consumers of this package; DESIGN.md §7 documents the adaptive layer.
 """
 
-from .cache import cache_path, default_cache_dir, load_result, save_result
-from .runner import CellResult, SweepResult, run_sweep
+from ..stats import BudgetPolicy
+from .cache import (
+    CacheEntry,
+    block_store_path,
+    cache_path,
+    default_cache_dir,
+    list_entries,
+    load_blocks,
+    load_result,
+    prune_entries,
+    save_blocks,
+    save_result,
+)
+from .runner import CellResult, ProgressEvent, SweepResult, run_sweep
 from .spec import (
     ALGORITHM_BUILDERS,
     SweepCell,
     SweepGroup,
     SweepSpec,
+    block_trials,
     build_algorithm,
+    completed_trials,
     register_algorithm,
+    whole_blocks,
 )
 
 __all__ = [
     "ALGORITHM_BUILDERS",
+    "BudgetPolicy",
+    "CacheEntry",
     "CellResult",
+    "ProgressEvent",
     "SweepCell",
     "SweepGroup",
     "SweepResult",
     "SweepSpec",
+    "block_store_path",
+    "block_trials",
     "build_algorithm",
     "cache_path",
+    "completed_trials",
     "default_cache_dir",
+    "list_entries",
+    "load_blocks",
     "load_result",
+    "prune_entries",
     "register_algorithm",
     "run_sweep",
+    "save_blocks",
     "save_result",
+    "whole_blocks",
 ]

@@ -1,16 +1,35 @@
-"""On-disk result cache for sweeps.
+"""On-disk result cache for sweeps: v1 full-matrix entries + v2 block stores.
 
-One sweep = one ``.npz`` file named by the spec's content hash, holding the
-full ``(cells, trials)`` find-time matrix plus a JSON metadata record (the
-spec dict and the cell list).  Storing raw times rather than summary
-statistics means cached sweeps can answer *new* questions (quantiles,
-success rates under a different horizon) without recomputation.
+Two entry formats share one directory:
+
+* **v1 — full-matrix entries** (``sweep_<algorithm>_<spec_hash>.npz``):
+  one fixed-trials sweep = one file keyed by the spec's content hash,
+  holding the complete ``(cells, trials)`` find-time matrix plus a JSON
+  metadata record (the spec dict and the cell list).  This is the format
+  every release has written; fixed-budget sweeps still write it, so old
+  entries keep hitting (v1 read compatibility is a contract, enforced by
+  ``tests/test_adaptive_sweep.py``).
+
+* **v2 — block stores** (``blocks_<algorithm>_<data_hash>.npz``): the
+  adaptive runner's append-only cache, keyed by the spec's *data* hash
+  (:meth:`repro.sweep.spec.SweepSpec.data_hash` — everything that fixes
+  block content, nothing that fixes allocation).  A store holds one 1-D
+  time array per cell ever simulated under that data identity; cells
+  accumulate across runs, across grids, and across precision targets, so
+  a 200-trial cell tops up to 1000 by appending blocks rather than
+  recomputing.  ``format: 2`` in the metadata marks the layout.
+
+Storing raw times rather than summary statistics means cached sweeps can
+answer *new* questions (quantiles, success rates under a different
+horizon) without recomputation.
 
 The cache directory resolves, in order, to the ``REPRO_SWEEP_CACHE``
 environment variable or ``~/.cache/repro-ants/sweeps``.  All cache I/O is
 best-effort: a missing, unreadable or stale entry silently falls back to
 recomputation, and writes go through a temp file + atomic rename so that a
-crashed run never leaves a truncated entry behind.
+crashed run never leaves a truncated entry behind.  The ``repro-ants
+cache`` CLI (``list`` / ``prune`` / ``path``) is a thin layer over
+:func:`list_entries` and :func:`prune_entries`.
 """
 
 from __future__ import annotations
@@ -19,13 +38,27 @@ import json
 import os
 import tempfile
 import zipfile
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from .spec import SweepCell, SweepSpec
 
-__all__ = ["default_cache_dir", "cache_path", "load_result", "save_result"]
+__all__ = [
+    "default_cache_dir",
+    "cache_path",
+    "load_result",
+    "save_result",
+    "block_store_path",
+    "load_blocks",
+    "save_blocks",
+    "CacheEntry",
+    "list_entries",
+    "prune_entries",
+]
+
+CellKey = Tuple[int, int]
 
 
 def default_cache_dir() -> str:
@@ -37,7 +70,7 @@ def default_cache_dir() -> str:
 
 
 def cache_path(spec: SweepSpec, cache_dir: Optional[str] = None) -> str:
-    """The cache file a spec maps to (which need not exist yet)."""
+    """The v1 cache file a spec maps to (which need not exist yet)."""
     directory = cache_dir if cache_dir is not None else default_cache_dir()
     return os.path.join(directory, f"sweep_{spec.algorithm}_{spec.spec_hash()}.npz")
 
@@ -68,11 +101,73 @@ def load_result(
 def save_result(
     spec: SweepSpec, path: str, cells: List[SweepCell], times: np.ndarray
 ) -> bool:
-    """Persist a sweep result; returns whether the write succeeded."""
+    """Persist a fixed-trials sweep result; returns whether it succeeded."""
     meta = {
         "spec": spec.to_dict(),
         "cells": [[cell.distance, cell.k] for cell in cells],
     }
+    return _atomic_savez(path, meta, {"times": times})
+
+
+def block_store_path(spec: SweepSpec, cache_dir: Optional[str] = None) -> str:
+    """The v2 block-store file a spec's data identity maps to."""
+    directory = cache_dir if cache_dir is not None else default_cache_dir()
+    return os.path.join(
+        directory, f"blocks_{spec.algorithm}_{spec.data_hash()}.npz"
+    )
+
+
+def load_blocks(spec: SweepSpec, path: str) -> Dict[CellKey, np.ndarray]:
+    """Load every cached cell of a spec's block store.
+
+    Returns ``{(distance, k): times}`` with each times array holding the
+    cell's concatenated trial blocks in schedule order.  Absent, corrupt,
+    or foreign stores (a different data identity behind the same file
+    name) load as empty — the adaptive runner then just simulates.
+    """
+    out: Dict[CellKey, np.ndarray] = {}
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            if meta.get("format") != 2:
+                return {}
+            if meta.get("data") != spec.data_dict():
+                return {}
+            for index, (distance, k, trials) in enumerate(meta.get("cells", [])):
+                times = np.asarray(archive[f"times_{index}"], dtype=np.float64)
+                if times.ndim != 1 or times.size != trials:
+                    continue  # truncated entry; drop just this cell
+                out[(int(distance), int(k))] = times
+    except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile):
+        return {}
+    return out
+
+
+def save_blocks(
+    spec: SweepSpec, path: str, blocks: Mapping[CellKey, np.ndarray]
+) -> bool:
+    """Persist a block store (all cells, atomically); returns success.
+
+    Callers pass the *full* merged cell map — load, extend, save — so a
+    store never loses cells another grid contributed.
+    """
+    ordered = sorted(blocks.items())
+    meta = {
+        "format": 2,
+        "data": spec.data_dict(),
+        "cells": [
+            [distance, k, int(times.size)] for (distance, k), times in ordered
+        ],
+    }
+    arrays = {
+        f"times_{index}": np.asarray(times, dtype=np.float64)
+        for index, (_, times) in enumerate(ordered)
+    }
+    return _atomic_savez(path, meta, arrays)
+
+
+def _atomic_savez(path: str, meta: Dict, arrays: Dict[str, np.ndarray]) -> bool:
+    """Write an npz with a JSON ``meta`` record via temp file + rename."""
     try:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -81,7 +176,7 @@ def save_result(
         try:
             with os.fdopen(fd, "wb") as handle:
                 np.savez_compressed(
-                    handle, meta=np.asarray(json.dumps(meta)), times=times
+                    handle, meta=np.asarray(json.dumps(meta)), **arrays
                 )
             os.replace(tmp, path)
         except BaseException:
@@ -91,3 +186,98 @@ def save_result(
     except OSError:
         return False
     return True
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cache file as seen by ``repro-ants cache list``."""
+
+    path: str
+    kind: str  # "sweep" (v1 full matrix), "blocks" (v2), or "unreadable"
+    algorithm: str
+    cells: int
+    trials: int  # total trials stored across cells
+    size_bytes: int
+    mtime: float
+
+
+def _inspect_entry(path: str) -> Optional[CacheEntry]:
+    try:
+        stat = os.stat(path)
+    except OSError:
+        return None  # vanished between listdir and stat; best-effort
+    name = os.path.basename(path)
+    algorithm = "?"
+    parts = name[:-len(".npz")].split("_")
+    if len(parts) >= 3:
+        algorithm = "_".join(parts[1:-1])
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+    except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile):
+        return CacheEntry(
+            path=path, kind="unreadable", algorithm=algorithm, cells=0,
+            trials=0, size_bytes=stat.st_size, mtime=stat.st_mtime,
+        )
+    if meta.get("format") == 2:
+        cells = meta.get("cells", [])
+        return CacheEntry(
+            path=path, kind="blocks",
+            algorithm=meta.get("data", {}).get("algorithm", algorithm),
+            cells=len(cells), trials=sum(int(c[2]) for c in cells),
+            size_bytes=stat.st_size, mtime=stat.st_mtime,
+        )
+    spec = meta.get("spec", {})
+    cells = meta.get("cells", [])
+    return CacheEntry(
+        path=path, kind="sweep",
+        algorithm=spec.get("algorithm", algorithm),
+        cells=len(cells), trials=len(cells) * int(spec.get("trials", 0)),
+        size_bytes=stat.st_size, mtime=stat.st_mtime,
+    )
+
+
+def list_entries(cache_dir: Optional[str] = None) -> List[CacheEntry]:
+    """All cache entries in a directory, newest first."""
+    directory = cache_dir if cache_dir is not None else default_cache_dir()
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return []
+    entries = [
+        entry
+        for name in names
+        if name.endswith(".npz") and not name.startswith(".")
+        for entry in [_inspect_entry(os.path.join(directory, name))]
+        if entry is not None
+    ]
+    entries.sort(key=lambda e: e.mtime, reverse=True)
+    return entries
+
+
+def prune_entries(
+    cache_dir: Optional[str] = None,
+    *,
+    older_than_days: float = 0.0,
+    now: Optional[float] = None,
+    dry_run: bool = False,
+) -> List[CacheEntry]:
+    """Delete (or, with ``dry_run``, just report) entries older than a cutoff.
+
+    ``older_than_days=0`` prunes everything.  Returns the pruned entries.
+    """
+    import time as _time
+
+    if older_than_days < 0:
+        raise ValueError(f"older_than_days must be >= 0, got {older_than_days}")
+    cutoff = (now if now is not None else _time.time()) - older_than_days * 86400
+    pruned = []
+    for entry in list_entries(cache_dir):
+        if entry.mtime <= cutoff:
+            if not dry_run:
+                try:
+                    os.unlink(entry.path)
+                except OSError:
+                    continue
+            pruned.append(entry)
+    return pruned

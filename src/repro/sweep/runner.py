@@ -1,9 +1,13 @@
-"""Sweep execution: cached, batched, optionally multiprocess.
+"""Sweep execution: cached, batched, optionally multiprocess, adaptive.
 
 :func:`run_sweep` turns a :class:`repro.sweep.spec.SweepSpec` into a
-:class:`SweepResult`:
+:class:`SweepResult` along one of two paths, selected by the spec's
+``budget``:
 
-1. the on-disk cache is consulted (keyed by the spec's content hash) —
+**Fixed path** (``budget is None`` — including canonicalised
+``fixed(n)`` policies):
+
+1. the on-disk v1 cache is consulted (keyed by the spec's content hash) —
    a hit returns immediately, which is what makes repeated experiment runs
    and quick/full mode switches cheap;
 2. on a miss, each ``k``-group of the grid is resolved by a single batched
@@ -18,29 +22,96 @@
 4. the raw ``(cells, trials)`` find-time matrix is written back to the
    cache.
 
-Seed policy: one child seed per group via
+Fixed-path seed policy: one child seed per group via
 :func:`repro.sim.rng.spawn_seeds` on the spec's root seed; within a group
 the first grandchild seeds the simulation and the rest seed the (possibly
-random) treasure placements, one per distance.
+random) treasure placements, one per distance.  This path is byte-for-byte
+the pre-adaptive runner — the ``fixed(n)``-parity guarantee.
+
+**Adaptive path** (``target_rel_ci`` / ``wall`` budgets): cells are
+independent units.  Each cell consumes deterministic trial *blocks*
+(sizes from the doubling schedule in :mod:`repro.sweep.spec`, content
+from the block-seeded engine entry points
+:func:`repro.sim.events.simulate_find_times_block` /
+:func:`repro.sim.walkers.walker_find_times_block`), folds every block
+into a streaming :class:`repro.stats.FindTimeAccumulator`, and stops as
+soon as its :class:`repro.stats.BudgetPolicy` is satisfied.  Because a
+block's content depends only on ``(root seed, D, k, block index)``, a
+cell's sample is a deterministic prefix of an infinite trial stream:
+cached blocks (v2 block store, keyed by the spec's *data* hash) are
+reused verbatim and new blocks are appended — across runs, grids, and
+precision targets.  With ``workers > 1`` cells are fanned out to a pool;
+per-cell streams make pooled and serial runs bitwise identical for the
+``fixed`` and ``target_rel_ci`` policies.  ``wall`` budgets stop on
+wall-clock time, so *how many* blocks a cell gets depends on machine
+speed and load — the blocks themselves are still the deterministic
+stream (two wall runs agree on every shared prefix), but trial counts
+are not reproducible by design.
+
+``progress`` (both paths) is called once per finished cell with a
+:class:`ProgressEvent` — allocated trials, newly simulated trials, and
+the achieved CI half-width — so long adaptive sweeps are not silent.
 """
 
 from __future__ import annotations
 
 import math
 import multiprocessing
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..sim.events import find_time_statistics, simulate_find_times_batch
-from ..sim.rng import spawn_seeds
-from ..sim.walkers import Walker, walker_find_times_batch
+from ..sim.events import (
+    find_time_statistics,
+    simulate_find_times_batch,
+    simulate_find_times_block,
+)
+from ..sim.rng import derive_seed, spawn_seeds
+from ..sim.walkers import Walker, walker_find_times_batch, walker_find_times_block
 from ..sim.world import place_treasure
-from .cache import cache_path, load_result, save_result
-from .spec import SweepCell, SweepSpec, build_algorithm
+from ..stats import FindTimeAccumulator, FindTimeSummary, summarize_times
+from .cache import (
+    block_store_path,
+    cache_path,
+    load_blocks,
+    load_result,
+    save_blocks,
+    save_result,
+)
+from .spec import (
+    SweepCell,
+    SweepSpec,
+    block_trials,
+    build_algorithm,
+    completed_trials,
+    whole_blocks,
+)
 
-__all__ = ["CellResult", "SweepResult", "run_sweep"]
+__all__ = ["CellResult", "SweepResult", "ProgressEvent", "run_sweep"]
+
+#: Leading key of the per-cell treasure-placement stream on the adaptive
+#: path: ``derive_seed(root, PLACEMENT_STREAM, distance, k)``.  A cell's
+#: world must not depend on which other cells are swept (the fixed path's
+#: per-group spawn chain does depend on the grid), or cached blocks could
+#: not be shared across grids.
+PLACEMENT_STREAM = 0x97ACE5
+
+ProgressCallback = Callable[["ProgressEvent"], None]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One finished sweep cell, as reported to a ``progress`` callback."""
+
+    distance: int
+    k: int
+    trials: int  # total trials now backing the cell
+    new_trials: int  # trials simulated by *this* run (0 = pure cache hit)
+    ci_halfwidth: float  # achieved CI half-width of the (truncated) mean
+    rel_ci: float  # ci_halfwidth / mean (inf when undefined)
+    source: str  # "cache" | "computed" | "topped-up"
 
 
 @dataclass(frozen=True)
@@ -50,7 +121,8 @@ class CellResult:
     Summary statistics are derived properties so that cached and freshly
     computed cells behave identically; mean/stderr (and their sentinels)
     come from :func:`repro.sim.events.find_time_statistics`, the same rule
-    ``expected_find_time`` reports.
+    ``expected_find_time`` reports.  Adaptive sweeps allocate per cell, so
+    ``trials`` varies across cells of one result.
     """
 
     distance: int
@@ -81,6 +153,14 @@ class CellResult:
         finite = self.times[np.isfinite(self.times)]
         return float(finite.mean()) if finite.size else math.inf
 
+    def summary(
+        self, horizon: Optional[float] = None, confidence: float = 0.95
+    ) -> FindTimeSummary:
+        """Censoring-aware streaming summary (see :mod:`repro.stats`)."""
+        return summarize_times(
+            self.times, horizon=horizon, confidence=confidence
+        )
+
 
 @dataclass
 class SweepResult:
@@ -106,12 +186,50 @@ class SweepResult:
                 f"D={self.spec.distances} x k={self.spec.ks}"
             ) from None
 
+    @property
+    def total_trials(self) -> int:
+        """Trials backing the whole result (adaptive cells vary)."""
+        return sum(c.trials for c in self.cells)
+
     def __iter__(self):
         return iter(self.cells)
 
     def __len__(self) -> int:
         return len(self.cells)
 
+
+def _emit(
+    progress: Optional[ProgressCallback],
+    spec: SweepSpec,
+    cell: CellResult,
+    new_trials: int,
+) -> None:
+    """Report one finished cell to the progress callback, if any."""
+    if progress is None:
+        return
+    summary = cell.summary(horizon=spec.horizon)
+    if new_trials == 0:
+        source = "cache"
+    elif new_trials < cell.trials:
+        source = "topped-up"
+    else:
+        source = "computed"
+    progress(
+        ProgressEvent(
+            distance=cell.distance,
+            k=cell.k,
+            trials=cell.trials,
+            new_trials=new_trials,
+            ci_halfwidth=summary.ci_halfwidth,
+            rel_ci=summary.rel_ci,
+            source=source,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Fixed path (budget is None): the pre-adaptive runner, byte for byte.
+# ----------------------------------------------------------------------
 
 def _execute_group(task) -> np.ndarray:
     """Resolve one k-group; module-level so the pool can pickle it."""
@@ -134,33 +252,13 @@ def _execute_group(task) -> np.ndarray:
     )
 
 
-def run_sweep(
+def _run_fixed(
     spec: SweepSpec,
-    *,
-    workers: int = 0,
-    cache: bool = True,
-    cache_dir: Optional[str] = None,
+    workers: int,
+    cache: bool,
+    cache_dir: Optional[str],
+    progress: Optional[ProgressCallback],
 ) -> SweepResult:
-    """Execute a sweep spec (or load it from the cache).
-
-    ``workers`` <= 1 runs the groups serially in-process; larger values fan
-    them out to a ``multiprocessing`` pool (capped at the group count).
-    Serial and pooled runs produce bitwise-identical results.  ``cache``
-    toggles both lookup and write-back; ``cache_dir`` overrides the default
-    cache location (see :func:`repro.sweep.cache.default_cache_dir`).
-
-    Walker strategies (``random_walk``, ``biased_walk``, ``levy``) require
-    the spec to carry a finite ``horizon``: memoryless walks on ``Z^2``
-    have infinite expected hitting times, so an uncapped walker sweep
-    need not terminate.
-    """
-    probe = build_algorithm(spec.algorithm, spec.ks[0], spec.param_dict())
-    if isinstance(probe, Walker) and spec.horizon is None:
-        raise ValueError(
-            f"sweep algorithm {spec.algorithm!r} is a walker baseline and "
-            f"needs a finite spec horizon (walks on Z^2 have infinite "
-            f"expected hitting time)"
-        )
     path = cache_path(spec, cache_dir) if cache else None
     if path is not None:
         loaded = load_result(spec, path)
@@ -170,6 +268,8 @@ def run_sweep(
                 CellResult(distance=c.distance, k=c.k, times=times[i])
                 for i, c in enumerate(cached_cells)
             ]
+            for cell in cells:
+                _emit(progress, spec, cell, 0)
             return SweepResult(spec=spec, cells=cells, from_cache=True)
 
     groups = spec.groups()
@@ -187,9 +287,9 @@ def run_sweep(
     cells: List[CellResult] = []
     for group, matrix in zip(groups, matrices):
         for row, distance in enumerate(group.distances):
-            cells.append(
-                CellResult(distance=distance, k=group.k, times=matrix[row])
-            )
+            cell = CellResult(distance=distance, k=group.k, times=matrix[row])
+            cells.append(cell)
+            _emit(progress, spec, cell, cell.trials)
 
     if path is not None and cells:
         save_result(
@@ -199,3 +299,151 @@ def run_sweep(
             np.stack([c.times for c in cells]),
         )
     return SweepResult(spec=spec, cells=cells, from_cache=False)
+
+
+# ----------------------------------------------------------------------
+# Adaptive path: per-cell block streams driven by the budget policy.
+# ----------------------------------------------------------------------
+
+def _cell_world(spec: SweepSpec, distance: int, k: int):
+    """The cell's world, seeded independently of every other cell."""
+    placement_seed = derive_seed(spec.seed, PLACEMENT_STREAM, distance, k)
+    return place_treasure(distance, spec.placement, seed=placement_seed)
+
+
+def _usable_prefix(existing: Optional[np.ndarray]) -> np.ndarray:
+    """Cached times truncated to a whole-block schedule boundary."""
+    if existing is None:
+        return np.empty(0, dtype=np.float64)
+    existing = np.asarray(existing, dtype=np.float64)
+    return existing[: completed_trials(whole_blocks(existing.size))]
+
+
+def _run_cell_adaptive(task) -> np.ndarray:
+    """Top one cell up to its policy's satisfaction; pool-picklable.
+
+    Returns the cell's full times array: the usable cached prefix plus
+    every block appended by this run.
+    """
+    spec, distance, k, existing = task
+    policy = spec.budget
+    strategy = build_algorithm(spec.algorithm, k, spec.param_dict())
+    world = _cell_world(spec, distance, k)
+    times = _usable_prefix(existing)
+    blocks = whole_blocks(times.size)
+    acc = FindTimeAccumulator(
+        horizon=spec.horizon, confidence=policy.confidence
+    )
+    if times.size:
+        acc.update(times)
+    started = time.perf_counter()
+    while not policy.satisfied(
+        times.size, acc.summary(), time.perf_counter() - started
+    ):
+        trials = block_trials(blocks)
+        if isinstance(strategy, Walker):
+            fresh = walker_find_times_block(
+                strategy, world, k, trials, spec.seed,
+                distance=distance, block=blocks,
+                horizon=spec.horizon, scenario=spec.scenario,
+            )
+        else:
+            fresh = simulate_find_times_block(
+                strategy, world, k, trials, spec.seed,
+                distance=distance, block=blocks,
+                horizon=spec.horizon, scenario=spec.scenario,
+            )
+        times = np.concatenate([times, fresh])
+        acc.update(fresh)
+        blocks += 1
+    return times
+
+
+def _run_adaptive(
+    spec: SweepSpec,
+    workers: int,
+    cache: bool,
+    cache_dir: Optional[str],
+    progress: Optional[ProgressCallback],
+) -> SweepResult:
+    path = block_store_path(spec, cache_dir) if cache else None
+    store = load_blocks(spec, path) if path is not None else {}
+
+    grid = [(cell.distance, cell.k) for cell in spec.cells()]
+    tasks = [
+        (spec, distance, k, store.get((distance, k)))
+        for distance, k in grid
+    ]
+    if workers > 1 and len(tasks) > 1:
+        with multiprocessing.Pool(min(workers, len(tasks))) as pool:
+            results = list(pool.imap(_run_cell_adaptive, tasks))
+    else:
+        results = [_run_cell_adaptive(task) for task in tasks]
+
+    cells: List[CellResult] = []
+    any_new = False
+    for (distance, k, *_), times in zip([t[1:] for t in tasks], results):
+        cached = _usable_prefix(store.get((distance, k)))
+        new_trials = int(times.size - cached.size)
+        cell = CellResult(distance=distance, k=k, times=times)
+        cells.append(cell)
+        _emit(progress, spec, cell, new_trials)
+        if new_trials > 0:
+            any_new = True
+            store[(distance, k)] = times
+
+    if path is not None and any_new:
+        # The store was loaded at sweep start; another process may have
+        # appended cells since.  Re-read and keep the longer array per
+        # cell before the atomic replace, so concurrent sweeps sharing a
+        # data identity lose at most a racing window, not each other's
+        # whole contribution.  (Blocks are deterministic prefixes of one
+        # stream, so "longer" strictly supersedes "shorter".)
+        for key, times in load_blocks(spec, path).items():
+            if key not in store or times.size > store[key].size:
+                store[key] = times
+        save_blocks(spec, path, store)
+    return SweepResult(
+        spec=spec,
+        cells=cells,
+        from_cache=bool(cells) and not any_new,
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: int = 0,
+    cache: bool = True,
+    cache_dir: Optional[str] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepResult:
+    """Execute a sweep spec (or load/top it up from the cache).
+
+    ``workers`` <= 1 runs the work units (fixed path: k-groups; adaptive
+    path: cells) serially in-process; larger values fan them out to a
+    ``multiprocessing`` pool (capped at the unit count).  Serial and
+    pooled runs produce bitwise-identical results — except under a
+    ``wall`` budget, whose per-cell trial *counts* are wall-clock
+    dependent by design (the underlying block streams stay
+    deterministic).  ``cache`` toggles
+    both lookup and write-back; ``cache_dir`` overrides the default cache
+    location (see :func:`repro.sweep.cache.default_cache_dir`).
+    ``progress`` is called once per finished cell with a
+    :class:`ProgressEvent`.
+
+    Walker strategies (``random_walk``, ``biased_walk``, ``levy``) require
+    the spec to carry a finite ``horizon``: memoryless walks on ``Z^2``
+    have infinite expected hitting times, so an uncapped walker sweep
+    need not terminate.
+    """
+    probe = build_algorithm(spec.algorithm, spec.ks[0], spec.param_dict())
+    if isinstance(probe, Walker) and spec.horizon is None:
+        raise ValueError(
+            f"sweep algorithm {spec.algorithm!r} is a walker baseline and "
+            f"needs a finite spec horizon (walks on Z^2 have infinite "
+            f"expected hitting time)"
+        )
+    if spec.budget is None:
+        return _run_fixed(spec, workers, cache, cache_dir, progress)
+    return _run_adaptive(spec, workers, cache, cache_dir, progress)

@@ -41,9 +41,15 @@ from ..algorithms import (
 from ..algorithms.base import ExcursionAlgorithm
 from ..scenarios import ScenarioSpec
 from ..sim.walkers import BiasedWalker, LevyWalker, RandomWalker, Walker
+from ..stats import BudgetPolicy
 
 __all__ = [
     "SPEC_VERSION",
+    "BLOCK_SCHEDULE_VERSION",
+    "FIRST_BLOCK_TRIALS",
+    "block_trials",
+    "completed_trials",
+    "whole_blocks",
     "ALGORITHM_BUILDERS",
     "register_algorithm",
     "build_algorithm",
@@ -56,7 +62,46 @@ __all__ = [
 #: Bumped whenever the execution semantics change in a way that invalidates
 #: cached results (seed derivation, engine semantics, npz layout).
 #: v2: the spec dict gained the scenario layer (fault/heterogeneity knobs).
+#: (The adaptive ``budget`` field is serialised only when present, so
+#: budget-less specs keep their v2 identity and their cache entries.)
 SPEC_VERSION = 2
+
+#: Version of the deterministic trial-block schedule below.  Part of the
+#: block store's data identity: changing the schedule re-keys every
+#: adaptive cache entry instead of mixing incompatible block layouts.
+BLOCK_SCHEDULE_VERSION = 1
+
+#: Size of the first trial block; later blocks double, so a cell with
+#: ``b`` completed blocks holds ``FIRST_BLOCK_TRIALS * 2**(b-1)`` trials
+#: and any allocation needs O(log) engine calls.
+FIRST_BLOCK_TRIALS = 32
+
+
+def block_trials(block: int) -> int:
+    """Trials in block ``block`` of the schedule (32, 32, 64, 128, ...)."""
+    if block < 0:
+        raise ValueError(f"block index must be >= 0, got {block}")
+    return FIRST_BLOCK_TRIALS if block == 0 else FIRST_BLOCK_TRIALS << (block - 1)
+
+
+def completed_trials(blocks: int) -> int:
+    """Total trials after ``blocks`` whole blocks of the schedule."""
+    if blocks < 0:
+        raise ValueError(f"block count must be >= 0, got {blocks}")
+    return 0 if blocks == 0 else FIRST_BLOCK_TRIALS << (blocks - 1)
+
+
+def whole_blocks(trials: int) -> int:
+    """Largest block count whose cumulative size is ``<= trials``.
+
+    A cached cell is usable up to this boundary; any ragged tail beyond
+    it (from a crashed writer or foreign file) is discarded so appended
+    blocks always start at a schedule boundary.
+    """
+    blocks = 0
+    while completed_trials(blocks + 1) <= trials:
+        blocks += 1
+    return blocks
 
 ParamsLike = Union[Mapping[str, float], Sequence[Tuple[str, float]]]
 
@@ -156,6 +201,18 @@ class SweepSpec:
     "no scenario" and "explicitly unperturbed" are the *same* spec (and
     the same cache entry, which the zero-perturbation engine guarantee
     makes sound).
+
+    ``budget`` (:class:`repro.stats.BudgetPolicy`, a mapping, or ``None``)
+    selects the trial-allocation policy.  ``None`` means "exactly
+    ``trials`` per cell", and a ``fixed(n)`` policy is canonicalised to
+    exactly that (``trials=n, budget=None``) — a fixed-budget spec *is*
+    today's spec: same hash, same cache entry, bitwise identical results.
+    Adaptive policies (``target_rel_ci``, ``wall``) participate in the
+    hash (two sweeps with different precision targets are different
+    sweeps) while their trial *blocks* are cached under the policy-free
+    :meth:`data_hash`, so tightening a target tops existing blocks up
+    instead of recomputing them.  ``trials`` is ignored by adaptive
+    execution (allocation comes from the policy).
     """
 
     algorithm: str
@@ -168,6 +225,7 @@ class SweepSpec:
     horizon: Optional[float] = None
     require_k_le_d: bool = False
     scenario: Optional[ScenarioSpec] = None
+    budget: Optional[BudgetPolicy] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -209,6 +267,20 @@ class SweepSpec:
         if scenario is not None and scenario.is_default:
             scenario = None
         object.__setattr__(self, "scenario", scenario)
+        budget = self.budget
+        if isinstance(budget, Mapping):
+            budget = BudgetPolicy.from_dict(budget)
+        if budget is not None and not isinstance(budget, BudgetPolicy):
+            raise TypeError(
+                f"spec budget must be a BudgetPolicy, mapping or None, "
+                f"got {type(budget).__name__}"
+            )
+        # Canonicalise: fixed(n) IS today's trials=n spec — same hash,
+        # same cache entry, bitwise identical execution path.
+        if budget is not None and budget.is_fixed:
+            object.__setattr__(self, "trials", int(budget.trials))
+            budget = None
+        object.__setattr__(self, "budget", budget)
 
     def param_dict(self) -> Dict[str, float]:
         return dict(self.params)
@@ -240,8 +312,13 @@ class SweepSpec:
         ]
 
     def to_dict(self) -> Dict:
-        """Canonical JSON-able form (the hashing and cache-metadata basis)."""
-        return {
+        """Canonical JSON-able form (the hashing and cache-metadata basis).
+
+        The ``budget`` key is emitted only when an adaptive policy is
+        present, so budget-less specs keep the exact dict (and hash, and
+        on-disk cache entries) they had before the adaptive layer existed.
+        """
+        data = {
             "version": SPEC_VERSION,
             "algorithm": self.algorithm,
             "params": [list(pair) for pair in self.params],
@@ -256,6 +333,9 @@ class SweepSpec:
                 self.scenario.to_dict() if self.scenario is not None else None
             ),
         }
+        if self.budget is not None:
+            data["budget"] = self.budget.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "SweepSpec":
@@ -270,9 +350,40 @@ class SweepSpec:
             horizon=data["horizon"],
             require_k_le_d=bool(data["require_k_le_d"]),
             scenario=data.get("scenario"),
+            budget=data.get("budget"),
         )
 
     def spec_hash(self) -> str:
         """Stable content hash over every result-determining knob."""
         canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:20]
+
+    def data_dict(self) -> Dict:
+        """Identity of this spec's per-cell trial-block *streams*.
+
+        Everything that determines the content of block ``b`` of cell
+        ``(D, k)`` — algorithm, params, placement, root seed, horizon,
+        scenario, and the block schedule version — and nothing that only
+        determines *which* or *how many* cells/trials are wanted (grid
+        extents, ``trials``, ``budget``, ``require_k_le_d``).  Two specs
+        with the same ``data_dict`` can share cached blocks cell by cell:
+        a wider grid reuses the old grid's cells, a tighter precision
+        target tops cells up.
+        """
+        return {
+            "version": SPEC_VERSION,
+            "block_schedule": BLOCK_SCHEDULE_VERSION,
+            "algorithm": self.algorithm,
+            "params": [list(pair) for pair in self.params],
+            "placement": self.placement,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "scenario": (
+                self.scenario.to_dict() if self.scenario is not None else None
+            ),
+        }
+
+    def data_hash(self) -> str:
+        """Stable content hash of :meth:`data_dict` (block-store key)."""
+        canonical = json.dumps(self.data_dict(), sort_keys=True)
         return hashlib.sha256(canonical.encode()).hexdigest()[:20]

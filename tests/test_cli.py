@@ -140,3 +140,212 @@ class TestSweepCommand:
     def test_sweep_rejects_bad_trials_cleanly(self):
         with pytest.raises(SystemExit):
             main(["sweep", "uniform", "--distances", "8", "--ks", "1", "--trials", "0"])
+
+
+class TestAdaptiveFlags:
+    def test_parse_budget_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "sweep", "uniform",
+                "--distances", "8",
+                "--ks", "1",
+                "--target-rel-ci", "0.05",
+                "--max-trials", "512",
+                "--min-trials", "16",
+                "--progress",
+            ]
+        )
+        assert args.target_rel_ci == 0.05
+        assert args.max_trials == 512 and args.min_trials == 16
+        assert args.progress
+
+    def test_run_accepts_budget_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "E1", "--target-rel-ci", "0.1", "--progress"]
+        )
+        assert args.target_rel_ci == 0.1 and args.progress
+
+    def test_max_trials_without_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "sweep", "nonuniform",
+                    "--distances", "8", "--ks", "1",
+                    "--max-trials", "100", "--no-cache",
+                ]
+            )
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "sweep", "nonuniform",
+                    "--distances", "8", "--ks", "1",
+                    "--target-rel-ci", "-0.5", "--no-cache",
+                ]
+            )
+
+    def test_adaptive_sweep_reports_allocation(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep", "nonuniform",
+                    "--distances", "8", "--ks", "4",
+                    "--seed", "3",
+                    "--target-rel-ci", "0.5",
+                    "--min-trials", "32",
+                    "--max-trials", "64",
+                    "--cache-dir", str(tmp_path),
+                    "--progress",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "adaptive allocation" in out
+        assert "target_rel_ci" in out
+        assert "cell D=8 k=4" in out  # --progress line
+        assert "ci95" in out  # achieved precision column
+
+    def test_run_warns_when_experiment_ignores_budget(self, tmp_path, capsys):
+        import os
+
+        os.environ["REPRO_SWEEP_CACHE"] = str(tmp_path)
+        try:
+            # E8 has no D x k sweep, hence no adaptive allocation: the
+            # precision target must be loudly ignored, not silently.
+            assert (
+                main(
+                    [
+                        "run", "E8", "--seed", "7",
+                        "--target-rel-ci", "0.5", "--progress",
+                    ]
+                )
+                == 0
+            )
+        finally:
+            del os.environ["REPRO_SWEEP_CACHE"]
+        out = capsys.readouterr().out
+        assert "no adaptive allocation" in out
+        assert "--target-rel-ci/--progress ignored" in out
+
+    def test_sweep_censored_rows_are_flagged(self, tmp_path, capsys):
+        # A horizon-capped walker sweep censors some trials: the table
+        # must show the censored fraction and explain what ci95 brackets.
+        assert (
+            main(
+                [
+                    "sweep", "random_walk",
+                    "--distances", "8", "--ks", "2",
+                    "--trials", "40", "--seed", "3",
+                    "--horizon", "200",
+                    "--cache-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "censored" in out
+        assert "ci95 brackets the censoring-aware mean" in out
+
+    def test_run_with_adaptive_budget(self, tmp_path, capsys):
+        import os
+
+        os.environ["REPRO_SWEEP_CACHE"] = str(tmp_path)
+        try:
+            assert (
+                main(
+                    [
+                        "run", "E1", "--seed", "9",
+                        "--target-rel-ci", "0.9",
+                        "--min-trials", "32", "--max-trials", "64",
+                        "--progress",
+                    ]
+                )
+                == 0
+            )
+        finally:
+            del os.environ["REPRO_SWEEP_CACHE"]
+        out = capsys.readouterr().out
+        assert "adaptive allocation" in out
+        assert "cell D=" in out
+
+
+class TestCacheCommand:
+    def _populate(self, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep", "nonuniform",
+                    "--distances", "8", "--ks", "1",
+                    "--trials", "10", "--seed", "3",
+                    "--cache-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+
+    def test_cache_path(self, tmp_path, capsys):
+        assert main(["cache", "path", "--cache-dir", str(tmp_path)]) == 0
+        assert str(tmp_path) in capsys.readouterr().out
+
+    def test_cache_list_shows_entries(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "list", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep_nonuniform_" in out
+        assert "nonuniform" in out and "size_kb" in out
+
+    def test_cache_list_empty_dir(self, tmp_path, capsys):
+        assert main(["cache", "list", "--cache-dir", str(tmp_path)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_cache_prune_dry_run_keeps_files(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "cache", "prune", "--older-than", "0",
+                    "--cache-dir", str(tmp_path), "--dry-run",
+                ]
+            )
+            == 0
+        )
+        assert "would prune 1 entries" in capsys.readouterr().out
+        assert len(list(tmp_path.iterdir())) == 1
+
+    def test_cache_prune_removes_old_entries(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "cache", "prune", "--older-than", "0",
+                    "--cache-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "pruned 1 entries" in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_cache_prune_respects_age_cutoff(self, tmp_path, capsys):
+        self._populate(tmp_path)
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "cache", "prune", "--older-than", "30",
+                    "--cache-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "pruned 0 entries" in capsys.readouterr().out
+        assert len(list(tmp_path.iterdir())) == 1
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])

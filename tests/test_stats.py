@@ -1,0 +1,380 @@
+"""Property tests for the streaming statistics subsystem (repro.stats).
+
+The accumulators' contract is distributional: streaming in blocks, in any
+grouping and order, must agree with a one-shot NumPy computation over the
+concatenated sample.  Merge must be associative and commutative (up to
+floating-point rounding), Wilson intervals must actually cover, and the
+budget policies must be total orders on "done-ness".
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import estimators
+from repro.stats import (
+    BudgetPolicy,
+    FindTimeAccumulator,
+    P2Quantile,
+    ReservoirSample,
+    StreamingMoments,
+    SuccessCounter,
+    normal_quantile,
+    summarize_times,
+    wilson_interval,
+)
+
+
+def random_blocks(rng, n_blocks=6, max_len=40, scale=100.0):
+    """A list of random-length float blocks (some possibly empty)."""
+    return [
+        rng.exponential(scale, size=rng.integers(0, max_len))
+        for _ in range(n_blocks)
+    ]
+
+
+class TestStreamingMoments:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_streaming_matches_numpy(self, seed):
+        rng = np.random.default_rng(seed)
+        blocks = random_blocks(rng)
+        data = np.concatenate(blocks)
+        if data.size < 2:
+            pytest.skip("degenerate draw")
+        acc = StreamingMoments()
+        for block in blocks:
+            acc.update_block(block)
+        assert acc.count == data.size
+        assert acc.mean == pytest.approx(float(data.mean()), rel=1e-12)
+        assert acc.variance == pytest.approx(
+            float(data.var(ddof=1)), rel=1e-9
+        )
+        assert acc.stderr == pytest.approx(
+            float(data.std(ddof=1) / math.sqrt(data.size)), rel=1e-9
+        )
+
+    def test_scalar_updates_match_block_update(self):
+        rng = np.random.default_rng(7)
+        data = rng.normal(50.0, 10.0, size=101)
+        one_by_one = StreamingMoments()
+        for value in data:
+            one_by_one.update(value)
+        blockwise = StreamingMoments()
+        blockwise.update_block(data)
+        assert one_by_one.mean == pytest.approx(blockwise.mean, rel=1e-12)
+        assert one_by_one.variance == pytest.approx(
+            blockwise.variance, rel=1e-10
+        )
+
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_merge_commutative_and_associative(self, seed):
+        rng = np.random.default_rng(seed)
+        parts = [rng.exponential(10.0, size=rng.integers(1, 30))
+                 for _ in range(3)]
+
+        def acc_of(*blocks):
+            acc = StreamingMoments()
+            for block in blocks:
+                acc.update_block(block)
+            return acc
+
+        a, b, c = (acc_of(p) for p in parts)
+        ab_c = acc_of(parts[0]).merge(acc_of(parts[1])).merge(acc_of(parts[2]))
+        a_bc = acc_of(parts[0]).merge(
+            acc_of(parts[1]).merge(acc_of(parts[2]))
+        )
+        ba = acc_of(parts[1]).merge(acc_of(parts[0]))
+        ab = acc_of(parts[0]).merge(acc_of(parts[1]))
+        direct = acc_of(*parts)
+        for merged in (ab_c, a_bc):
+            assert merged.count == direct.count
+            assert merged.mean == pytest.approx(direct.mean, rel=1e-12)
+            assert merged.variance == pytest.approx(direct.variance, rel=1e-9)
+        assert ab.mean == pytest.approx(ba.mean, rel=1e-12)
+        assert ab.variance == pytest.approx(ba.variance, rel=1e-9)
+
+    def test_merge_with_empty_is_identity(self):
+        acc = StreamingMoments()
+        acc.update_block([1.0, 2.0, 3.0])
+        before = (acc.count, acc.mean, acc.variance)
+        acc.merge(StreamingMoments())
+        assert (acc.count, acc.mean, acc.variance) == before
+        empty = StreamingMoments()
+        empty.merge(acc)
+        assert empty.count == 3
+        assert empty.mean == pytest.approx(2.0)
+
+    def test_empty_and_single_sentinels(self):
+        acc = StreamingMoments()
+        assert math.isnan(acc.mean)
+        acc.update(5.0)
+        assert acc.mean == 5.0
+        assert math.isnan(acc.variance)
+        assert math.isnan(acc.stderr)
+        assert math.isnan(acc.ci_halfwidth())
+
+    def test_rejects_non_finite(self):
+        acc = StreamingMoments()
+        with pytest.raises(ValueError):
+            acc.update(math.inf)
+        with pytest.raises(ValueError):
+            acc.update_block([1.0, math.nan])
+
+    def test_ci_halfwidth_uses_normal_quantile(self):
+        acc = StreamingMoments()
+        acc.update_block([10.0, 12.0, 8.0, 11.0, 9.0])
+        z = normal_quantile(0.975)
+        assert acc.ci_halfwidth(0.95) == pytest.approx(z * acc.stderr)
+        assert acc.ci_halfwidth(0.5) < acc.ci_halfwidth(0.99)
+
+
+class TestSuccessCounter:
+    def test_counts_and_merge(self):
+        a = SuccessCounter()
+        for value in (True, False, True):
+            a.update(value)
+        b = SuccessCounter(successes=5, total=7)
+        a.merge(b)
+        assert (a.successes, a.total) == (7, 10)
+        assert a.rate == pytest.approx(0.7)
+
+    def test_wilson_matches_estimators_module(self):
+        counter = SuccessCounter(successes=30, total=100)
+        assert counter.wilson() == pytest.approx(
+            estimators.wilson_interval(30, 100)
+        )
+
+    def test_wilson_coverage_smoke(self):
+        # ~95% Wilson intervals over Bernoulli(p) samples should cover p
+        # close to nominally; allow generous slack for a smoke test.
+        rng = np.random.default_rng(0)
+        for p in (0.1, 0.5, 0.9):
+            covered = 0
+            n_rep, n = 400, 50
+            draws = rng.binomial(n, p, size=n_rep)
+            for successes in draws:
+                lo, hi = wilson_interval(int(successes), n)
+                covered += lo <= p <= hi
+            assert covered / n_rep >= 0.88, (p, covered / n_rep)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SuccessCounter(successes=5, total=3)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(3, 2)
+
+
+class TestP2Quantile:
+    def test_exact_below_five_observations(self):
+        p2 = P2Quantile(0.5)
+        assert math.isnan(p2.value)
+        for value in (5.0, 1.0, 3.0):
+            p2.update(value)
+        assert p2.value == 3.0
+
+    @pytest.mark.parametrize("q", [0.25, 0.5, 0.9])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_tracks_true_quantile(self, q, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.exponential(100.0, size=4000)
+        p2 = P2Quantile(q)
+        p2.update_block(data)
+        exact = float(np.quantile(data, q))
+        spread = float(np.quantile(data, 0.95) - np.quantile(data, 0.05))
+        assert abs(p2.value - exact) < 0.05 * spread
+        assert p2.count == data.size
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(0.5).update(math.inf)
+
+
+class TestReservoirSample:
+    def test_holds_everything_under_capacity(self):
+        res = ReservoirSample(capacity=100, seed=0)
+        res.update_block(np.arange(40, dtype=float))
+        assert res.seen == 40
+        assert sorted(res.values) == list(map(float, range(40)))
+
+    def test_capacity_respected_and_distribution_uniform(self):
+        res = ReservoirSample(capacity=64, seed=1)
+        data = np.arange(4096, dtype=float)
+        res.update_block(data)
+        assert res.values.size == 64
+        assert res.seen == 4096
+        # A uniform subsample's mean should be near the population mean.
+        assert abs(res.values.mean() - data.mean()) < 6 * data.std() / 8.0
+
+    def test_merge_into_empty_respects_capacity(self):
+        # The empty-self fast path must not adopt a wider donor verbatim:
+        # that would freeze slots beyond capacity forever.
+        narrow = ReservoirSample(capacity=4, seed=0)
+        wide = ReservoirSample(capacity=512, seed=1)
+        wide.update_block(np.arange(100, dtype=float))
+        narrow.merge(wide)
+        assert narrow.seen == 100
+        assert narrow.values.size == 4
+        narrow.update_block(np.arange(100, 200, dtype=float))
+        assert narrow.values.size == 4
+        assert narrow.seen == 200
+
+    def test_merge_tracks_combined_population(self):
+        rng = np.random.default_rng(2)
+        left = rng.normal(0.0, 1.0, size=3000)
+        right = rng.normal(10.0, 1.0, size=3000)
+        a = ReservoirSample(capacity=128, seed=3)
+        a.update_block(left)
+        b = ReservoirSample(capacity=128, seed=4)
+        b.update_block(right)
+        a.merge(b)
+        assert a.seen == 6000
+        combined_mean = float(np.concatenate([left, right]).mean())
+        assert abs(float(a.values.mean()) - combined_mean) < 1.5
+
+    def test_bootstrap_ci_contains_population_mean(self):
+        rng = np.random.default_rng(5)
+        data = rng.exponential(50.0, size=400)
+        res = ReservoirSample(capacity=400, seed=6)
+        res.update_block(data)
+        lo, hi = res.bootstrap_mean_ci(confidence=0.99)
+        assert lo <= float(data.mean()) <= hi
+        assert lo < hi
+
+
+class TestFindTimeAccumulator:
+    def test_matches_truncated_mean_and_success_rate(self):
+        times = np.array([10.0, 50.0, np.inf, 120.0, np.inf, 30.0])
+        horizon = 100.0
+        acc = FindTimeAccumulator(horizon=horizon)
+        acc.update(times)
+        s = acc.summary()
+        legacy = estimators.truncated_mean(times, horizon)
+        assert s.mean == pytest.approx(legacy.mean, rel=1e-12)
+        assert s.censored_fraction == pytest.approx(legacy.censored_fraction)
+        assert s.success_rate == pytest.approx(
+            estimators.success_rate(times, horizon)
+        )
+        assert s.is_lower_bound
+        assert s.count == times.size
+
+    def test_block_streaming_equals_one_shot(self):
+        rng = np.random.default_rng(8)
+        times = rng.exponential(100.0, size=257)
+        times[rng.random(257) < 0.1] = np.inf
+        streamed = FindTimeAccumulator(horizon=300.0)
+        for block in np.array_split(times, 7):
+            streamed.update(block)
+        assert streamed.summary().mean == pytest.approx(
+            summarize_times(times, horizon=300.0).mean, rel=1e-12
+        )
+        assert streamed.summary().censored_fraction == pytest.approx(
+            summarize_times(times, horizon=300.0).censored_fraction
+        )
+
+    def test_merge_equals_single_pass(self):
+        rng = np.random.default_rng(9)
+        times = rng.exponential(100.0, size=200)
+        left = FindTimeAccumulator(horizon=250.0)
+        right = FindTimeAccumulator(horizon=250.0)
+        left.update(times[:90])
+        right.update(times[90:])
+        left.merge(right)
+        s = left.summary()
+        direct = summarize_times(times, horizon=250.0)
+        assert s.count == direct.count
+        assert s.mean == pytest.approx(direct.mean, rel=1e-12)
+        assert s.stderr == pytest.approx(direct.stderr, rel=1e-9)
+
+    def test_merge_rejects_mismatched_horizon(self):
+        with pytest.raises(ValueError):
+            FindTimeAccumulator(horizon=10.0).merge(FindTimeAccumulator())
+
+    def test_no_horizon_failures_stay_visible(self):
+        acc = FindTimeAccumulator()
+        acc.update([10.0, np.inf, 30.0])
+        s = acc.summary()
+        assert s.mean == pytest.approx(20.0)  # over finding trials only
+        assert s.censored_fraction == pytest.approx(1.0 / 3.0)
+        assert s.success_rate == pytest.approx(2.0 / 3.0)
+
+    def test_rel_ci_drives_to_inf_when_undefined(self):
+        acc = FindTimeAccumulator()
+        assert math.isinf(acc.summary().rel_ci)
+        acc.update([5.0])
+        assert math.isinf(acc.summary().rel_ci)
+        acc.update([6.0, 7.0, 8.0])
+        assert math.isfinite(acc.summary().rel_ci)
+
+    def test_wilson_bounds_in_summary(self):
+        acc = FindTimeAccumulator(horizon=100.0)
+        acc.update([10.0] * 90 + [np.inf] * 10)
+        s = acc.summary()
+        assert s.wilson_low <= s.success_rate <= s.wilson_high
+        assert 0.0 <= s.wilson_low < s.wilson_high <= 1.0
+
+    def test_reservoir_quantiles(self):
+        acc = FindTimeAccumulator(
+            horizon=1000.0, reservoir_capacity=256, quantiles=(0.5,)
+        )
+        acc.update(np.linspace(1, 500, 200))
+        s = acc.summary()
+        assert s.quantiles[0.5] == pytest.approx(250.0, rel=0.1)
+
+
+class TestBudgetPolicy:
+    def test_fixed_satisfaction(self):
+        policy = BudgetPolicy.fixed(60)
+        assert not policy.satisfied(59)
+        assert policy.satisfied(60)
+        assert policy.is_fixed
+
+    def test_target_rel_ci_satisfaction(self):
+        policy = BudgetPolicy.target_rel_ci(
+            0.1, min_trials=32, max_trials=128
+        )
+        tight = summarize_times(np.full(64, 100.0) + np.arange(64) * 0.01)
+        loose = summarize_times(np.concatenate([[1.0, 1e6], np.full(62, 100.0)]))
+        assert not policy.satisfied(16, tight)  # below min_trials
+        assert policy.satisfied(64, tight)
+        assert not policy.satisfied(64, loose)
+        assert policy.satisfied(128, loose)  # max_trials cap
+
+    def test_wall_satisfaction(self):
+        policy = BudgetPolicy.wall(2.0, min_trials=32, max_trials=128)
+        assert not policy.satisfied(16, None, elapsed=10.0)
+        assert not policy.satisfied(64, None, elapsed=1.0)
+        assert policy.satisfied(64, None, elapsed=2.5)
+        assert policy.satisfied(128, None, elapsed=0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BudgetPolicy.fixed(0)
+        with pytest.raises(ValueError):
+            BudgetPolicy.target_rel_ci(0.0)
+        with pytest.raises(ValueError):
+            BudgetPolicy.target_rel_ci(0.1, min_trials=100, max_trials=10)
+        with pytest.raises(ValueError):
+            BudgetPolicy.wall(0.0)
+        with pytest.raises(ValueError):
+            BudgetPolicy(kind="nonsense")
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            BudgetPolicy.fixed(60),
+            BudgetPolicy.target_rel_ci(0.05, min_trials=16, max_trials=512),
+            BudgetPolicy.wall(3.5, min_trials=8, max_trials=64),
+        ],
+    )
+    def test_dict_roundtrip(self, policy):
+        assert BudgetPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_describe_mentions_kind(self):
+        assert "fixed" in BudgetPolicy.fixed(3).describe()
+        assert "target_rel_ci" in BudgetPolicy.target_rel_ci(0.1).describe()
+        assert "wall" in BudgetPolicy.wall(1.0).describe()
