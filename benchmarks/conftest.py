@@ -1,20 +1,115 @@
-"""Shared benchmark configuration.
+"""Shared benchmark configuration and the perf-history harness.
 
 Every benchmark runs an experiment (or kernel) in quick mode exactly once
 per round; experiment benches use a single round since their cost is
 seconds, kernel benches let pytest-benchmark calibrate.
+
+**Perf history** (``BENCH_<rev>.json``): when ``REPRO_BENCH_DIR`` is set,
+a machine-readable record of the session's benchmarks — per-test wall
+time plus whatever the test reported through the ``bench_info`` fixture
+(trials, backend, model speedups; ``trials_per_sec`` is derived when
+both pieces are present) — is written to
+``$REPRO_BENCH_DIR/BENCH_<rev>.json``.  ``<rev>`` is ``REPRO_BENCH_REV``
+or the current git short SHA.  CI uploads the file as an artifact per
+commit, which is what makes sweep-throughput regressions visible across
+PRs instead of anecdotal; ``benchmarks/history/`` holds committed
+snapshots.
 """
+
+import json
+import os
+import subprocess
+import sys
+import time
 
 import pytest
 
+#: nodeid -> record; filled during the session, flushed at session end.
+_RECORDS = {}
+
+
+def _record(nodeid):
+    return _RECORDS.setdefault(nodeid, {})
+
 
 @pytest.fixture
-def once(benchmark):
+def bench_info(request):
+    """Mutable metadata dict merged into this test's BENCH record.
+
+    Benchmarks drop whatever makes their record interpretable:
+    ``trials`` (simulated trials, enables the derived ``trials_per_sec``),
+    ``backend``, model makespans, speedup ratios, grid shapes.
+    """
+    return _record(request.node.nodeid)
+
+
+@pytest.fixture
+def once(benchmark, request):
     """Run a callable exactly once under the benchmark clock."""
 
     def runner(fn, *args, **kwargs):
-        return benchmark.pedantic(
+        started = time.perf_counter()
+        result = benchmark.pedantic(
             fn, args=args, kwargs=kwargs, iterations=1, rounds=1, warmup_rounds=0
         )
+        _record(request.node.nodeid)["wall_seconds"] = (
+            time.perf_counter() - started
+        )
+        return result
 
     return runner
+
+
+def pytest_runtest_logreport(report):
+    """Capture every benchmark test's call duration as a fallback."""
+    if report.when != "call" or not report.passed:
+        return
+    record = _record(report.nodeid)
+    record.setdefault("wall_seconds", report.duration)
+
+
+def _revision() -> str:
+    env = os.environ.get("REPRO_BENCH_REV")
+    if env:
+        return env
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(__file__),
+        ).stdout.strip() or "local"
+    except (OSError, subprocess.SubprocessError):
+        return "local"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    out_dir = os.environ.get("REPRO_BENCH_DIR")
+    if not out_dir or not _RECORDS:
+        return
+    import numpy
+
+    rev = _revision()
+    benchmarks = []
+    for nodeid in sorted(_RECORDS):
+        record = dict(_RECORDS[nodeid])
+        wall = record.get("wall_seconds")
+        trials = record.get("trials")
+        if wall and trials:
+            record["trials_per_sec"] = trials / wall
+        benchmarks.append({"id": nodeid, **record})
+    payload = {
+        "rev": rev,
+        "unix_time": time.time(),
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count(),
+        "benchmarks": benchmarks,
+    }
+    try:
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"BENCH_{rev}.json")
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError:
+        pass  # perf history is best-effort; never fail the suite over it

@@ -59,9 +59,9 @@ from .stats import (
     StreamingMoments,
     summarize_times,
 )
-from .sweep import SweepSpec, run_sweep
+from .sweep import SweepExecutor, SweepSpec, make_executor, run_sweep
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AgentProfile",
@@ -95,6 +95,7 @@ __all__ = [
     "competitiveness",
     "excursion_find_time",
     "expected_find_time",
+    "make_executor",
     "make_rng",
     "optimal_time",
     "place_treasure",
@@ -103,6 +104,7 @@ __all__ = [
     "simulate_find_times",
     "simulate_find_times_batch",
     "summarize_times",
+    "SweepExecutor",
     "walker_find_times",
     "walker_find_times_batch",
     "__version__",

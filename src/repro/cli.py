@@ -5,7 +5,10 @@ Examples::
     repro-ants list                      # show the experiment index
     repro-ants run E1 E3 --quick         # run experiments, print tables
     repro-ants run all --full --csv out/ # full scale, archive CSVs
-    repro-ants run E1 --workers 4        # fan sweep groups out to a pool
+    repro-ants run E1 --workers 4        # fan sweep work out to a pool
+    repro-ants run all --workers auto    # autotune workers to the CPUs
+    repro-ants sweep uniform --param eps=0.5 --distances 64 --ks 1,4 \
+        --workers 4 --backend process    # force the process backend
     repro-ants sweep nonuniform --distances 16,32,64 --ks 1,4,16 --trials 60
     repro-ants sweep uniform --param eps=0.5 --distances 64 --ks 1,2,4,8
     repro-ants sweep levy --param mu=2 --distances 32 --ks 4 --horizon 40960
@@ -25,6 +28,12 @@ cells stop early, noisy cells run until their mean's relative CI
 half-width reaches the target, and cached cells top up instead of
 recomputing.  ``--progress`` prints one line per finished cell with the
 allocated trials and the achieved CI half-width.
+
+``--workers``/``--backend`` select the execution backend (DESIGN.md §8):
+``--workers N`` fans work out to a persistent process pool shared by
+every sweep of the invocation, ``--workers auto`` sizes it to the usable
+CPUs, and ``--backend serial|process`` overrides the automatic choice.
+Serial and pooled runs produce bitwise-identical results.
 """
 
 from __future__ import annotations
@@ -61,12 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--csv", metavar="DIR", default=None, help="also write tables as CSV here"
     )
-    run_p.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help="sweep worker processes (0/1 = serial)",
-    )
+    _add_executor_arguments(run_p)
     run_p.add_argument(
         "--no-cache",
         action="store_true",
@@ -140,7 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="probability of noticing the treasure per crossing",
     )
-    sweep_p.add_argument("--workers", type=int, default=0)
+    _add_executor_arguments(sweep_p)
     sweep_p.add_argument("--no-cache", action="store_true")
     sweep_p.add_argument("--cache-dir", default=None)
     sweep_p.add_argument(
@@ -180,6 +184,51 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list registered experiments")
     sub.add_parser("demo", help="run a small end-to-end demonstration")
     return parser
+
+
+def _workers_argument(value: str):
+    """Parse ``--workers``: a count, or ``auto`` for CPU autotuning."""
+    if value.strip().lower() == "auto":
+        return "auto"
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--workers expects an integer or 'auto', got {value!r}"
+        )
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"--workers expects a count >= 0 or 'auto', got {value!r}"
+        )
+    return count
+
+
+def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared execution-backend flags (run + sweep)."""
+    group = parser.add_argument_group(
+        "execution backend",
+        "where sweep work runs (see DESIGN.md §8); one persistent worker "
+        "pool serves every sweep of the invocation",
+    )
+    group.add_argument(
+        "--workers",
+        type=_workers_argument,
+        default=0,
+        metavar="N",
+        help=(
+            "sweep worker processes (0/1 = serial; 'auto' = one per "
+            "usable CPU)"
+        ),
+    )
+    group.add_argument(
+        "--backend",
+        choices=("auto", "serial", "process"),
+        default="auto",
+        help=(
+            "execution backend: 'auto' picks the process pool when "
+            "--workers > 1, 'serial'/'process' force the choice"
+        ),
+    )
 
 
 def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
@@ -270,7 +319,8 @@ def _cmd_run(
     quick: bool,
     seed: Optional[int],
     csv_dir: Optional[str],
-    workers: int = 0,
+    workers=0,
+    backend: str = "auto",
     cache: bool = True,
     budget=None,
     progress=None,
@@ -278,42 +328,51 @@ def _cmd_run(
     import inspect
 
     from .experiments.registry import EXPERIMENTS, list_experiments, run_experiment
+    from .sweep.executor import make_executor, resolve_workers
 
     if any(x.lower() == "all" for x in ids):
         ids = [info.experiment_id for info in list_experiments()]
     if csv_dir:
         os.makedirs(csv_dir, exist_ok=True)
-    for experiment_id in ids:
-        started = time.perf_counter()
-        info = EXPERIMENTS.get(experiment_id.upper())
-        if info is not None and (budget is not None or progress is not None):
-            # Don't let a flag look honoured when it isn't: the
-            # registry's signature-based forwarding silently drops
-            # kwargs a runner doesn't accept.
-            accepted = inspect.signature(info.runner).parameters
-            ignored = []
-            if budget is not None and "budget" not in accepted:
-                ignored.append("--target-rel-ci")
-            if progress is not None and "progress" not in accepted:
-                ignored.append("--progress")
-            if ignored:
-                print(
-                    f"[{info.experiment_id} has no adaptive allocation; "
-                    f"{'/'.join(ignored)} ignored, running at fixed trials]"
-                )
-        tables = run_experiment(
-            experiment_id, quick=quick, seed=seed, workers=workers,
-            cache=cache, budget=budget, progress=progress,
-        )
-        elapsed = time.perf_counter() - started
-        for i, table in enumerate(tables):
-            print(table.to_text())
+    # One persistent executor serves every sweep of every experiment in
+    # this invocation: warm workers carry over from E1 to E11 instead of
+    # each sweep paying pool spawn-up.  (The pool itself is lazy — an
+    # all-cache run never forks.)
+    with make_executor(
+        workers=resolve_workers(workers), backend=backend
+    ) as executor:
+        for experiment_id in ids:
+            started = time.perf_counter()
+            info = EXPERIMENTS.get(experiment_id.upper())
+            if info is not None and (budget is not None or progress is not None):
+                # Don't let a flag look honoured when it isn't: the
+                # registry's signature-based forwarding silently drops
+                # kwargs a runner doesn't accept.
+                accepted = inspect.signature(info.runner).parameters
+                ignored = []
+                if budget is not None and "budget" not in accepted:
+                    ignored.append("--target-rel-ci")
+                if progress is not None and "progress" not in accepted:
+                    ignored.append("--progress")
+                if ignored:
+                    print(
+                        f"[{info.experiment_id} has no adaptive allocation; "
+                        f"{'/'.join(ignored)} ignored, running at fixed trials]"
+                    )
+            tables = run_experiment(
+                experiment_id, quick=quick, seed=seed, workers=workers,
+                cache=cache, budget=budget, progress=progress,
+                executor=executor,
+            )
+            elapsed = time.perf_counter() - started
+            for i, table in enumerate(tables):
+                print(table.to_text())
+                print()
+                if csv_dir:
+                    name = f"{experiment_id.lower()}_{i}.csv"
+                    table.to_csv(os.path.join(csv_dir, name))
+            print(f"[{experiment_id} completed in {elapsed:.1f}s]")
             print()
-            if csv_dir:
-                name = f"{experiment_id.lower()}_{i}.csv"
-                table.to_csv(os.path.join(csv_dir, name))
-        print(f"[{experiment_id} completed in {elapsed:.1f}s]")
-        print()
     return 0
 
 
@@ -328,6 +387,7 @@ def _cmd_sweep(args) -> int:
     from .analysis.competitiveness import competitiveness
     from .scenarios import ScenarioSpec
     from .sweep import ALGORITHM_BUILDERS, SweepSpec, run_sweep
+    from .sweep.executor import resolve_workers
     from .experiments.io import ResultTable
 
     if args.algorithm not in ALGORITHM_BUILDERS:
@@ -375,7 +435,8 @@ def _cmd_sweep(args) -> int:
     try:
         result = run_sweep(
             spec,
-            workers=args.workers,
+            workers=resolve_workers(args.workers),
+            backend=args.backend,
             cache=not args.no_cache,
             cache_dir=args.cache_dir,
             progress=_progress_printer if args.progress else None,
@@ -528,6 +589,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.seed,
             args.csv,
             workers=args.workers,
+            backend=args.backend,
             cache=not args.no_cache,
             budget=_budget_from_args(args),
             progress=_progress_printer if args.progress else None,

@@ -50,120 +50,125 @@ def run(
     seed: int | None = None,
     workers: int = 0,
     cache: bool = True,
+    executor=None,
 ) -> List[ResultTable]:
+    from ..sweep import ensure_executor
+
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
     trials = cfg.trials
     distance = 32 if quick else 128
     k = 8 if quick else 32
 
-    def sweep(section: int, *key: int, **spec_kwargs):
-        spec = SweepSpec(
-            trials=trials,
-            seed=derive_seed(seed, section, *key),
-            **spec_kwargs,
-        )
-        return run_sweep(spec, workers=workers, cache=cache)
+    with ensure_executor(executor, workers=workers) as shared:
 
-    # --- eps sweep --------------------------------------------------------
-    eps_table = ResultTable(
-        title="E10a: A_uniform eps sweep (constant vs growth trade)",
-        columns=["eps", "k", "phi"],
-    )
-    ks = (2, 8, 32) if quick else (2, 8, 32, 128)
-    for eps in (0.1, 0.3, 0.5, 1.0):
-        # One spec per eps; require_k_le_d drops k > D cells without
-        # disturbing any other cell's seed (the old sequential-idx bug).
-        result = sweep(
-            _EPS_SECTION,
-            int(round(eps * 1000)),
-            algorithm="uniform",
-            params={"eps": eps},
-            distances=(distance,),
-            ks=ks,
-            placement="offaxis",
-            require_k_le_d=True,
+        def sweep(section: int, *key: int, **spec_kwargs):
+            spec = SweepSpec(
+                trials=trials,
+                seed=derive_seed(seed, section, *key),
+                **spec_kwargs,
+            )
+            return run_sweep(spec, cache=cache, executor=shared)
+
+        # --- eps sweep --------------------------------------------------------
+        eps_table = ResultTable(
+            title="E10a: A_uniform eps sweep (constant vs growth trade)",
+            columns=["eps", "k", "phi"],
         )
-        for cell in result:
-            eps_table.add_row(
-                eps=eps,
-                k=cell.k,
-                phi=competitiveness(cell.mean, distance, cell.k),
+        ks = (2, 8, 32) if quick else (2, 8, 32, 128)
+        for eps in (0.1, 0.3, 0.5, 1.0):
+            # One spec per eps; require_k_le_d drops k > D cells without
+            # disturbing any other cell's seed (the old sequential-idx bug).
+            result = sweep(
+                _EPS_SECTION,
+                int(round(eps * 1000)),
+                algorithm="uniform",
+                params={"eps": eps},
+                distances=(distance,),
+                ks=ks,
+                placement="offaxis",
+                require_k_le_d=True,
+            )
+            for cell in result:
+                eps_table.add_row(
+                    eps=eps,
+                    k=cell.k,
+                    phi=competitiveness(cell.mean, distance, cell.k),
+                )
+
+        # --- placement --------------------------------------------------------
+        place_table = ResultTable(
+            title="E10b: placement ablation (commuting highways vs spiral order)",
+            columns=["placement", "mean_time", "vs_optimal"],
+        )
+        optimal = optimal_time(distance, k)
+        for i, placement in enumerate(("axis", "corner", "offaxis", "random")):
+            result = sweep(
+                _PLACEMENT_SECTION,
+                i,
+                algorithm="nonuniform",
+                distances=(distance,),
+                ks=(k,),
+                placement=placement,
+            )
+            mean = result.cell(distance, k).mean
+            place_table.add_row(
+                placement=placement,
+                mean_time=mean,
+                vs_optimal=mean / optimal,
             )
 
-    # --- placement --------------------------------------------------------
-    place_table = ResultTable(
-        title="E10b: placement ablation (commuting highways vs spiral order)",
-        columns=["placement", "mean_time", "vs_optimal"],
-    )
-    optimal = optimal_time(distance, k)
-    for i, placement in enumerate(("axis", "corner", "offaxis", "random")):
-        result = sweep(
-            _PLACEMENT_SECTION,
-            i,
+        # --- dispersion -------------------------------------------------------
+        disp_table = ResultTable(
+            title="E10c: dispersion ablation (why start nodes are randomised)",
+            columns=["strategy", "k", "mean_time", "speedup_vs_k1"],
+        )
+        world_c = place_treasure(distance, "offaxis")
+        spiral_time = float(SingleSpiralSearch().exact_find_time(world_c))
+        disp_table.add_row(
+            strategy="k-spiral (no dispersion)",
+            k=k,
+            mean_time=spiral_time,
+            speedup_vs_k1=1.0,
+        )
+        disp_result = sweep(
+            _DISPERSION_SECTION,
             algorithm="nonuniform",
             distances=(distance,),
-            ks=(k,),
-            placement=placement,
-        )
-        mean = result.cell(distance, k).mean
-        place_table.add_row(
-            placement=placement,
-            mean_time=mean,
-            vs_optimal=mean / optimal,
-        )
-
-    # --- dispersion -------------------------------------------------------
-    disp_table = ResultTable(
-        title="E10c: dispersion ablation (why start nodes are randomised)",
-        columns=["strategy", "k", "mean_time", "speedup_vs_k1"],
-    )
-    world_c = place_treasure(distance, "offaxis")
-    spiral_time = float(SingleSpiralSearch().exact_find_time(world_c))
-    disp_table.add_row(
-        strategy="k-spiral (no dispersion)",
-        k=k,
-        mean_time=spiral_time,
-        speedup_vs_k1=1.0,
-    )
-    disp_result = sweep(
-        _DISPERSION_SECTION,
-        algorithm="nonuniform",
-        distances=(distance,),
-        ks=(1, k),
-        placement="offaxis",
-    )
-    t1 = disp_result.cell(distance, 1).mean
-    tk = disp_result.cell(distance, k).mean
-    disp_table.add_row(
-        strategy="A_k (dispersed)", k=1, mean_time=t1, speedup_vs_k1=1.0
-    )
-    disp_table.add_row(
-        strategy="A_k (dispersed)", k=k, mean_time=tk, speedup_vs_k1=t1 / tk
-    )
-    disp_table.add_note("deterministic clones: speed-up exactly 1; dispersion: ~k")
-
-    # --- budget-constant --------------------------------------------------
-    budget_table = ResultTable(
-        title="E10d: spiral-budget constant ablation (shape is robust)",
-        columns=["budget_scale", "mean_time", "phi"],
-    )
-    for c in (0.5, 1.0, 2.0, 4.0):
-        result = sweep(
-            _BUDGET_SECTION,
-            int(round(c * 1000)),
-            algorithm="nonuniform_scaled",
-            params={"budget_scale": c},
-            distances=(distance,),
-            ks=(k,),
+            ks=(1, k),
             placement="offaxis",
         )
-        mean = result.cell(distance, k).mean
-        budget_table.add_row(
-            budget_scale=c,
-            mean_time=mean,
-            phi=competitiveness(mean, distance, k),
+        t1 = disp_result.cell(distance, 1).mean
+        tk = disp_result.cell(distance, k).mean
+        disp_table.add_row(
+            strategy="A_k (dispersed)", k=1, mean_time=t1, speedup_vs_k1=1.0
         )
-    budget_table.add_note("phi varies by small constants only across c in [0.5, 4]")
+        disp_table.add_row(
+            strategy="A_k (dispersed)", k=k, mean_time=tk, speedup_vs_k1=t1 / tk
+        )
+        disp_table.add_note("deterministic clones: speed-up exactly 1; dispersion: ~k")
+
+        # --- budget-constant --------------------------------------------------
+        budget_table = ResultTable(
+            title="E10d: spiral-budget constant ablation (shape is robust)",
+            columns=["budget_scale", "mean_time", "phi"],
+        )
+        for c in (0.5, 1.0, 2.0, 4.0):
+            result = sweep(
+                _BUDGET_SECTION,
+                int(round(c * 1000)),
+                algorithm="nonuniform_scaled",
+                params={"budget_scale": c},
+                distances=(distance,),
+                ks=(k,),
+                placement="offaxis",
+            )
+            mean = result.cell(distance, k).mean
+            budget_table.add_row(
+                budget_scale=c,
+                mean_time=mean,
+                phi=competitiveness(mean, distance, k),
+            )
+        budget_table.add_note("phi varies by small constants only across c in [0.5, 4]")
 
     return [eps_table, place_table, disp_table, budget_table]

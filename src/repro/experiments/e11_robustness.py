@@ -70,7 +70,10 @@ def run(
     cache: bool = True,
     budget: Optional[BudgetPolicy] = None,
     progress=None,
+    executor=None,
 ) -> List[ResultTable]:
+    from ..sweep import ensure_executor
+
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
     distance = 32 if quick else 64
@@ -79,106 +82,108 @@ def run(
     trials = cfg.trials
     optimal = optimal_time(distance, k)
 
-    def row_cell(section: int, strategy_index: int, algorithm: str,
-                 params: Mapping[str, float],
-                 scenario: Optional[ScenarioSpec]):
-        spec = SweepSpec(
-            algorithm=algorithm,
-            distances=(distance,),
-            ks=(k,),
-            trials=trials,
-            params=params,
-            placement="offaxis",
-            seed=derive_seed(seed, section, strategy_index),
-            horizon=float(horizon),
-            scenario=scenario,
-            budget=budget,
-        )
-        result = run_sweep(
-            spec, workers=workers, cache=cache, progress=progress
-        )
-        return result.cell(distance, k)
+    with ensure_executor(executor, workers=workers) as shared:
 
-    crash = ResultTable(
-        title=(
-            f"{TITLE} — crash failures  "
-            f"[D={distance}, k={k}, horizon={horizon}]"
-        ),
-        columns=[
-            "algorithm", "lifetime_x_opt", "hazard", "trials", "mean_time",
-            "ci95", "success", "censored", "degradation",
-        ],
-    )
-    for si, (name, algorithm, params) in enumerate(STRATEGIES):
-        baseline_mean = None
-        for lifetime in LIFETIMES:
-            if math.isinf(lifetime):
-                hazard = 0.0
-                scenario = None
-            else:
-                hazard = min(1.0, 1.0 / (lifetime * optimal))
-                scenario = ScenarioSpec(crash_hazard=hazard)
-            cell = row_cell(0, si, algorithm, params, scenario)
-            s = cell.summary(horizon=float(horizon))
-            if baseline_mean is None:
-                baseline_mean = s.mean
-            crash.add_row(
-                algorithm=name,
-                lifetime_x_opt=lifetime,
-                hazard=hazard,
-                trials=cell.trials,
-                mean_time=s.mean,
-                ci95=s.ci_halfwidth,
-                success=s.success_rate,
-                censored=s.censored_fraction,
-                degradation=s.mean / baseline_mean,
+        def row_cell(section: int, strategy_index: int, algorithm: str,
+                     params: Mapping[str, float],
+                     scenario: Optional[ScenarioSpec]):
+            spec = SweepSpec(
+                algorithm=algorithm,
+                distances=(distance,),
+                ks=(k,),
+                trials=trials,
+                params=params,
+                placement="offaxis",
+                seed=derive_seed(seed, section, strategy_index),
+                horizon=float(horizon),
+                scenario=scenario,
+                budget=budget,
             )
-    crash.add_note(
-        f"geometric agent lifetimes, mean = lifetime_x_opt * (D + D^2/k) "
-        f"= lifetime_x_opt * {optimal:.0f}"
-    )
-    crash.add_note(
-        "mean_time pins censored trials at the horizon (lower bound, and "
-        "ci95 brackets that bound); "
-        "degradation = mean_time / fault-free mean_time"
-    )
-    if budget is not None:
-        crash.add_note(f"adaptive allocation: {budget.describe()}")
+            result = run_sweep(
+                spec, cache=cache, progress=progress, executor=shared
+            )
+            return result.cell(distance, k)
 
-    speed = ResultTable(
-        title=(
-            f"{TITLE} — speed heterogeneity  "
-            f"[D={distance}, k={k}, horizon={horizon}]"
-        ),
-        columns=[
-            "algorithm", "spread", "speed_ratio", "trials", "mean_time",
-            "ci95", "success", "degradation",
-        ],
-    )
-    for si, (name, algorithm, params) in enumerate(STRATEGIES):
-        baseline_mean = None
-        for spread in SPREADS:
-            scenario = (
-                ScenarioSpec(speed_spread=spread) if spread > 0 else None
-            )
-            cell = row_cell(1, si, algorithm, params, scenario)
-            s = cell.summary(horizon=float(horizon))
-            if baseline_mean is None:
-                baseline_mean = s.mean
-            speed.add_row(
-                algorithm=name,
-                spread=spread,
-                speed_ratio=(1.0 + spread) ** 2,
-                trials=cell.trials,
-                mean_time=s.mean,
-                ci95=s.ci_halfwidth,
-                success=s.success_rate,
-                degradation=s.mean / baseline_mean,
-            )
-    speed.add_note(
-        "per-agent speeds spread geometrically (fastest/slowest = "
-        "speed_ratio) with arithmetic mean pinned at 1: the swarm's total "
-        "edge budget is spread-invariant"
-    )
-    speed.add_note("flat degradation = the paper's robustness claim")
+        crash = ResultTable(
+            title=(
+                f"{TITLE} — crash failures  "
+                f"[D={distance}, k={k}, horizon={horizon}]"
+            ),
+            columns=[
+                "algorithm", "lifetime_x_opt", "hazard", "trials", "mean_time",
+                "ci95", "success", "censored", "degradation",
+            ],
+        )
+        for si, (name, algorithm, params) in enumerate(STRATEGIES):
+            baseline_mean = None
+            for lifetime in LIFETIMES:
+                if math.isinf(lifetime):
+                    hazard = 0.0
+                    scenario = None
+                else:
+                    hazard = min(1.0, 1.0 / (lifetime * optimal))
+                    scenario = ScenarioSpec(crash_hazard=hazard)
+                cell = row_cell(0, si, algorithm, params, scenario)
+                s = cell.summary(horizon=float(horizon))
+                if baseline_mean is None:
+                    baseline_mean = s.mean
+                crash.add_row(
+                    algorithm=name,
+                    lifetime_x_opt=lifetime,
+                    hazard=hazard,
+                    trials=cell.trials,
+                    mean_time=s.mean,
+                    ci95=s.ci_halfwidth,
+                    success=s.success_rate,
+                    censored=s.censored_fraction,
+                    degradation=s.mean / baseline_mean,
+                )
+        crash.add_note(
+            f"geometric agent lifetimes, mean = lifetime_x_opt * (D + D^2/k) "
+            f"= lifetime_x_opt * {optimal:.0f}"
+        )
+        crash.add_note(
+            "mean_time pins censored trials at the horizon (lower bound, and "
+            "ci95 brackets that bound); "
+            "degradation = mean_time / fault-free mean_time"
+        )
+        if budget is not None:
+            crash.add_note(f"adaptive allocation: {budget.describe()}")
+
+        speed = ResultTable(
+            title=(
+                f"{TITLE} — speed heterogeneity  "
+                f"[D={distance}, k={k}, horizon={horizon}]"
+            ),
+            columns=[
+                "algorithm", "spread", "speed_ratio", "trials", "mean_time",
+                "ci95", "success", "degradation",
+            ],
+        )
+        for si, (name, algorithm, params) in enumerate(STRATEGIES):
+            baseline_mean = None
+            for spread in SPREADS:
+                scenario = (
+                    ScenarioSpec(speed_spread=spread) if spread > 0 else None
+                )
+                cell = row_cell(1, si, algorithm, params, scenario)
+                s = cell.summary(horizon=float(horizon))
+                if baseline_mean is None:
+                    baseline_mean = s.mean
+                speed.add_row(
+                    algorithm=name,
+                    spread=spread,
+                    speed_ratio=(1.0 + spread) ** 2,
+                    trials=cell.trials,
+                    mean_time=s.mean,
+                    ci95=s.ci_halfwidth,
+                    success=s.success_rate,
+                    degradation=s.mean / baseline_mean,
+                )
+        speed.add_note(
+            "per-agent speeds spread geometrically (fastest/slowest = "
+            "speed_ratio) with arithmetic mean pinned at 1: the swarm's total "
+            "edge budget is spread-invariant"
+        )
+        speed.add_note("flat degradation = the paper's robustness claim")
     return [crash, speed]

@@ -39,6 +39,7 @@ def run(
     cache: bool = True,
     budget: Optional[BudgetPolicy] = None,
     progress=None,
+    executor=None,
 ) -> List[ResultTable]:
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
@@ -53,7 +54,10 @@ def run(
         require_k_le_d=True,
         budget=budget,
     )
-    result = run_sweep(spec, workers=workers, cache=cache, progress=progress)
+    result = run_sweep(
+        spec, workers=workers, cache=cache, progress=progress,
+        executor=executor,
+    )
 
     table = ResultTable(
         title=TITLE,

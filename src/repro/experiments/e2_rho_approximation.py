@@ -37,7 +37,10 @@ def run(
     seed: int | None = None,
     workers: int = 0,
     cache: bool = True,
+    executor=None,
 ) -> List[ResultTable]:
+    from ..sweep import ensure_executor
+
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
     distance = max(cfg.distances)
@@ -49,28 +52,31 @@ def run(
     )
 
     index = 0
-    for rho in RHOS:
-        for direction, k_a in (("over", k * rho), ("under", k / rho)):
-            spec = SweepSpec(
-                algorithm="rho",
-                params={"k_a": k_a, "rho": rho},
-                distances=(distance,),
-                ks=(k,),
-                trials=cfg.trials,
-                placement="offaxis",
-                seed=derive_seed(seed, index),
-            )
-            index += 1
-            cell = run_sweep(spec, workers=workers, cache=cache).cell(distance, k)
-            ratio = competitiveness(cell.mean, distance, k)
-            table.add_row(
-                rho=rho,
-                estimate=direction,
-                k_a=k_a,
-                mean_time=cell.mean,
-                ratio=ratio,
-                ratio_over_rho2=ratio / rho**2,
-            )
+    with ensure_executor(executor, workers=workers) as ex:
+        for rho in RHOS:
+            for direction, k_a in (("over", k * rho), ("under", k / rho)):
+                spec = SweepSpec(
+                    algorithm="rho",
+                    params={"k_a": k_a, "rho": rho},
+                    distances=(distance,),
+                    ks=(k,),
+                    trials=cfg.trials,
+                    placement="offaxis",
+                    seed=derive_seed(seed, index),
+                )
+                index += 1
+                cell = run_sweep(spec, cache=cache, executor=ex).cell(
+                    distance, k
+                )
+                ratio = competitiveness(cell.mean, distance, k)
+                table.add_row(
+                    rho=rho,
+                    estimate=direction,
+                    k_a=k_a,
+                    mean_time=cell.mean,
+                    ratio=ratio,
+                    ratio_over_rho2=ratio / rho**2,
+                )
     table.add_note(f"true k={k}, D={distance}, optimal={optimal_time(distance, k):.1f}")
     table.add_note("corollary: ratio <= rho^2 * C where C is the rho=1 constant")
     return [table]

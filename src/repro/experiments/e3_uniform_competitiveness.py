@@ -49,6 +49,7 @@ def phi_sweep(
     cache: bool = True,
     budget: Optional[BudgetPolicy] = None,
     progress=None,
+    executor=None,
 ) -> SweepResult:
     """The ``phi(k)`` sweep for ``A_uniform(eps)`` at fixed ``D``."""
     spec = SweepSpec(
@@ -61,7 +62,10 @@ def phi_sweep(
         seed=seed,
         budget=budget,
     )
-    return run_sweep(spec, workers=workers, cache=cache, progress=progress)
+    return run_sweep(
+        spec, workers=workers, cache=cache, progress=progress,
+        executor=executor,
+    )
 
 
 def phi_of_k(
@@ -75,12 +79,14 @@ def phi_of_k(
     cache: bool = True,
     budget: Optional[BudgetPolicy] = None,
     progress=None,
+    executor=None,
 ) -> List[tuple]:
     """Measure ``phi(k)`` for ``A_uniform(eps)`` at fixed ``D``; rows of
     ``(k, mean_time, ratio)``."""
     result = phi_sweep(
         eps, distance, ks, trials, seed,
         workers=workers, cache=cache, budget=budget, progress=progress,
+        executor=executor,
     )
     rows = []
     for k in ks:
@@ -96,6 +102,7 @@ def run(
     cache: bool = True,
     budget: Optional[BudgetPolicy] = None,
     progress=None,
+    executor=None,
 ) -> List[ResultTable]:
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
@@ -115,18 +122,24 @@ def run(
         columns=["eps", "a", "b", "r2", "phi_at_kmax"],
     )
 
-    for index, eps in enumerate(EPSILONS):
-        result = phi_sweep(
-            eps,
-            distance,
-            ks,
-            cfg.trials,
-            derive_seed(seed, index),
-            workers=workers,
-            cache=cache,
-            budget=budget,
-            progress=progress,
-        )
+    from ..sweep import ensure_executor
+
+    with ensure_executor(executor, workers=workers) as shared:
+        results = [
+            phi_sweep(
+                eps,
+                distance,
+                ks,
+                cfg.trials,
+                derive_seed(seed, index),
+                cache=cache,
+                budget=budget,
+                progress=progress,
+                executor=shared,
+            )
+            for index, eps in enumerate(EPSILONS)
+        ]
+    for eps, result in zip(EPSILONS, results):
         rows = []
         for k in ks:
             cell = result.cell(distance, k)

@@ -50,6 +50,7 @@ def run(
     seed: int | None = None,
     workers: int = 0,
     cache: bool = True,
+    executor=None,
 ) -> List[ResultTable]:
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
@@ -66,6 +67,7 @@ def run(
         derive_seed(seed, 3),
         workers=workers,
         cache=cache,
+        executor=executor,
     )
 
     divergence = ResultTable(

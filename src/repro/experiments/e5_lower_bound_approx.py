@@ -50,7 +50,10 @@ def run(
     seed: int | None = None,
     workers: int = 0,
     cache: bool = True,
+    executor=None,
 ) -> List[ResultTable]:
+    from ..sweep import ensure_executor
+
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
 
@@ -81,20 +84,31 @@ def run(
         ("hedged", "hedged", {"k_tilde": k_tilde, "eps": EPS}),
         ("oracle", "nonuniform", {}),
     )
+    with ensure_executor(executor, workers=workers) as shared:
+        cells = {
+            (k, name): run_sweep(
+                SweepSpec(
+                    algorithm=algorithm,
+                    distances=distances,
+                    ks=(k,),
+                    trials=trials,
+                    params=params,
+                    placement="offaxis",
+                    seed=derive_seed(seed, strategy_index, k),
+                ),
+                cache=cache,
+                executor=shared,
+            )
+            for k in true_ks
+            for strategy_index, (name, algorithm, params) in enumerate(
+                strategies
+            )
+        }
     for k in true_ks:
         worst = {"naive": 0.0, "hedged": 0.0, "oracle": 0.0}
         naive_worst_d = None
-        for strategy_index, (name, algorithm, params) in enumerate(strategies):
-            spec = SweepSpec(
-                algorithm=algorithm,
-                distances=distances,
-                ks=(k,),
-                trials=trials,
-                params=params,
-                placement="offaxis",
-                seed=derive_seed(seed, strategy_index, k),
-            )
-            result = run_sweep(spec, workers=workers, cache=cache)
+        for name, _, _ in strategies:
+            result = cells[(k, name)]
             for distance in distances:
                 phi = competitiveness(
                     result.cell(distance, k).mean, distance, k

@@ -42,7 +42,10 @@ def run(
     seed: int | None = None,
     workers: int = 0,
     cache: bool = True,
+    executor=None,
 ) -> List[ResultTable]:
+    from ..sweep import ensure_executor
+
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
     trials = cfg.trials
@@ -81,7 +84,29 @@ def run(
         placement="offaxis",
         seed=derive_seed(seed, 0),
     )
-    success_result = run_sweep(success_spec, workers=workers, cache=cache)
+    # Both tables' sweeps share one executor: the pool spawned for the
+    # success sweep stays warm for the delta sweep below.
+    with ensure_executor(executor, workers=workers) as shared:
+        success_result = run_sweep(
+            success_spec, cache=cache, executor=shared
+        )
+        delta_times = {}
+        for index, delta in enumerate(DELTAS):
+            k_fixed_early = 64 if quick else 128
+            delta_spec = SweepSpec(
+                algorithm="harmonic",
+                params={"delta": delta},
+                distances=(distance,),
+                ks=(k_fixed_early,),
+                trials=trials,
+                placement="offaxis",
+                seed=derive_seed(seed, 1, index),
+            )
+            delta_times[delta] = (
+                run_sweep(delta_spec, cache=cache, executor=shared)
+                .cell(distance, k_fixed_early)
+                .times
+            )
     for k in ks:
         envelope = harmonic_time_bound(distance, k, DELTA)
         horizon = HORIZON_FACTOR * envelope
@@ -115,22 +140,9 @@ def run(
         columns=["delta", "k", "success_rate", "cond_mean_time", "time_envelope"],
     )
     k_fixed = 64 if quick else 128
-    for index, delta in enumerate(DELTAS):
+    for delta in DELTAS:
         envelope = harmonic_time_bound(distance, k_fixed, delta)
-        delta_spec = SweepSpec(
-            algorithm="harmonic",
-            params={"delta": delta},
-            distances=(distance,),
-            ks=(k_fixed,),
-            trials=trials,
-            placement="offaxis",
-            seed=derive_seed(seed, 1, index),
-        )
-        times = (
-            run_sweep(delta_spec, workers=workers, cache=cache)
-            .cell(distance, k_fixed)
-            .times
-        )
+        times = delta_times[delta]
         found = np.isfinite(times) & (times <= HORIZON_FACTOR * envelope)
         sweep.add_row(
             delta=delta,

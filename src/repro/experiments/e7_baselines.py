@@ -58,7 +58,10 @@ def run(
     cache: bool = True,
     budget: Optional[BudgetPolicy] = None,
     progress=None,
+    executor=None,
 ) -> List[ResultTable]:
+    from ..sweep import ensure_executor
+
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
     distance = 32 if quick else 64
@@ -108,6 +111,8 @@ def run(
         trials=0,
     )
 
+    executor_scope = ensure_executor(executor, workers=workers)
+
     def sweep_cell(row_index: int, algorithm: str, params: Mapping[str, float]):
         """One single-cell sweep: the row's cell at its allocated trials."""
         spec = SweepSpec(
@@ -122,33 +127,36 @@ def run(
             budget=budget,
         )
         result = run_sweep(
-            spec, workers=workers, cache=cache, progress=progress
+            spec, cache=cache, progress=progress, executor=shared
         )
         return result.cell(distance, k)
 
     # Excursion constructions and walker baselines, all at full trials on
-    # the batched engines (walker rows were step-level before).
-    for row_index, (name, algorithm, params) in enumerate(
-        (
-            (f"A_k (knows k={k})", "nonuniform", {}),
-            ("A_uniform(eps=0.5)", "uniform", {"eps": 0.5}),
-            ("restarting harmonic(0.5)", "restarting_harmonic", {"delta": 0.5}),
-            ("random walk", "random_walk", {}),
-            ("biased walk (p=0.9)", "biased_walk", {"persistence": 0.9}),
-            ("Levy flight (mu=2)", "levy", {"mu": 2.0}),
-        )
-    ):
-        cell = sweep_cell(row_index, algorithm, params)
-        s = cell.summary(horizon=float(horizon))
-        table.add_row(
-            algorithm=name,
-            mean_time=s.mean,
-            ci95=s.ci_halfwidth,
-            vs_optimal=s.mean / optimal,
-            success=s.success_rate,
-            censored=s.censored_fraction,
-            trials=cell.trials,
-        )
+    # the batched engines (walker rows were step-level before); every
+    # row's sweep shares the scoped executor.
+    with executor_scope as shared:
+        for row_index, (name, algorithm, params) in enumerate(
+            (
+                (f"A_k (knows k={k})", "nonuniform", {}),
+                ("A_uniform(eps=0.5)", "uniform", {"eps": 0.5}),
+                ("restarting harmonic(0.5)", "restarting_harmonic",
+                 {"delta": 0.5}),
+                ("random walk", "random_walk", {}),
+                ("biased walk (p=0.9)", "biased_walk", {"persistence": 0.9}),
+                ("Levy flight (mu=2)", "levy", {"mu": 2.0}),
+            )
+        ):
+            cell = sweep_cell(row_index, algorithm, params)
+            s = cell.summary(horizon=float(horizon))
+            table.add_row(
+                algorithm=name,
+                mean_time=s.mean,
+                ci95=s.ci_halfwidth,
+                vs_optimal=s.mean / optimal,
+                success=s.success_rate,
+                censored=s.censored_fraction,
+                trials=cell.trials,
+            )
 
     # Sector sweep: the coordination-free direction-splitting strawman.
     # Closed-form cost model, so it stays outside the sweep engine; the

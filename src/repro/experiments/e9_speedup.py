@@ -36,6 +36,7 @@ def run(
     seed: int | None = None,
     workers: int = 0,
     cache: bool = True,
+    executor=None,
 ) -> List[ResultTable]:
     cfg = scale(quick)
     seed = cfg.seed if seed is None else seed
@@ -50,7 +51,9 @@ def run(
         placement="offaxis",
         seed=seed,
     )
-    result = run_sweep(spec, workers=workers, cache=cache)
+    result = run_sweep(
+        spec, workers=workers, cache=cache, executor=executor
+    )
 
     table = ResultTable(
         title=f"{TITLE}  [D={distance}]",

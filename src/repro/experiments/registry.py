@@ -81,10 +81,13 @@ def run_experiment(
 ) -> List[ResultTable]:
     """Run one experiment by id (e.g. ``"E3"``) and return its tables.
 
-    Extra ``options`` (``workers``, ``cache``, ...) are forwarded to runners
-    whose signature accepts them and silently dropped otherwise, so sweep
-    execution knobs can be offered uniformly without forcing every
-    experiment to grow them.
+    Extra ``options`` (``workers``, ``cache``, ``executor``, ``budget``,
+    ``progress``, ...) are forwarded to runners whose signature accepts
+    them and silently dropped otherwise, so sweep execution knobs can be
+    offered uniformly without forcing every experiment to grow them.
+    ``executor`` is the sharing seam: the CLI passes one persistent
+    :class:`repro.sweep.executor.SweepExecutor` here so every sweep of
+    every requested experiment reuses the same warm worker pool.
     """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:

@@ -53,10 +53,18 @@ __all__ = [
     "block_store_path",
     "load_blocks",
     "save_blocks",
+    "append_blocks",
     "CacheEntry",
     "list_entries",
     "prune_entries",
 ]
+
+#: Sidecar manifest suffix: ``<entry>.npz`` pairs with
+#: ``<entry>.npz.manifest.json`` holding just the listing metadata
+#: (kind, algorithm, cell/trial counts) plus the npz byte size it was
+#: derived from, so ``repro-ants cache list`` is O(entries) — it never
+#: opens an archive whose sidecar is present and consistent.
+MANIFEST_SUFFIX = ".manifest.json"
 
 CellKey = Tuple[int, int]
 
@@ -166,8 +174,56 @@ def save_blocks(
     return _atomic_savez(path, meta, arrays)
 
 
+def append_blocks(
+    spec: SweepSpec, path: str, blocks: Mapping[CellKey, np.ndarray]
+) -> bool:
+    """Merge executor results into a block store (read-modify-write).
+
+    ``blocks`` is the writer's view: the cells it loaded at sweep start
+    plus every cell the executor extended.  The store on disk is re-read
+    immediately before the atomic replace and, per cell, the longer
+    array wins — so when two sweeps sharing one data identity race, a
+    concurrent writer's cells survive and at worst a racing window of
+    one cell's *top-up* is lost, never another grid's whole
+    contribution.  (Blocks are deterministic prefixes of one stream, so
+    "longer" strictly supersedes "shorter".)
+    """
+    merged: Dict[CellKey, np.ndarray] = dict(blocks)
+    for key, times in load_blocks(spec, path).items():
+        if key not in merged or times.size > merged[key].size:
+            merged[key] = times
+    return save_blocks(spec, path, merged)
+
+
+def _manifest_record(meta: Dict, npz_size: int) -> Dict:
+    """The listing-facing summary of one entry's metadata."""
+    if meta.get("format") == 2:
+        cells = meta.get("cells", [])
+        return {
+            "kind": "blocks",
+            "algorithm": meta.get("data", {}).get("algorithm", "?"),
+            "cells": len(cells),
+            "trials": sum(int(cell[2]) for cell in cells),
+            "npz_size": npz_size,
+        }
+    spec = meta.get("spec", {})
+    cells = meta.get("cells", [])
+    return {
+        "kind": "sweep",
+        "algorithm": spec.get("algorithm", "?"),
+        "cells": len(cells),
+        "trials": len(cells) * int(spec.get("trials", 0)),
+        "npz_size": npz_size,
+    }
+
+
 def _atomic_savez(path: str, meta: Dict, arrays: Dict[str, np.ndarray]) -> bool:
-    """Write an npz with a JSON ``meta`` record via temp file + rename."""
+    """Write an npz with a JSON ``meta`` record via temp file + rename.
+
+    A consistent sidecar manifest (see :data:`MANIFEST_SUFFIX`) is
+    written after the rename; it is pure derived data, so a failed or
+    missing sidecar only costs ``list_entries`` an archive open.
+    """
     try:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -185,6 +241,21 @@ def _atomic_savez(path: str, meta: Dict, arrays: Dict[str, np.ndarray]) -> bool:
             raise
     except OSError:
         return False
+    try:
+        manifest = _manifest_record(meta, os.path.getsize(path))
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".sweep_tmp_", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(manifest, handle)
+            os.replace(tmp, path + MANIFEST_SUFFIX)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+    except OSError:
+        pass  # best-effort: listing falls back to opening the npz
     return True
 
 
@@ -201,11 +272,51 @@ class CacheEntry:
     mtime: float
 
 
+def _read_manifest(path: str, npz_size: int) -> Optional[Dict]:
+    """Load the sidecar manifest if it matches the npz it describes.
+
+    The stored ``npz_size`` is the consistency check: a store rewritten
+    by an older tool (or a partially copied pair) has a size mismatch
+    and the sidecar is ignored in favour of the archive itself.
+    """
+    try:
+        with open(path + MANIFEST_SUFFIX) as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(manifest, dict):
+        return None
+    if manifest.get("npz_size") != npz_size:
+        return None
+    if manifest.get("kind") not in ("sweep", "blocks"):
+        return None
+    return manifest
+
+
 def _inspect_entry(path: str) -> Optional[CacheEntry]:
+    """Describe one entry, metadata-only when possible.
+
+    The sidecar manifest (written alongside every save) answers the
+    listing in one small JSON read; only entries without a consistent
+    sidecar — pre-manifest caches, hand-copied files — fall back to
+    opening the archive (and even then only its ``meta`` member is
+    decompressed, never the time arrays).
+    """
     try:
         stat = os.stat(path)
     except OSError:
         return None  # vanished between listdir and stat; best-effort
+    manifest = _read_manifest(path, stat.st_size)
+    if manifest is not None:
+        try:
+            return CacheEntry(
+                path=path, kind=str(manifest["kind"]),
+                algorithm=str(manifest["algorithm"]),
+                cells=int(manifest["cells"]), trials=int(manifest["trials"]),
+                size_bytes=stat.st_size, mtime=stat.st_mtime,
+            )
+        except (KeyError, TypeError, ValueError):
+            pass  # malformed sidecar: fall through to the archive
     name = os.path.basename(path)
     algorithm = "?"
     parts = name[:-len(".npz")].split("_")
@@ -219,20 +330,12 @@ def _inspect_entry(path: str) -> Optional[CacheEntry]:
             path=path, kind="unreadable", algorithm=algorithm, cells=0,
             trials=0, size_bytes=stat.st_size, mtime=stat.st_mtime,
         )
-    if meta.get("format") == 2:
-        cells = meta.get("cells", [])
-        return CacheEntry(
-            path=path, kind="blocks",
-            algorithm=meta.get("data", {}).get("algorithm", algorithm),
-            cells=len(cells), trials=sum(int(c[2]) for c in cells),
-            size_bytes=stat.st_size, mtime=stat.st_mtime,
-        )
-    spec = meta.get("spec", {})
-    cells = meta.get("cells", [])
+    record = _manifest_record(meta, stat.st_size)
+    if record["algorithm"] == "?":
+        record["algorithm"] = algorithm
     return CacheEntry(
-        path=path, kind="sweep",
-        algorithm=spec.get("algorithm", algorithm),
-        cells=len(cells), trials=len(cells) * int(spec.get("trials", 0)),
+        path=path, kind=record["kind"], algorithm=record["algorithm"],
+        cells=record["cells"], trials=record["trials"],
         size_bytes=stat.st_size, mtime=stat.st_mtime,
     )
 
@@ -279,5 +382,9 @@ def prune_entries(
                     os.unlink(entry.path)
                 except OSError:
                     continue
+                try:
+                    os.unlink(entry.path + MANIFEST_SUFFIX)
+                except OSError:
+                    pass  # no sidecar (pre-manifest entry) is fine
             pruned.append(entry)
     return pruned

@@ -1,8 +1,12 @@
-"""Sweep execution: cached, batched, optionally multiprocess, adaptive.
+"""Sweep execution: cached, batched, executor-backed, adaptive.
 
 :func:`run_sweep` turns a :class:`repro.sweep.spec.SweepSpec` into a
 :class:`SweepResult` along one of two paths, selected by the spec's
-``budget``:
+``budget``.  Both paths hand their work units to a pluggable
+:class:`repro.sweep.executor.SweepExecutor` (serial, persistent process
+pool, or the virtual-clock test double) instead of spawning ad-hoc
+pools; callers can share one executor across many sweeps (see
+``executor=``), which is what the experiments do.
 
 **Fixed path** (``budget is None`` — including canonicalised
 ``fixed(n)`` policies):
@@ -10,43 +14,61 @@
 1. the on-disk v1 cache is consulted (keyed by the spec's content hash) —
    a hit returns immediately, which is what makes repeated experiment runs
    and quick/full mode switches cheap;
-2. on a miss, each ``k``-group of the grid is resolved by a single batched
-   engine call over all of the group's worlds (one per distance):
-   :func:`repro.sim.events.simulate_find_times_batch` for excursion
-   algorithms (sharing every phase's excursion draws across the group) or
-   :func:`repro.sim.walkers.walker_find_times_batch` for walker baselines
-   (one child seed per world);
-3. groups are independent, so with ``workers > 1`` they are fanned out to a
-   ``multiprocessing`` pool (each task ships the picklable spec plus its
-   spawned child seed, so results are bitwise identical to a serial run);
+2. on a miss, each ``k``-group of the grid resolves via the batched
+   engines — :func:`repro.sim.events.simulate_find_times_batch` for
+   excursion algorithms (sharing every phase's excursion draws across
+   the group) or per-world-seeded walker rows for walker baselines.
+   Groups whose distance axis exceeds
+   :data:`repro.sweep.spec.FIXED_CHUNK_THRESHOLD` split into
+   deterministic chunks (:func:`repro.sweep.spec.group_chunks`) so a
+   one-``k``-many-``D`` grid no longer serialises on a single worker;
+   the chunk layout is a function of the spec alone, never of the
+   worker count, because excursion chunk streams are part of the
+   result's identity.  Walker rows are seeded per world, so walker
+   groups additionally split into worker-count-sized chunks with no
+   effect on results;
+3. chunk tasks are independent, so the executor fans them out; every
+   task ships the picklable spec plus its pre-spawned seeds, making
+   results bitwise identical to a serial run;
 4. the raw ``(cells, trials)`` find-time matrix is written back to the
    cache.
 
 Fixed-path seed policy: one child seed per group via
 :func:`repro.sim.rng.spawn_seeds` on the spec's root seed; within a group
 the first grandchild seeds the simulation and the rest seed the (possibly
-random) treasure placements, one per distance.  This path is byte-for-byte
-the pre-adaptive runner — the ``fixed(n)``-parity guarantee.
+random) treasure placements, one per distance.  Unsplit groups are
+byte-for-byte the pre-executor runner — the ``fixed(n)``-parity
+guarantee; split groups seed chunk ``c`` with
+``derive_seed(group_seed, GROUP_CHUNK_STREAM, c)``.
 
-**Adaptive path** (``target_rel_ci`` / ``wall`` budgets): cells are
-independent units.  Each cell consumes deterministic trial *blocks*
-(sizes from the doubling schedule in :mod:`repro.sweep.spec`, content
-from the block-seeded engine entry points
-:func:`repro.sim.events.simulate_find_times_block` /
-:func:`repro.sim.walkers.walker_find_times_block`), folds every block
-into a streaming :class:`repro.stats.FindTimeAccumulator`, and stops as
-soon as its :class:`repro.stats.BudgetPolicy` is satisfied.  Because a
-block's content depends only on ``(root seed, D, k, block index)``, a
-cell's sample is a deterministic prefix of an infinite trial stream:
-cached blocks (v2 block store, keyed by the spec's *data* hash) are
-reused verbatim and new blocks are appended — across runs, grids, and
-precision targets.  With ``workers > 1`` cells are fanned out to a pool;
-per-cell streams make pooled and serial runs bitwise identical for the
-``fixed`` and ``target_rel_ci`` policies.  ``wall`` budgets stop on
-wall-clock time, so *how many* blocks a cell gets depends on machine
-speed and load — the blocks themselves are still the deterministic
-stream (two wall runs agree on every shared prefix), but trial counts
-are not reproducible by design.
+**Adaptive path** (``target_rel_ci`` / ``wall`` budgets): cells consume
+deterministic trial *blocks* (sizes from the capped doubling schedule in
+:mod:`repro.sweep.spec`, content from the block-seeded engine entry
+points), fold them into a streaming
+:class:`repro.stats.FindTimeAccumulator`, and stop as soon as their
+:class:`repro.stats.BudgetPolicy` is satisfied.  Scheduling is at
+**block granularity** with work stealing: every pending block of every
+cell feeds one queue, a cell that satisfies its policy early simply
+stops contributing blocks and its worker slots flow to the stragglers,
+and when fewer live cells than workers remain the scheduler submits a
+cell's *future* blocks speculatively (block content depends only on
+``(root seed, D, k, block index)``, so speculation can never change
+results — a block past the stopping point is just discarded).  This
+removes the whole-cell straggler of the old per-cell fan-out, where one
+noisy cell ran its entire stream on a single worker while the rest of
+the pool idled.
+
+Because a block's content never depends on how many blocks ran before,
+which process ran it, or which other cells exist, a cell's sample is a
+deterministic prefix of an infinite trial stream: cached blocks (v2
+block store, keyed by the spec's *data* hash) are reused verbatim and
+new blocks are appended — across runs, grids, and precision targets.
+Serial and pooled runs are bitwise identical for the ``fixed`` and
+``target_rel_ci`` policies.  ``wall`` budgets stop on wall-clock time,
+so *how many* blocks a cell gets depends on machine speed and load —
+the blocks themselves are still the deterministic stream (two wall runs
+agree on every shared prefix), but trial counts are not reproducible by
+design.
 
 ``progress`` (both paths) is called once per finished cell with a
 :class:`ProgressEvent` — allocated trials, newly simulated trials, and
@@ -56,7 +78,6 @@ the achieved CI half-width — so long adaptive sweeps are not silent.
 from __future__ import annotations
 
 import math
-import multiprocessing
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -69,27 +90,36 @@ from ..sim.events import (
     simulate_find_times_block,
 )
 from ..sim.rng import derive_seed, spawn_seeds
-from ..sim.walkers import Walker, walker_find_times_batch, walker_find_times_block
+from ..sim.walkers import Walker, walker_find_times_block
 from ..sim.world import place_treasure
 from ..stats import FindTimeAccumulator, FindTimeSummary, summarize_times
 from .cache import (
+    append_blocks,
     block_store_path,
     cache_path,
     load_blocks,
     load_result,
-    save_blocks,
     save_result,
 )
+from .executor import SweepExecutor, ensure_executor
 from .spec import (
+    GROUP_CHUNK_STREAM,
     SweepCell,
     SweepSpec,
     block_trials,
     build_algorithm,
     completed_trials,
+    group_chunks,
     whole_blocks,
 )
 
-__all__ = ["CellResult", "SweepResult", "ProgressEvent", "run_sweep"]
+__all__ = [
+    "CellResult",
+    "SweepResult",
+    "ProgressEvent",
+    "run_sweep",
+    "reference_cell_times",
+]
 
 #: Leading key of the per-cell treasure-placement stream on the adaptive
 #: path: ``derive_seed(root, PLACEMENT_STREAM, distance, k)``.  A cell's
@@ -228,33 +258,97 @@ def _emit(
 
 
 # ----------------------------------------------------------------------
-# Fixed path (budget is None): the pre-adaptive runner, byte for byte.
+# Fixed path (budget is None): group chunks through the executor.
 # ----------------------------------------------------------------------
 
-def _execute_group(task) -> np.ndarray:
-    """Resolve one k-group; module-level so the pool can pickle it."""
-    spec, k, distances, group_seed = task
+def _execute_chunk(payload) -> np.ndarray:
+    """Resolve one fixed-path chunk; module-level so pools can pickle it.
+
+    Returns the ``(len(distances), trials)`` find-time matrix for the
+    chunk's cells.  Excursion chunks run one batched engine call under
+    ``sim_seed`` (draws shared across the chunk's worlds — common random
+    numbers); walker chunks run one pre-seeded row per world, which is
+    bitwise identical however the group was split.
+    """
+    spec, k, distances, placement_seeds, sim_seed, world_seeds = payload
     strategy = build_algorithm(spec.algorithm, k, spec.param_dict())
-    child_seeds = spawn_seeds(group_seed, 1 + len(distances))
-    sim_seed, placement_seeds = child_seeds[0], child_seeds[1:]
     worlds = [
         place_treasure(distance, spec.placement, seed=placement_seed)
         for distance, placement_seed in zip(distances, placement_seeds)
     ]
     if isinstance(strategy, Walker):
-        return walker_find_times_batch(
-            strategy, worlds, k, spec.trials, sim_seed,
-            horizon=spec.horizon, scenario=spec.scenario,
-        )
+        rows = [
+            strategy.find_times(
+                world, k, spec.trials, world_seed,
+                horizon=spec.horizon, scenario=spec.scenario,
+            )
+            for world, world_seed in zip(worlds, world_seeds)
+        ]
+        return np.stack(rows)
     return simulate_find_times_batch(
         strategy, worlds, k, spec.trials, sim_seed,
         horizon=spec.horizon, scenario=spec.scenario,
     )
 
 
+def _fixed_tasks(spec: SweepSpec, workers: int) -> List[tuple]:
+    """Chunk payloads for the fixed path, in grid (cell) order.
+
+    Seeds are spawned in the parent so that the layout a worker sees is
+    entirely determined by the spec: per group, grandchild 0 is the
+    simulation seed and grandchildren 1.. seed the treasure placements.
+    Excursion groups split only by the content-deterministic
+    :func:`repro.sweep.spec.group_chunks` layout; walker groups (whose
+    rows are independently seeded per world) additionally split to about
+    twice the worker count for stealing-friendly granularity.
+    """
+    groups = spec.groups()
+    group_seeds = spawn_seeds(spec.seed, len(groups))
+    tasks: List[tuple] = []
+    for group, group_seed in zip(groups, group_seeds):
+        child_seeds = spawn_seeds(group_seed, 1 + len(group.distances))
+        sim_seed, placement_seeds = child_seeds[0], child_seeds[1:]
+        strategy = build_algorithm(spec.algorithm, group.k, spec.param_dict())
+        offsets = {d: i for i, d in enumerate(group.distances)}
+        if isinstance(strategy, Walker):
+            world_seeds = spawn_seeds(sim_seed, len(group.distances))
+            if workers > 1:
+                per_task = max(
+                    1,
+                    -(-len(group.distances) * len(groups) // (2 * workers)),
+                )
+                chunks = [
+                    group.distances[i : i + per_task]
+                    for i in range(0, len(group.distances), per_task)
+                ]
+            else:
+                chunks = [group.distances]
+            for chunk in chunks:
+                rows = [offsets[d] for d in chunk]
+                tasks.append((
+                    spec, group.k, chunk,
+                    [placement_seeds[r] for r in rows], None,
+                    [world_seeds[r] for r in rows],
+                ))
+            continue
+        chunks = group_chunks(group.distances)
+        for index, chunk in enumerate(chunks):
+            chunk_seed = (
+                sim_seed
+                if len(chunks) == 1
+                else derive_seed(group_seed, GROUP_CHUNK_STREAM, index)
+            )
+            rows = [offsets[d] for d in chunk]
+            tasks.append((
+                spec, group.k, chunk,
+                [placement_seeds[r] for r in rows], chunk_seed, None,
+            ))
+    return tasks
+
+
 def _run_fixed(
     spec: SweepSpec,
-    workers: int,
+    executor: SweepExecutor,
     cache: bool,
     cache_dir: Optional[str],
     progress: Optional[ProgressCallback],
@@ -272,25 +366,32 @@ def _run_fixed(
                 _emit(progress, spec, cell, 0)
             return SweepResult(spec=spec, cells=cells, from_cache=True)
 
-    groups = spec.groups()
-    group_seeds = spawn_seeds(spec.seed, len(groups))
-    tasks = [
-        (spec, group.k, group.distances, group_seed)
-        for group, group_seed in zip(groups, group_seeds)
-    ]
-    if workers > 1 and len(tasks) > 1:
-        with multiprocessing.Pool(min(workers, len(tasks))) as pool:
-            matrices = pool.map(_execute_group, tasks)
-    else:
-        matrices = [_execute_group(task) for task in tasks]
+    tasks = _fixed_tasks(spec, executor.workers)
+    tickets = {}
+    cells_by_task: List[List[CellResult]] = [[] for _ in tasks]
+    try:
+        for index, task in enumerate(tasks):
+            ticket = executor.submit(
+                _execute_chunk, task,
+                result_shape=(len(task[2]), spec.trials),
+            )
+            tickets[ticket] = index
+        while tickets:
+            ticket, matrix = executor.next_completed()
+            index = tickets.pop(ticket)
+            _, k, distances, *_ = tasks[index]
+            for row, distance in enumerate(distances):
+                cell = CellResult(distance=distance, k=k, times=matrix[row])
+                cells_by_task[index].append(cell)
+                _emit(progress, spec, cell, cell.trials)
+    except BaseException:
+        # Leave nothing of this sweep behind in a (possibly shared)
+        # executor: a stale ticket would surface in the next caller's
+        # next_completed() as an unrelated failure.
+        executor.discard(tickets)
+        raise
 
-    cells: List[CellResult] = []
-    for group, matrix in zip(groups, matrices):
-        for row, distance in enumerate(group.distances):
-            cell = CellResult(distance=distance, k=group.k, times=matrix[row])
-            cells.append(cell)
-            _emit(progress, spec, cell, cell.trials)
-
+    cells = [cell for task_cells in cells_by_task for cell in task_cells]
     if path is not None and cells:
         save_result(
             spec,
@@ -302,7 +403,7 @@ def _run_fixed(
 
 
 # ----------------------------------------------------------------------
-# Adaptive path: per-cell block streams driven by the budget policy.
+# Adaptive path: block-granular work stealing driven by the budget.
 # ----------------------------------------------------------------------
 
 def _cell_world(spec: SweepSpec, distance: int, k: int):
@@ -319,16 +420,40 @@ def _usable_prefix(existing: Optional[np.ndarray]) -> np.ndarray:
     return existing[: completed_trials(whole_blocks(existing.size))]
 
 
-def _run_cell_adaptive(task) -> np.ndarray:
-    """Top one cell up to its policy's satisfaction; pool-picklable.
-
-    Returns the cell's full times array: the usable cached prefix plus
-    every block appended by this run.
-    """
-    spec, distance, k, existing = task
-    policy = spec.budget
+def _execute_block(payload) -> np.ndarray:
+    """Simulate one trial block of one cell; module-level for pickling."""
+    spec, distance, k, block = payload
     strategy = build_algorithm(spec.algorithm, k, spec.param_dict())
     world = _cell_world(spec, distance, k)
+    trials = block_trials(block)
+    if isinstance(strategy, Walker):
+        return walker_find_times_block(
+            strategy, world, k, trials, spec.seed,
+            distance=distance, block=block,
+            horizon=spec.horizon, scenario=spec.scenario,
+        )
+    return simulate_find_times_block(
+        strategy, world, k, trials, spec.seed,
+        distance=distance, block=block,
+        horizon=spec.horizon, scenario=spec.scenario,
+    )
+
+
+def reference_cell_times(
+    spec: SweepSpec,
+    distance: int,
+    k: int,
+    existing: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """One cell's policy-satisfied times, computed sequentially.
+
+    This is the *reference semantics* of the adaptive path — the usable
+    cached prefix plus blocks in schedule order until the first decision
+    point at which the budget policy is satisfied — against which the
+    block-level scheduler is property-tested (and which the executor
+    benchmark uses as its per-cell-pool baseline).
+    """
+    policy = spec.budget
     times = _usable_prefix(existing)
     blocks = whole_blocks(times.size)
     acc = FindTimeAccumulator(
@@ -340,69 +465,192 @@ def _run_cell_adaptive(task) -> np.ndarray:
     while not policy.satisfied(
         times.size, acc.summary(), time.perf_counter() - started
     ):
-        trials = block_trials(blocks)
-        if isinstance(strategy, Walker):
-            fresh = walker_find_times_block(
-                strategy, world, k, trials, spec.seed,
-                distance=distance, block=blocks,
-                horizon=spec.horizon, scenario=spec.scenario,
-            )
-        else:
-            fresh = simulate_find_times_block(
-                strategy, world, k, trials, spec.seed,
-                distance=distance, block=blocks,
-                horizon=spec.horizon, scenario=spec.scenario,
-            )
+        fresh = _execute_block((spec, distance, k, blocks))
         times = np.concatenate([times, fresh])
         acc.update(fresh)
         blocks += 1
     return times
 
 
+def _run_cell_reference(task) -> np.ndarray:
+    """Pool-picklable whole-cell task (benchmark baseline; see above)."""
+    spec, distance, k, existing = task
+    return reference_cell_times(spec, distance, k, existing)
+
+
+class _CellState:
+    """Scheduler-side state of one adaptive cell."""
+
+    __slots__ = (
+        "distance", "k", "parts", "count", "cached", "blocks", "acc",
+        "pending", "inflight", "next_submit", "done", "started", "cost",
+        "need",
+    )
+
+    def __init__(self, spec: SweepSpec, distance: int, k: int, prefix) -> None:
+        self.distance = distance
+        self.k = k
+        self.parts: List[np.ndarray] = [prefix] if prefix.size else []
+        self.count = int(prefix.size)
+        self.cached = int(prefix.size)
+        self.blocks = whole_blocks(prefix.size)  # folded schedule frontier
+        self.acc = FindTimeAccumulator(
+            horizon=spec.horizon, confidence=spec.budget.confidence
+        )
+        if prefix.size:
+            self.acc.update(prefix)
+        self.pending: Dict[int, np.ndarray] = {}  # completed, unfolded
+        self.inflight: set = set()  # submitted block indices
+        self.next_submit = self.blocks
+        self.done = False
+        self.started: Optional[float] = None
+        self.cost = _times_cost(prefix, spec.horizon)
+        self.need = (
+            _estimate_need(spec.budget, self.count, self.acc.summary())
+            if self.count
+            else spec.budget.min_trials
+        )
+
+    def elapsed(self) -> float:
+        if self.started is None:
+            return 0.0
+        return time.perf_counter() - self.started
+
+    def weight(self) -> float:
+        """Estimated engine cost of one trial of this cell.
+
+        Simulation cost tracks the simulated time mass, so the measured
+        per-trial mass of the folded prefix is the best predictor of
+        what the next block costs; before any trials land, the universal
+        benchmark ``D + D^2/k`` (the paper's optimal time) sets the
+        prior.  Only scheduling *order* depends on this — results never
+        do — so a rough estimate is plenty.
+        """
+        if self.count:
+            return max(self.cost / self.count, 1.0)
+        return float(self.distance) + self.distance * self.distance / self.k
+
+    def times(self) -> np.ndarray:
+        if not self.parts:
+            return np.empty(0, dtype=np.float64)
+        if len(self.parts) == 1:
+            return self.parts[0]
+        return np.concatenate(self.parts)
+
+
+def _times_cost(times: np.ndarray, horizon: Optional[float]) -> float:
+    """Simulated-time mass of a batch (censored trials pay the horizon)."""
+    if not times.size:
+        return 0.0
+    finite = np.isfinite(times)
+    mass = float(times[finite].sum())
+    censored = int(times.size - finite.sum())
+    if censored and horizon is not None:
+        mass += censored * float(horizon)
+    return mass
+
+
+def _estimate_need(policy, count: int, summary) -> int:
+    """Predicted total trials this cell wants, from its current summary.
+
+    CLT scaling: the relative CI half-width shrinks like ``1/sqrt(n)``,
+    so a cell at ``rel`` with target ``r`` needs about
+    ``n * (rel / r)^2`` trials.  This only throttles *speculation* — how
+    far past the decision frontier the scheduler may run ahead — so an
+    estimate off by a block costs one discarded block of work, never
+    correctness.  Non-``target_rel_ci`` policies (``wall``) have no
+    usable predictor and fall back to the policy ceiling.
+    """
+    if policy.kind != "target_rel_ci":
+        return policy.max_trials
+    rel = summary.rel_ci
+    if not math.isfinite(rel) or rel <= 0:
+        return policy.max_trials
+    # The 0.9 shrink biases the estimate below the next block boundary
+    # when the cell will stop on it (the common case): an underestimate
+    # costs one submit-collect round trip of pipelining, an overestimate
+    # costs a whole discarded block of engine work.
+    need = 0.9 * count * (rel / policy.rel_ci) ** 2
+    return int(min(policy.max_trials, max(policy.min_trials, need)))
+
+
+def _fold_ready(state: _CellState, policy) -> None:
+    """Fold contiguous completed blocks, re-checking the policy per block.
+
+    Decisions happen strictly in schedule order on the folded prefix, so
+    they are independent of completion order, worker count, and
+    speculation — the bitwise serial/parallel guarantee.
+    """
+    while not state.done and state.blocks in state.pending:
+        fresh = state.pending.pop(state.blocks)
+        state.parts.append(fresh)
+        state.count += int(fresh.size)
+        state.cost += _times_cost(fresh, state.acc.horizon)
+        state.acc.update(fresh)
+        state.blocks += 1
+        summary = state.acc.summary()
+        if policy.satisfied(state.count, summary, state.elapsed()):
+            state.done = True
+            state.pending.clear()
+        else:
+            state.need = _estimate_need(policy, state.count, summary)
+
+
 def _run_adaptive(
     spec: SweepSpec,
-    workers: int,
+    executor: SweepExecutor,
     cache: bool,
     cache_dir: Optional[str],
     progress: Optional[ProgressCallback],
 ) -> SweepResult:
+    policy = spec.budget
     path = block_store_path(spec, cache_dir) if cache else None
     store = load_blocks(spec, path) if path is not None else {}
 
-    grid = [(cell.distance, cell.k) for cell in spec.cells()]
-    tasks = [
-        (spec, distance, k, store.get((distance, k)))
-        for distance, k in grid
+    states = [
+        _CellState(
+            spec, cell.distance, cell.k,
+            _usable_prefix(store.get((cell.distance, cell.k))),
+        )
+        for cell in spec.cells()
     ]
-    if workers > 1 and len(tasks) > 1:
-        with multiprocessing.Pool(min(workers, len(tasks))) as pool:
-            results = list(pool.imap(_run_cell_adaptive, tasks))
-    else:
-        results = [_run_cell_adaptive(task) for task in tasks]
+    def finish(state: _CellState) -> None:
+        cell = CellResult(
+            distance=state.distance, k=state.k, times=state.times()
+        )
+        _emit(progress, spec, cell, state.count - state.cached)
+
+    for state in states:
+        if policy.satisfied(state.count, state.acc.summary(), 0.0):
+            state.done = True
+            finish(state)
+
+    tickets: Dict[int, object] = {}
+    try:
+        if policy.kind == "wall":
+            _schedule_wall_cells(spec, executor, states, tickets, finish)
+        else:
+            _schedule_blocks(spec, executor, states, tickets, finish)
+    except BaseException:
+        # Leave nothing of this sweep behind in a (possibly shared)
+        # executor: a stale ticket would surface in the next caller's
+        # next_completed() as an unrelated failure.
+        executor.discard(tickets)
+        raise
 
     cells: List[CellResult] = []
+    updated: Dict[Tuple[int, int], np.ndarray] = {}
     any_new = False
-    for (distance, k, *_), times in zip([t[1:] for t in tasks], results):
-        cached = _usable_prefix(store.get((distance, k)))
-        new_trials = int(times.size - cached.size)
-        cell = CellResult(distance=distance, k=k, times=times)
-        cells.append(cell)
-        _emit(progress, spec, cell, new_trials)
-        if new_trials > 0:
+    for state in states:
+        times = state.times()
+        cells.append(CellResult(distance=state.distance, k=state.k, times=times))
+        if state.count > state.cached:
             any_new = True
-            store[(distance, k)] = times
+            updated[(state.distance, state.k)] = times
 
     if path is not None and any_new:
-        # The store was loaded at sweep start; another process may have
-        # appended cells since.  Re-read and keep the longer array per
-        # cell before the atomic replace, so concurrent sweeps sharing a
-        # data identity lose at most a racing window, not each other's
-        # whole contribution.  (Blocks are deterministic prefixes of one
-        # stream, so "longer" strictly supersedes "shorter".)
-        for key, times in load_blocks(spec, path).items():
-            if key not in store or times.size > store[key].size:
-                store[key] = times
-        save_blocks(spec, path, store)
+        store.update(updated)
+        append_blocks(spec, path, store)
     return SweepResult(
         spec=spec,
         cells=cells,
@@ -410,27 +658,131 @@ def _run_adaptive(
     )
 
 
+def _schedule_wall_cells(
+    spec: SweepSpec,
+    executor: SweepExecutor,
+    states: List[_CellState],
+    tickets: Dict[int, object],
+    finish,
+) -> None:
+    """Resolve ``wall``-budget cells as whole-cell tasks.
+
+    A per-cell wall budget charges a cell only its *own* simulation
+    time, which the parent cannot observe at block granularity (between
+    a cell's blocks the pool is busy with other cells).  So the worker
+    runs the cell's entire sequential reference loop and times itself —
+    exactly the pre-executor semantics — at cell-level parallelism.
+    Wall allocations are machine-dependent by design, so the block
+    scheduler's determinism machinery has nothing to protect here.
+    """
+    for state in states:
+        if state.done:
+            continue
+        ticket = executor.submit(
+            _run_cell_reference,
+            (spec, state.distance, state.k, state.times()),
+        )
+        tickets[ticket] = state
+    while tickets:
+        ticket, times = executor.next_completed()
+        state = tickets.pop(ticket)
+        state.parts = [times]
+        state.count = int(times.size)
+        state.done = True
+        finish(state)
+
+
+def _schedule_blocks(
+    spec: SweepSpec,
+    executor: SweepExecutor,
+    states: List[_CellState],
+    tickets: Dict[int, object],
+    finish,
+) -> None:
+    """The block-granular work-stealing scheduler (see module docstring)."""
+    policy = spec.budget
+    while True:
+        # Fill the pool greedily: each free slot goes to the live cell
+        # with the highest estimated per-trial cost *per in-flight
+        # block* — weighted fair queuing over the block queue.  A heavy
+        # straggler therefore pipelines several of its (independent,
+        # speculatively submitted) blocks at once while cheap cells hold
+        # one slot each, which is what removes the whole-cell straggler:
+        # blocks only *decide* sequentially, they never have to *run*
+        # sequentially.  Cells that satisfy their policy drop out of the
+        # candidate set, releasing their slots to whoever is left.
+        while len(tickets) < executor.workers:
+            # A cell's frontier block (nothing outstanding) is always
+            # needed; blocks beyond it are speculation, allowed only up
+            # to the cell's estimated total need so an early stop never
+            # discards more than the block straddling the estimate.
+            candidates = [
+                s
+                for s in states
+                if not s.done
+                and completed_trials(s.next_submit) < policy.max_trials
+                and (
+                    s.next_submit == s.blocks
+                    or completed_trials(s.next_submit) < s.need
+                )
+            ]
+            if not candidates:
+                break
+            state = max(
+                candidates,
+                key=lambda s: s.weight() / (len(s.inflight) + 1),
+            )
+            block = state.next_submit
+            state.next_submit += 1
+            state.inflight.add(block)
+            if state.started is None:
+                state.started = time.perf_counter()
+            ticket = executor.submit(
+                _execute_block,
+                (spec, state.distance, state.k, block),
+                result_shape=(block_trials(block),),
+            )
+            tickets[ticket] = (state, block)
+        if not tickets:
+            break
+        ticket, times = executor.next_completed()
+        state, block = tickets.pop(ticket)
+        state.inflight.discard(block)
+        if state.done:
+            continue  # speculative overshoot of an already-satisfied cell
+        state.pending[block] = times
+        _fold_ready(state, policy)
+        if state.done:
+            finish(state)
+
+
 def run_sweep(
     spec: SweepSpec,
     *,
     workers: int = 0,
+    backend: str = "auto",
+    executor: Optional[SweepExecutor] = None,
     cache: bool = True,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
 ) -> SweepResult:
     """Execute a sweep spec (or load/top it up from the cache).
 
-    ``workers`` <= 1 runs the work units (fixed path: k-groups; adaptive
-    path: cells) serially in-process; larger values fan them out to a
-    ``multiprocessing`` pool (capped at the unit count).  Serial and
-    pooled runs produce bitwise-identical results — except under a
-    ``wall`` budget, whose per-cell trial *counts* are wall-clock
+    Execution goes through a :class:`repro.sweep.executor.SweepExecutor`.
+    Pass ``executor=`` to reuse a persistent one across many sweeps (the
+    experiments do; worker pools then spawn once per experiment, not once
+    per sweep); otherwise an ephemeral executor is built from ``workers``
+    and ``backend`` (``"auto"`` picks a process pool when ``workers > 1``
+    and in-process serial execution otherwise — exactly the historical
+    semantics) and closed before returning.
+
+    Serial and pooled runs produce bitwise-identical results — except
+    under a ``wall`` budget, whose per-cell trial *counts* are wall-clock
     dependent by design (the underlying block streams stay
-    deterministic).  ``cache`` toggles
-    both lookup and write-back; ``cache_dir`` overrides the default cache
-    location (see :func:`repro.sweep.cache.default_cache_dir`).
-    ``progress`` is called once per finished cell with a
-    :class:`ProgressEvent`.
+    deterministic).  ``cache`` toggles both lookup and write-back;
+    ``cache_dir`` overrides the default cache location (see
+    :func:`repro.sweep.cache.default_cache_dir`).  ``progress`` is
+    called once per finished cell with a :class:`ProgressEvent`.
 
     Walker strategies (``random_walk``, ``biased_walk``, ``levy``) require
     the spec to carry a finite ``horizon``: memoryless walks on ``Z^2``
@@ -444,6 +796,7 @@ def run_sweep(
             f"needs a finite spec horizon (walks on Z^2 have infinite "
             f"expected hitting time)"
         )
-    if spec.budget is None:
-        return _run_fixed(spec, workers, cache, cache_dir, progress)
-    return _run_adaptive(spec, workers, cache, cache_dir, progress)
+    with ensure_executor(executor, workers=workers, backend=backend) as ex:
+        if spec.budget is None:
+            return _run_fixed(spec, ex, cache, cache_dir, progress)
+        return _run_adaptive(spec, ex, cache, cache_dir, progress)

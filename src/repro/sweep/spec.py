@@ -47,8 +47,13 @@ __all__ = [
     "SPEC_VERSION",
     "BLOCK_SCHEDULE_VERSION",
     "FIRST_BLOCK_TRIALS",
+    "MAX_BLOCK_TRIALS",
+    "FIXED_CHUNK_THRESHOLD",
+    "FIXED_CHUNK_SIZE",
+    "GROUP_CHUNK_STREAM",
     "block_trials",
     "completed_trials",
+    "group_chunks",
     "whole_blocks",
     "ALGORITHM_BUILDERS",
     "register_algorithm",
@@ -69,26 +74,46 @@ SPEC_VERSION = 2
 #: Version of the deterministic trial-block schedule below.  Part of the
 #: block store's data identity: changing the schedule re-keys every
 #: adaptive cache entry instead of mixing incompatible block layouts.
-BLOCK_SCHEDULE_VERSION = 1
+#: v2: block growth is capped at :data:`MAX_BLOCK_TRIALS`, so a heavy
+#: cell decomposes into many equal-sized blocks that the block-level
+#: executor can run concurrently (v1's pure doubling made the last block
+#: half the cell — an unsplittable straggler).
+BLOCK_SCHEDULE_VERSION = 2
 
-#: Size of the first trial block; later blocks double, so a cell with
-#: ``b`` completed blocks holds ``FIRST_BLOCK_TRIALS * 2**(b-1)`` trials
-#: and any allocation needs O(log) engine calls.
+#: Size of the first trial block; later blocks double up to the cap, so
+#: the schedule is 32, 32, 64, 128, 128, 128, ...  Doubling keeps small
+#: allocations cheap (few engine calls); the cap keeps large cells
+#: parallelisable and the stopping rule's granularity bounded.
 FIRST_BLOCK_TRIALS = 32
+
+#: Ceiling on the size of a single trial block (see above).
+MAX_BLOCK_TRIALS = 128
 
 
 def block_trials(block: int) -> int:
-    """Trials in block ``block`` of the schedule (32, 32, 64, 128, ...)."""
+    """Trials in block ``block`` of the schedule (32, 32, 64, 128, 128, ...)."""
     if block < 0:
         raise ValueError(f"block index must be >= 0, got {block}")
-    return FIRST_BLOCK_TRIALS if block == 0 else FIRST_BLOCK_TRIALS << (block - 1)
+    if block == 0:
+        return FIRST_BLOCK_TRIALS
+    return min(FIRST_BLOCK_TRIALS << (block - 1), MAX_BLOCK_TRIALS)
+
+
+#: First block index at the cap: doubling stops there.
+_CAP_BLOCK = (MAX_BLOCK_TRIALS // FIRST_BLOCK_TRIALS).bit_length()
 
 
 def completed_trials(blocks: int) -> int:
     """Total trials after ``blocks`` whole blocks of the schedule."""
     if blocks < 0:
         raise ValueError(f"block count must be >= 0, got {blocks}")
-    return 0 if blocks == 0 else FIRST_BLOCK_TRIALS << (blocks - 1)
+    if blocks == 0:
+        return 0
+    if blocks <= _CAP_BLOCK:
+        return FIRST_BLOCK_TRIALS << (blocks - 1)
+    return (FIRST_BLOCK_TRIALS << (_CAP_BLOCK - 1)) + (
+        blocks - _CAP_BLOCK
+    ) * MAX_BLOCK_TRIALS
 
 
 def whole_blocks(trials: int) -> int:
@@ -102,6 +127,41 @@ def whole_blocks(trials: int) -> int:
     while completed_trials(blocks + 1) <= trials:
         blocks += 1
     return blocks
+
+
+#: Fixed-path group chunking (see :func:`group_chunks`).  A k-group with
+#: more distances than the threshold is split into chunks of
+#: ``FIXED_CHUNK_SIZE`` so a grid with few ``k`` values but many
+#: distances stops serialising on a single worker.  The layout is a
+#: function of the spec alone — never of the worker count — because for
+#: excursion algorithms the batch engine shares draws across a chunk, so
+#: the chunk layout is part of the result's identity (serial and pooled
+#: runs must stay bitwise identical).  Specs whose groups actually split
+#: carry the layout in their canonical dict (see ``SweepSpec.to_dict``).
+FIXED_CHUNK_THRESHOLD = 8
+FIXED_CHUNK_SIZE = 4
+
+#: Leading key of the per-chunk simulation stream when a group splits:
+#: chunk ``c`` of a group is seeded ``derive_seed(group_seed,
+#: GROUP_CHUNK_STREAM, c)``.
+GROUP_CHUNK_STREAM = 0xC4A9C
+
+
+def group_chunks(distances: Sequence[int]) -> List[Tuple[int, ...]]:
+    """Deterministic chunk layout of one group's distances.
+
+    Groups at or under :data:`FIXED_CHUNK_THRESHOLD` distances stay whole
+    (byte-for-byte the pre-executor execution, preserving every existing
+    cache entry); larger groups split into :data:`FIXED_CHUNK_SIZE`-sized
+    chunks in distance order.
+    """
+    distances = tuple(distances)
+    if len(distances) <= FIXED_CHUNK_THRESHOLD:
+        return [distances]
+    return [
+        distances[i : i + FIXED_CHUNK_SIZE]
+        for i in range(0, len(distances), FIXED_CHUNK_SIZE)
+    ]
 
 ParamsLike = Union[Mapping[str, float], Sequence[Tuple[str, float]]]
 
@@ -335,7 +395,36 @@ class SweepSpec:
         }
         if self.budget is not None:
             data["budget"] = self.budget.to_dict()
+        # Specs whose k-groups exceed the chunk threshold execute under
+        # the chunked fixed-path layout, which — for excursion
+        # algorithms, whose batch engine shares draws across a chunk —
+        # changes the draw streams relative to a whole-group batch.  The
+        # layout parameters join the canonical dict for exactly those
+        # specs, so their hash moves and stale pre-chunking cache entries
+        # can never be mistaken for chunked results — while every spec at
+        # or under the threshold keeps its historical dict, hash, and
+        # cache entries bit for bit.  Walker rows are per-world seeded
+        # and chunk bitwise-identically, so walker specs are exempt:
+        # their old entries stay valid and keep hitting.
+        if self._chunking_changes_results():
+            data["fixed_chunking"] = [FIXED_CHUNK_THRESHOLD, FIXED_CHUNK_SIZE]
         return data
+
+    def _chunking_changes_results(self) -> bool:
+        if not any(
+            len(group.distances) > FIXED_CHUNK_THRESHOLD
+            for group in self.groups()
+        ):
+            return False
+        try:
+            probe = build_algorithm(
+                self.algorithm, self.ks[0], self.param_dict()
+            )
+        except KeyError:
+            # Unregistered strategy or missing parameter: the spec can
+            # never execute, so err on the side of the marker.
+            return True
+        return not isinstance(probe, Walker)
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "SweepSpec":

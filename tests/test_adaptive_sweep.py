@@ -34,6 +34,11 @@ from repro.sweep import (
 )
 
 
+def _npz_entries(directory) -> int:
+    """Cache entries in a directory (ignoring manifest sidecars)."""
+    return sum(1 for name in os.listdir(directory) if name.endswith(".npz"))
+
+
 def small_spec(**overrides):
     base = dict(
         algorithm="nonuniform",
@@ -56,17 +61,22 @@ def adaptive(rel_ci=1e-9, min_trials=32, max_trials=64, **overrides):
 
 
 class TestBlockSchedule:
-    def test_doubling_schedule(self):
-        assert [block_trials(b) for b in range(5)] == [32, 32, 64, 128, 256]
-        assert [completed_trials(b) for b in range(6)] == [
-            0, 32, 64, 128, 256, 512,
+    def test_capped_doubling_schedule(self):
+        # Doubling up to the cap, then flat: heavy cells decompose into
+        # many equal blocks the executor can run concurrently.
+        assert [block_trials(b) for b in range(7)] == [
+            32, 32, 64, 128, 128, 128, 128,
+        ]
+        assert [completed_trials(b) for b in range(8)] == [
+            0, 32, 64, 128, 256, 384, 512, 640,
         ]
 
     def test_whole_blocks_inverts_cumulative(self):
-        for blocks in range(6):
+        for blocks in range(10):
             assert whole_blocks(completed_trials(blocks)) == blocks
         assert whole_blocks(33) == 1  # ragged tails truncate down
         assert whole_blocks(100) == 2
+        assert whole_blocks(300) == 4
         assert whole_blocks(0) == 0
 
 
@@ -98,7 +108,7 @@ class TestFixedPolicyParity:
         assert second.from_cache
         for a, b in zip(first.cells, second.cells):
             assert np.array_equal(a.times, b.times)
-        assert len(os.listdir(tmp_path)) == 1
+        assert _npz_entries(tmp_path) == 1
 
     def test_budget_key_absent_from_plain_spec_dict(self):
         # Pre-adaptive cache entries must keep hitting: the canonical
@@ -237,7 +247,7 @@ class TestBlockStoreCache:
         assert all(e.new_trials == 192 for e in events)
         assert all(e.source == "topped-up" for e in events)
         # One shared block store, not one file per policy.
-        assert len(os.listdir(tmp_path)) == 1
+        assert _npz_entries(tmp_path) == 1
 
     def test_top_up_equals_fresh_run(self, tmp_path):
         run_sweep(adaptive(max_trials=64), cache_dir=str(tmp_path))
@@ -316,16 +326,16 @@ class TestBlockStoreCache:
 
         mine = adaptive(distances=(8,), max_trials=32)
         racer = adaptive(distances=(16,), max_trials=32)
-        real = runner_mod._run_cell_adaptive
+        real = runner_mod._execute_block
         state = {"raced": False}
 
-        def racing(task):
+        def racing(payload):
             if not state["raced"]:
                 state["raced"] = True
                 run_sweep(racer, cache_dir=str(tmp_path))
-            return real(task)
+            return real(payload)
 
-        monkeypatch.setattr(runner_mod, "_run_cell_adaptive", racing)
+        monkeypatch.setattr(runner_mod, "_execute_block", racing)
         run_sweep(mine, cache_dir=str(tmp_path))
         store = load_blocks(mine, block_store_path(mine, str(tmp_path)))
         assert set(store) == {(8, 1), (8, 4), (16, 1), (16, 4)}

@@ -314,7 +314,7 @@ class TestCacheCommand:
             == 0
         )
         assert "would prune 1 entries" in capsys.readouterr().out
-        assert len(list(tmp_path.iterdir())) == 1
+        assert len(list(tmp_path.glob("*.npz"))) == 1
 
     def test_cache_prune_removes_old_entries(self, tmp_path, capsys):
         self._populate(tmp_path)
@@ -344,8 +344,63 @@ class TestCacheCommand:
             == 0
         )
         assert "pruned 0 entries" in capsys.readouterr().out
-        assert len(list(tmp_path.iterdir())) == 1
+        assert len(list(tmp_path.glob("*.npz"))) == 1
 
     def test_cache_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache"])
+
+
+class TestExecutorFlags:
+    def test_workers_accepts_auto(self):
+        args = build_parser().parse_args(["run", "E1", "--workers", "auto"])
+        assert args.workers == "auto"
+        args = build_parser().parse_args(["run", "E1", "--workers", "3"])
+        assert args.workers == 3
+
+    def test_workers_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E1", "--workers", "many"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "E1", "--workers", "-2"])
+
+    def test_backend_choices(self):
+        args = build_parser().parse_args(
+            ["sweep", "nonuniform", "--distances", "8", "--ks", "1",
+             "--backend", "process"]
+        )
+        assert args.backend == "process"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "E1", "--backend", "quantum"]
+            )
+
+    def test_sweep_with_explicit_backend_runs(self, capsys):
+        assert (
+            main(
+                ["sweep", "nonuniform", "--distances", "8", "--ks", "1",
+                 "--trials", "5", "--workers", "1", "--backend", "process",
+                 "--no-cache"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sweep nonuniform" in out
+
+    def test_run_shares_one_executor_across_experiments(self, monkeypatch):
+        """The CLI builds exactly one executor for a multi-experiment run."""
+        from repro.sweep import executor as executor_mod
+
+        created = []
+        original = executor_mod.make_executor
+
+        def counting(*args, **kwargs):
+            ex = original(*args, **kwargs)
+            created.append(ex)
+            return ex
+
+        monkeypatch.setattr(
+            "repro.sweep.executor.make_executor", counting
+        )
+        assert main(["run", "E1", "E9", "--quick", "--no-cache"]) == 0
+        assert len(created) == 1

@@ -22,6 +22,11 @@ from repro.sweep import (
 )
 
 
+def _npz_entries(directory) -> int:
+    """Cache entries in a directory (ignoring manifest sidecars)."""
+    return sum(1 for name in os.listdir(directory) if name.endswith(".npz"))
+
+
 def small_spec(**overrides):
     base = dict(
         algorithm="nonuniform",
@@ -203,7 +208,7 @@ class TestCache:
         full = small_spec(trials=30)
         run_sweep(quick, cache_dir=str(tmp_path))
         run_sweep(full, cache_dir=str(tmp_path))
-        assert len(os.listdir(tmp_path)) == 2
+        assert _npz_entries(tmp_path) == 2
         assert run_sweep(quick, cache_dir=str(tmp_path)).from_cache
         assert run_sweep(full, cache_dir=str(tmp_path)).from_cache
 
@@ -216,7 +221,7 @@ class TestCache:
         # A perturbed spec must not be served the unperturbed entry.
         perturbed = run_sweep(crashy, cache_dir=str(tmp_path))
         assert not perturbed.from_cache
-        assert len(os.listdir(tmp_path)) == 2
+        assert _npz_entries(tmp_path) == 2
         # Identical specs (including an equal-but-not-identical scenario)
         # hit their own entries.
         again = run_sweep(
@@ -276,3 +281,87 @@ class TestEmptyGrid:
         assert len(result) == 0
         assert not result.from_cache
         assert os.listdir(tmp_path) == []
+
+
+class TestManifestSidecars:
+    """Metadata-only ``cache list``: sidecar manifests (see cache.py)."""
+
+    def _entry(self, tmp_path):
+        from repro.sweep import list_entries
+
+        entries = list_entries(str(tmp_path))
+        assert len(entries) == 1
+        return entries[0]
+
+    def test_save_writes_consistent_sidecar(self, tmp_path):
+        from repro.sweep.cache import MANIFEST_SUFFIX
+
+        run_sweep(small_spec(trials=10), cache_dir=str(tmp_path))
+        (npz,) = [p for p in tmp_path.iterdir() if p.suffix == ".npz"]
+        sidecar = tmp_path / (npz.name + MANIFEST_SUFFIX)
+        assert sidecar.exists()
+        entry = self._entry(tmp_path)
+        assert entry.kind == "sweep"
+        assert entry.algorithm == "nonuniform"
+        assert entry.cells == 4
+        assert entry.trials == 40
+
+    def test_listing_without_sidecar_falls_back_to_archive(self, tmp_path):
+        from repro.sweep.cache import MANIFEST_SUFFIX
+
+        run_sweep(small_spec(trials=10), cache_dir=str(tmp_path))
+        with_sidecar = self._entry(tmp_path)
+        for sidecar in tmp_path.glob("*" + MANIFEST_SUFFIX):
+            sidecar.unlink()
+        fallback = self._entry(tmp_path)
+        assert fallback == with_sidecar
+
+    def test_stale_sidecar_is_ignored(self, tmp_path):
+        import json
+
+        from repro.sweep.cache import MANIFEST_SUFFIX
+
+        run_sweep(small_spec(trials=10), cache_dir=str(tmp_path))
+        truth = self._entry(tmp_path)
+        (sidecar,) = tmp_path.glob("*" + MANIFEST_SUFFIX)
+        # An npz rewritten by an older tool leaves a size-mismatched
+        # manifest behind; a lying sidecar must lose to the archive.
+        sidecar.write_text(json.dumps({
+            "kind": "sweep", "algorithm": "bogus", "cells": 999,
+            "trials": 999, "npz_size": -1,
+        }))
+        assert self._entry(tmp_path) == truth
+
+    def test_prune_removes_sidecars(self, tmp_path):
+        from repro.sweep import prune_entries
+
+        run_sweep(small_spec(trials=10), cache_dir=str(tmp_path))
+        pruned = prune_entries(str(tmp_path), older_than_days=0.0)
+        assert len(pruned) == 1
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestAppendBlocks:
+    def test_merge_keeps_longer_and_foreign_cells(self, tmp_path):
+        from repro.stats import BudgetPolicy
+        from repro.sweep import append_blocks, block_store_path, load_blocks, save_blocks
+
+        spec = small_spec(
+            budget=BudgetPolicy.target_rel_ci(1e-9, min_trials=32, max_trials=32)
+        )
+        path = block_store_path(spec, str(tmp_path))
+        assert save_blocks(spec, path, {
+            (8, 1): np.arange(64, dtype=np.float64),
+            (99, 1): np.arange(32, dtype=np.float64),
+        })
+        # A writer that loaded (8,1) at 32 trials and extended nothing
+        # must not clobber the disk's longer 64-trial version, and must
+        # keep the (99,1) cell it never saw.
+        assert append_blocks(spec, path, {
+            (8, 1): np.arange(32, dtype=np.float64),
+            (16, 4): np.arange(32, dtype=np.float64) + 7.0,
+        })
+        merged = load_blocks(spec, path)
+        assert set(merged) == {(8, 1), (16, 4), (99, 1)}
+        assert merged[(8, 1)].size == 64
+        assert merged[(16, 4)][0] == 7.0
