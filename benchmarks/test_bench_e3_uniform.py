@@ -1,7 +1,5 @@
 """Bench E3 — regenerates the Theorem 3.3 table and asserts its shape."""
 
-import math
-
 from repro.experiments.e3_uniform_competitiveness import run
 
 SEED = 20120716

@@ -16,8 +16,6 @@ Run:  python examples/adversarial_treasure.py [--fast]
 
 import sys
 
-import numpy as np
-
 from repro import UniformSearch, place_treasure, simulate_find_times
 from repro.analysis.lower_bounds import adversarial_treasure, visit_probability_map
 from repro.core.geometry import l1_norm

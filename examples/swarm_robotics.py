@@ -21,8 +21,6 @@ Run:  python examples/swarm_robotics.py [--fast]
 
 import sys
 
-import numpy as np
-
 from repro import (
     NonUniformSearch,
     RhoApproxSearch,

@@ -61,7 +61,7 @@ from .stats import (
 )
 from .sweep import SweepExecutor, SweepSpec, make_executor, run_sweep
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AgentProfile",

@@ -1,0 +1,110 @@
+"""Static and runtime checks for the determinism contract.
+
+``repro.checks`` is the enforcement arm of the repo's load-bearing
+invariant (bitwise determinism; DESIGN.md §9 catalogues the rules):
+
+* :mod:`repro.checks.lint` — AST rules R001 (no ambient randomness),
+  R002 (no fresh entropy in engine/runner code), R004 (no worker/executor
+  state in seeds or spec fields);
+* :mod:`repro.checks.streams` — R003, the cross-file ``*_STREAM``
+  registration/uniqueness scan, backed by the runtime
+  :mod:`repro.checks.registry`;
+* :mod:`repro.checks.manifest` — R005, the committed SweepSpec hash
+  manifest (loaded lazily: it imports the sweep stack);
+* :mod:`repro.checks.trace` — the ``REPRO_RNG_TRACE=1`` draw-order
+  sanitizer that localizes parity failures to the first divergent
+  (stream key, call index).
+
+Import discipline: ``repro.sim.rng`` imports :mod:`repro.checks.trace`
+and :mod:`repro.checks.registry`, so this package (and every module it
+imports eagerly) must stay stdlib/numpy-only.  Anything that needs the
+simulation or sweep stack is imported inside functions.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+from .findings import RULES, Finding, format_findings
+from .lint import iter_python_files, lint_file, lint_tree
+from .registry import (
+    STREAM_REGISTRY,
+    register_stream,
+    registered_streams,
+    stream_name,
+)
+from .streams import scan_stream_files, scan_streams
+from . import trace
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "format_findings",
+    "lint_file",
+    "lint_tree",
+    "iter_python_files",
+    "scan_streams",
+    "scan_stream_files",
+    "STREAM_REGISTRY",
+    "register_stream",
+    "registered_streams",
+    "stream_name",
+    "trace",
+    "run_checks",
+    "default_roots",
+]
+
+#: Path fragments excluded from tree scans: the seeded-violation fixture
+#: corpus exists to make rules fire and must never fail the clean run.
+DEFAULT_EXCLUDE = ("fixtures/checks",)
+
+
+def default_roots() -> List[str]:
+    """The trees ``repro-ants check`` lints by default.
+
+    The installed package itself, plus — when running from a source
+    checkout — the sibling ``tests``, ``examples`` and ``benchmarks``
+    trees, so the contract also binds the code that *verifies* it.
+    """
+    package_root = os.path.dirname(os.path.abspath(__file__))
+    package_root = os.path.dirname(package_root)  # src/repro
+    roots = [package_root]
+    repo_root = os.path.dirname(os.path.dirname(package_root))
+    for sibling in ("tests", "examples", "benchmarks"):
+        candidate = os.path.join(repo_root, sibling)
+        if os.path.isdir(candidate):
+            roots.append(candidate)
+    return roots
+
+
+def run_checks(
+    roots: Optional[Sequence[str]] = None,
+    *,
+    exclude: Sequence[str] = DEFAULT_EXCLUDE,
+    manifest_path: Optional[str] = None,
+) -> List[Finding]:
+    """Run every static rule (R001-R005) and return all findings.
+
+    ``roots`` defaults to :func:`default_roots`; R003's uniqueness scan
+    runs across all roots at once (stream tags are globally disjoint, not
+    per-tree).  R005 checks the committed manifest at ``manifest_path``
+    (default: the packaged ``spec_manifest.json``).
+    """
+    from .manifest import DEFAULT_MANIFEST_PATH, check_manifest
+
+    if roots is None:
+        roots = default_roots()
+    findings: List[Finding] = []
+    all_files: List[str] = []
+    for root in roots:
+        for path in iter_python_files(root, exclude):
+            all_files.append(path)
+            findings.extend(lint_file(path))
+    findings.extend(scan_stream_files(all_files))
+    findings.extend(
+        check_manifest(
+            manifest_path if manifest_path is not None else DEFAULT_MANIFEST_PATH
+        )
+    )
+    return sorted(findings)

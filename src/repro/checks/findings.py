@@ -1,0 +1,51 @@
+"""The finding record shared by every determinism check.
+
+A :class:`Finding` is one localized violation of the determinism
+contract: which rule fired, where, and why.  Checks return lists of
+findings rather than raising, so one ``repro-ants check`` run reports
+every violation in the tree at once (the model is a compiler's error
+list, not an assertion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+__all__ = ["RULES", "Finding", "format_findings"]
+
+#: The determinism rule catalogue (see DESIGN.md §9 for the long form
+#: and the historical bug each rule would have caught).
+RULES: Dict[str, str] = {
+    "R001": "no ambient randomness outside sim/rng.py",
+    "R002": "engine/runner Generators must be seeded from derived values, "
+    "not fresh entropy",
+    "R003": "*_STREAM tags must be registered and globally unique",
+    "R004": "worker/executor state must not flow into seed derivation or "
+    "hashed spec fields",
+    "R005": "SweepSpec identity must not drift without a version bump "
+    "(hash manifest)",
+}
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, pinned to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def format_findings(findings: Sequence[Finding]) -> str:
+    """The multi-line report ``repro-ants check`` prints."""
+    lines = [finding.render() for finding in sorted(findings)]
+    lines.append(
+        f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,311 @@
+"""Rule R005: SweepSpec identity must not drift without a version bump.
+
+The sweep cache keys on two content hashes: :meth:`SweepSpec.spec_hash`
+(full spec identity — which results are wanted) and
+:meth:`SweepSpec.data_hash` (block-stream identity — what the trial
+blocks of a cell contain).  Any edit that changes either hash for an
+existing spec silently orphans every cached result and — worse, the PR 5
+bug class — any edit that *fails* to change the hash when execution
+semantics changed makes stale cache entries masquerade as fresh results.
+
+The contract: a spec-identity change is always *deliberate*, i.e. it
+arrives together with a ``SPEC_VERSION`` / ``BLOCK_SCHEDULE_VERSION``
+bump and a regenerated manifest.  This module pins the contract in a
+committed JSON manifest holding, for a battery of canonical specs, the
+exact ``spec_hash`` / ``data_hash`` values plus the hashed-field
+partition (which ``to_dict`` / ``data_dict`` keys exist, and which
+partition each belongs to).  ``repro-ants check`` recomputes everything
+and reports any drift as an R005 finding; after a deliberate change,
+``repro-ants check --fix-manifest`` re-pins.
+
+Unlike its siblings this module imports the sweep stack, so
+:mod:`repro.checks.__init__` loads it lazily — ``repro.sim.rng`` imports
+``repro.checks.trace`` and must never pull the simulation stack back in
+through the package.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Mapping
+
+from .findings import Finding
+
+__all__ = [
+    "DEFAULT_MANIFEST_PATH",
+    "canonical_specs",
+    "build_manifest",
+    "check_manifest",
+    "write_manifest",
+]
+
+#: The committed manifest, next to this module.
+DEFAULT_MANIFEST_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "spec_manifest.json"
+)
+
+_FIX_HINT = (
+    "if the change is deliberate, bump SPEC_VERSION / "
+    "BLOCK_SCHEDULE_VERSION as appropriate and run "
+    "`repro-ants check --fix-manifest`"
+)
+
+
+def canonical_specs() -> Dict[str, object]:
+    """The pinned spec battery, one per hashing-relevant code path.
+
+    Covers: the plain fixed path, a chunk-splitting excursion spec (whose
+    dict carries the ``fixed_chunking`` marker), a chunk-exempt walker
+    spec with a horizon, a scenario'd spec, and an adaptive-budget spec
+    (whose dict carries the ``budget`` key).
+    """
+    from ..sweep.spec import SweepSpec
+
+    return {
+        "fixed_plain": SweepSpec(
+            algorithm="uniform",
+            distances=(4, 8, 16),
+            ks=(1, 2, 4),
+            trials=8,
+            params={"eps": 0.5},
+            seed=123,
+        ),
+        "fixed_chunked_excursion": SweepSpec(
+            algorithm="nonuniform",
+            distances=tuple(range(2, 22)),
+            ks=(2,),
+            trials=16,
+            seed=7,
+        ),
+        "walker_horizon": SweepSpec(
+            algorithm="random_walk",
+            distances=tuple(range(2, 22)),
+            ks=(1,),
+            trials=8,
+            horizon=500.0,
+            seed=99,
+        ),
+        "scenario_faults": SweepSpec(
+            algorithm="uniform",
+            distances=(4, 8),
+            ks=(2,),
+            trials=8,
+            seed=11,
+            scenario={
+                "crash_hazard": 0.001,
+                "speed_spread": 0.5,
+                "start_stagger": 2.0,
+                "detection_prob": 0.9,
+            },
+        ),
+        "adaptive_rel_ci": SweepSpec(
+            algorithm="harmonic",
+            distances=(4, 8),
+            ks=(1, 2),
+            trials=8,
+            seed=42,
+            budget={
+                "kind": "target_rel_ci",
+                "rel_ci": 0.1,
+                "min_trials": 32,
+                "max_trials": 256,
+                "confidence": 0.95,
+            },
+        ),
+    }
+
+
+def build_manifest() -> Dict[str, object]:
+    """Recompute the manifest from the live code."""
+    from ..sweep.spec import BLOCK_SCHEDULE_VERSION, SPEC_VERSION
+
+    specs: Dict[str, Dict[str, object]] = {}
+    spec_fields: Dict[str, List[str]] = {}
+    for name, spec in sorted(canonical_specs().items()):
+        spec_keys = sorted(spec.to_dict())  # type: ignore[attr-defined]
+        data_keys = sorted(spec.data_dict())  # type: ignore[attr-defined]
+        partition = {
+            key: (
+                "spec+data"
+                if key in data_keys
+                else "spec"
+            )
+            for key in sorted(set(spec_keys) | set(data_keys))
+        }
+        for key in data_keys:
+            if key not in spec_keys:
+                partition[key] = "data"
+        specs[name] = {
+            "spec_hash": spec.spec_hash(),  # type: ignore[attr-defined]
+            "data_hash": spec.data_hash(),  # type: ignore[attr-defined]
+            "fields": partition,
+        }
+        for key, part in partition.items():
+            spec_fields.setdefault(key, [])
+            if part not in spec_fields[key]:
+                spec_fields[key].append(part)
+    return {
+        "spec_version": SPEC_VERSION,
+        "block_schedule_version": BLOCK_SCHEDULE_VERSION,
+        "specs": specs,
+    }
+
+
+def _partition_findings(path: str, manifest: Mapping) -> List[Finding]:
+    """Structural invariant: data fields ⊂ spec fields + version markers.
+
+    ``data_dict`` may add its schedule-version marker, but any *other*
+    data-only field would mean block-stream identity depends on something
+    the full spec identity does not capture — a cache-key hole.
+    """
+    findings: List[Finding] = []
+    for name, entry in sorted(manifest.get("specs", {}).items()):
+        for key, part in sorted(entry.get("fields", {}).items()):
+            if part == "data" and key not in ("block_schedule",):
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=0,
+                        col=0,
+                        rule="R005",
+                        message=(
+                            f"spec {name!r}: field {key!r} is in the data "
+                            f"hash but not the spec hash — block identity "
+                            f"would depend on a knob the spec hash cannot "
+                            f"see"
+                        ),
+                    )
+                )
+    return findings
+
+
+def check_manifest(path: str = DEFAULT_MANIFEST_PATH) -> List[Finding]:
+    """Compare the committed manifest against the live code (R005)."""
+    current = build_manifest()
+    findings = _partition_findings(path, current)
+    if not os.path.exists(path):
+        findings.append(
+            Finding(
+                path=path,
+                line=0,
+                col=0,
+                rule="R005",
+                message=(
+                    f"spec hash manifest is missing; generate it with "
+                    f"`repro-ants check --fix-manifest`"
+                ),
+            )
+        )
+        return findings
+    with open(path, "r", encoding="utf-8") as handle:
+        pinned = json.load(handle)
+
+    for key in ("spec_version", "block_schedule_version"):
+        if pinned.get(key) != current[key]:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=0,
+                    col=0,
+                    rule="R005",
+                    message=(
+                        f"{key} changed "
+                        f"({pinned.get(key)!r} -> {current[key]!r}) but the "
+                        f"manifest was not regenerated; {_FIX_HINT}"
+                    ),
+                )
+            )
+
+    pinned_specs = pinned.get("specs", {})
+    current_specs = current["specs"]
+    for name in sorted(set(pinned_specs) | set(current_specs)):
+        if name not in current_specs:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=0,
+                    col=0,
+                    rule="R005",
+                    message=(
+                        f"canonical spec {name!r} disappeared from the "
+                        f"battery; {_FIX_HINT}"
+                    ),
+                )
+            )
+            continue
+        if name not in pinned_specs:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=0,
+                    col=0,
+                    rule="R005",
+                    message=(
+                        f"canonical spec {name!r} is not pinned in the "
+                        f"manifest; {_FIX_HINT}"
+                    ),
+                )
+            )
+            continue
+        pinned_entry = pinned_specs[name]
+        current_entry = current_specs[name]
+        for hash_key in ("spec_hash", "data_hash"):
+            if pinned_entry.get(hash_key) != current_entry[hash_key]:
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=0,
+                        col=0,
+                        rule="R005",
+                        message=(
+                            f"spec {name!r}: {hash_key} drifted "
+                            f"({pinned_entry.get(hash_key)} -> "
+                            f"{current_entry[hash_key]}) — every cached "
+                            f"result would be orphaned or, worse, stale "
+                            f"entries could be mistaken for fresh ones; "
+                            f"{_FIX_HINT}"
+                        ),
+                    )
+                )
+        if pinned_entry.get("fields") != current_entry["fields"]:
+            pinned_keys = set(pinned_entry.get("fields", {}))
+            current_keys = set(current_entry["fields"])
+            added = sorted(current_keys - pinned_keys)
+            removed = sorted(pinned_keys - current_keys)
+            moved = sorted(
+                key
+                for key in pinned_keys & current_keys
+                if pinned_entry["fields"][key] != current_entry["fields"][key]
+            )
+            detail = "; ".join(
+                part
+                for part in (
+                    f"added {added}" if added else "",
+                    f"removed {removed}" if removed else "",
+                    f"repartitioned {moved}" if moved else "",
+                )
+                if part
+            )
+            findings.append(
+                Finding(
+                    path=path,
+                    line=0,
+                    col=0,
+                    rule="R005",
+                    message=(
+                        f"spec {name!r}: hashed-field partition changed "
+                        f"({detail}); {_FIX_HINT}"
+                    ),
+                )
+            )
+    return findings
+
+
+def write_manifest(path: str = DEFAULT_MANIFEST_PATH) -> Dict[str, object]:
+    """Regenerate and commit the manifest (``--fix-manifest``)."""
+    manifest = build_manifest()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return manifest

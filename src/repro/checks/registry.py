@@ -1,0 +1,73 @@
+"""Central registry of RNG derivation-stream tags (rule R003's anchor).
+
+Every tagged derivation namespace in the codebase — ``BLOCK_STREAM``,
+``SCENARIO_STREAM``, ``GROUP_CHUNK_STREAM``, ``PLACEMENT_STREAM``, and any
+future one — is declared as::
+
+    FOO_STREAM = register_stream("FOO_STREAM", 0xF00)
+
+so the assignment *is* the registration.  That buys two guarantees:
+
+* at import time, :func:`register_stream` rejects a tag value that some
+  other stream already claimed — two namespaces can never silently alias
+  (the bug class behind PR 2's seed aliasing, where every E7 baseline
+  trial was an identical replica);
+* statically, the ``repro.checks`` lint pass (rule R003) scans for
+  ``*_STREAM`` assignments and fails any that bypass this call, carry a
+  mismatched name, or collide on value — so the contract holds even for
+  code paths no test happens to execute.
+
+This module is intentionally dependency-free (stdlib only): it is
+imported by ``repro.sim.rng`` and must never import back into the
+simulation stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["STREAM_REGISTRY", "register_stream", "registered_streams", "stream_name"]
+
+#: name -> tag of every registered derivation stream.  Mutated only by
+#: :func:`register_stream`; read via :func:`registered_streams`.
+STREAM_REGISTRY: Dict[str, int] = {}
+
+
+def register_stream(name: str, tag: int) -> int:
+    """Register the derivation-stream tag ``name`` and return ``tag``.
+
+    Idempotent for an identical ``(name, tag)`` pair (module reloads);
+    raises ``ValueError`` when ``name`` is re-registered with a different
+    tag or when ``tag`` is already claimed by another stream.
+    """
+    if not isinstance(tag, int) or isinstance(tag, bool):
+        raise TypeError(f"stream tag must be a plain int, got {tag!r}")
+    existing = STREAM_REGISTRY.get(name)
+    if existing is not None:
+        if existing != tag:
+            raise ValueError(
+                f"stream {name!r} re-registered with tag {tag:#x} "
+                f"(already {existing:#x})"
+            )
+        return tag
+    for other, value in STREAM_REGISTRY.items():
+        if value == tag:
+            raise ValueError(
+                f"stream tag collision: {name!r} and {other!r} both claim "
+                f"{tag:#x}; derivation namespaces must be globally disjoint"
+            )
+    STREAM_REGISTRY[name] = tag
+    return tag
+
+
+def registered_streams() -> Dict[str, int]:
+    """A snapshot copy of the registry (name -> tag)."""
+    return dict(STREAM_REGISTRY)
+
+
+def stream_name(tag: int) -> Optional[str]:
+    """The registered name of ``tag``, or ``None`` for unknown values."""
+    for name, value in STREAM_REGISTRY.items():
+        if value == tag:
+            return name
+    return None

@@ -1,0 +1,215 @@
+"""Rule R003: every ``*_STREAM`` tag is registered and globally unique.
+
+The tagged derivation scheme in :mod:`repro.sim.rng` partitions the
+seed-derivation space by stream constants.  Two constants with equal
+values alias their namespaces — the statistical failure mode behind
+PR 2's seed-aliasing bug, where every E7 baseline trial replayed the
+same stream.  The runtime registry (:mod:`repro.checks.registry`)
+rejects collisions at import; this scan enforces the same contract
+statically, across *all* files, including code paths no test imports.
+
+The contract a ``*_STREAM`` assignment must satisfy::
+
+    FOO_STREAM = register_stream("FOO_STREAM", 0xF00)
+
+* the registered name string equals the assigned variable name;
+* the tag is an integer literal (greppable, diffable, no computed tags);
+* no other ``*_STREAM`` constant anywhere in the tree carries the same
+  value, and no name is declared in two places.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .findings import Finding
+from .lint import iter_python_files
+
+__all__ = ["scan_streams", "scan_stream_files"]
+
+_STREAM_NAME = re.compile(r"^[A-Z][A-Z0-9_]*_STREAM$")
+_ALLOW_MARK = "repro: allow(R003)"
+
+
+def _assigned_stream_names(node: ast.AST) -> List[str]:
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        targets = [node.target]
+    names = []
+    for target in targets:
+        if isinstance(target, ast.Name) and _STREAM_NAME.match(target.id):
+            names.append(target.id)
+    return names
+
+
+def _register_call_parts(
+    value: ast.expr,
+) -> Optional[Tuple[Optional[str], Optional[int]]]:
+    """``("FOO_STREAM", 0xF00)`` parts of a register_stream call, if any.
+
+    Either element is ``None`` when the corresponding argument is not the
+    required literal form.
+    """
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    func_name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute) else None
+    )
+    if func_name != "register_stream":
+        return None
+    name_literal: Optional[str] = None
+    tag_literal: Optional[int] = None
+    if len(value.args) >= 1 and isinstance(value.args[0], ast.Constant):
+        constant = value.args[0].value
+        if isinstance(constant, str):
+            name_literal = constant
+    if len(value.args) >= 2 and isinstance(value.args[1], ast.Constant):
+        constant = value.args[1].value
+        if isinstance(constant, int) and not isinstance(constant, bool):
+            tag_literal = constant
+    return name_literal, tag_literal
+
+
+def scan_stream_files(paths: Sequence[str]) -> List[Finding]:
+    """Scan explicit files for R003 violations."""
+    findings: List[Finding] = []
+    #: tag value -> (path, line, stream name) of its first declaration.
+    by_value: Dict[int, Tuple[str, int, str]] = {}
+    #: stream name -> (path, line) of its first declaration.
+    by_name: Dict[str, Tuple[str, int]] = {}
+
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        try:
+            tree = ast.parse(text, filename=path)
+        except SyntaxError:
+            continue  # lint_file already reports R000 for this
+        lines = text.splitlines()
+        for node in ast.walk(tree):
+            names = _assigned_stream_names(node)
+            if not names:
+                continue
+            line = getattr(node, "lineno", 0)
+            if 1 <= line <= len(lines) and _ALLOW_MARK in lines[line - 1]:
+                continue
+            col = getattr(node, "col_offset", 0)
+            value = node.value  # type: ignore[attr-defined]
+            parts = _register_call_parts(value)
+            for name in names:
+                tag: Optional[int] = None
+                if parts is None:
+                    if isinstance(value, ast.Constant) and isinstance(
+                        value.value, int
+                    ):
+                        tag = value.value
+                        findings.append(
+                            Finding(
+                                path=path,
+                                line=line,
+                                col=col,
+                                rule="R003",
+                                message=(
+                                    f"stream constant {name} assigned a bare "
+                                    f"literal; declare it via "
+                                    f'register_stream("{name}", {tag:#x}) so '
+                                    f"uniqueness is enforced"
+                                ),
+                            )
+                        )
+                    else:
+                        findings.append(
+                            Finding(
+                                path=path,
+                                line=line,
+                                col=col,
+                                rule="R003",
+                                message=(
+                                    f"stream constant {name} must be declared "
+                                    f"as register_stream(\"{name}\", "
+                                    f"<int literal>)"
+                                ),
+                            )
+                        )
+                else:
+                    name_literal, tag = parts
+                    if name_literal != name:
+                        findings.append(
+                            Finding(
+                                path=path,
+                                line=line,
+                                col=col,
+                                rule="R003",
+                                message=(
+                                    f"stream constant {name} registered under "
+                                    f"mismatched name {name_literal!r}; the "
+                                    f"registered name must equal the assigned "
+                                    f"name"
+                                ),
+                            )
+                        )
+                    if tag is None:
+                        findings.append(
+                            Finding(
+                                path=path,
+                                line=line,
+                                col=col,
+                                rule="R003",
+                                message=(
+                                    f"stream constant {name} must register an "
+                                    f"integer literal tag (computed tags are "
+                                    f"not diffable)"
+                                ),
+                            )
+                        )
+
+                prior_name = by_name.get(name)
+                if prior_name is not None:
+                    findings.append(
+                        Finding(
+                            path=path,
+                            line=line,
+                            col=col,
+                            rule="R003",
+                            message=(
+                                f"stream constant {name} already declared at "
+                                f"{prior_name[0]}:{prior_name[1]}; declare "
+                                f"each stream once and import it"
+                            ),
+                        )
+                    )
+                else:
+                    by_name[name] = (path, line)
+
+                if tag is not None:
+                    prior = by_value.get(tag)
+                    if prior is not None and prior[2] != name:
+                        findings.append(
+                            Finding(
+                                path=path,
+                                line=line,
+                                col=col,
+                                rule="R003",
+                                message=(
+                                    f"stream tag {tag:#x} of {name} collides "
+                                    f"with {prior[2]} at {prior[0]}:{prior[1]}"
+                                    f"; derivation namespaces must be "
+                                    f"globally disjoint"
+                                ),
+                            )
+                        )
+                    elif prior is None:
+                        by_value[tag] = (path, line, name)
+    return findings
+
+
+def scan_streams(root: str, exclude: Sequence[str] = ()) -> List[Finding]:
+    """Scan every Python file under ``root`` for R003 violations."""
+    return scan_stream_files(iter_python_files(root, exclude))

@@ -1,0 +1,243 @@
+"""Runtime RNG draw-order sanitizer (``REPRO_RNG_TRACE=1``).
+
+The repo's bitwise-determinism contract says that *which* random streams
+are constructed, *in what per-cell order*, and *from which derivation
+keys* is a pure function of the sweep spec.  The end-to-end parity tests
+assert the consequence (identical result arrays); this module records the
+cause, so a violation is reported as "the first divergent stream" instead
+of a far-away bitwise diff.
+
+With ``REPRO_RNG_TRACE=1`` in the environment, every ``Generator``
+construction and seed derivation that goes through
+:mod:`repro.sim.rng`'s single construction point appends a
+:class:`TraceEvent` to a per-process buffer: the derivation *kind*
+(``derive_seed``, ``make_rng``, ...), the structured key words, the
+enclosing :func:`trace_scope` labels (the sweep runner tags each trial
+block with its ``(cell, block)``), and a *fingerprint* — the first
+``SeedSequence`` state word, i.e. the identity of the stream about to be
+drawn from.  Fingerprinting is pure (``SeedSequence.generate_state`` is
+a stateless hash), so tracing never perturbs the streams it observes.
+
+Two traces are compared per *scope* (the per-``(cell, block)``
+draw-order fingerprint of the module docstring's contract): within a
+scope, event sequences must match exactly; across scopes, order is
+free — executors legitimately reorder whole blocks, and the runner's
+fold step guarantees that reordering is invisible.  The scheduler's own
+derivations (spawn chains, chunk seeds) carry the empty scope and form
+the ``()`` group, which is how serial and process runs are compared: the
+parent-side derivation log must be identical even though worker-side
+events live in other processes.
+
+This module is import-light on purpose: ``repro.sim.rng`` imports it, so
+it must never import the simulation stack back.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .registry import stream_name
+
+__all__ = [
+    "ENV_VAR",
+    "TraceEvent",
+    "TraceDivergence",
+    "enabled",
+    "trace_scope",
+    "record",
+    "snapshot",
+    "clear",
+    "fingerprints",
+    "first_divergence",
+    "assert_traces_match",
+]
+
+#: Environment switch: any value other than unset/empty/``0`` enables
+#: tracing.  Read per call, so tests can flip it with ``monkeypatch``.
+ENV_VAR = "REPRO_RNG_TRACE"
+
+#: One scope label, e.g. ``("cell", (8, 2))`` or ``("block", 3)``.
+ScopeItem = Tuple[str, object]
+Scope = Tuple[ScopeItem, ...]
+
+_events: List["TraceEvent"] = []
+_scope_stack: List[ScopeItem] = []
+
+
+def enabled() -> bool:
+    """Is the sanitizer switched on (``REPRO_RNG_TRACE`` set)?"""
+    return os.environ.get(ENV_VAR, "").strip() not in ("", "0")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded RNG construction / seed derivation."""
+
+    index: int  # call index within this process's trace buffer
+    kind: str  # "make_rng" | "derive_rng" | "derive_seed" | ...
+    key: Tuple[int, ...]  # structured derivation key (empty for raw seeds)
+    scope: Scope  # enclosing trace_scope labels
+    fingerprint: int  # first SeedSequence state word (stream identity)
+
+    def describe(self) -> str:
+        words = []
+        for word in self.key:
+            name = stream_name(word)
+            words.append(name if name is not None else str(word))
+        key = ", ".join(words)
+        scope = ", ".join(f"{k}={v!r}" for k, v in self.scope) or "<scheduler>"
+        return (
+            f"{self.kind}({key}) [{scope}] fingerprint={self.fingerprint:#018x}"
+        )
+
+    def matches(self, other: "TraceEvent") -> bool:
+        """Same derivation, ignoring buffer position."""
+        return (
+            self.kind == other.kind
+            and self.key == other.key
+            and self.fingerprint == other.fingerprint
+        )
+
+
+def record(kind: str, key: Sequence[int], seq: np.random.SeedSequence) -> None:
+    """Append one event to the trace buffer (no-op unless enabled)."""
+    if not enabled():
+        return
+    fingerprint = int(np.ravel(seq.generate_state(1, np.uint64))[0])
+    _events.append(
+        TraceEvent(
+            index=len(_events),
+            kind=kind,
+            key=tuple(int(word) for word in key),
+            scope=tuple(_scope_stack),
+            fingerprint=fingerprint,
+        )
+    )
+
+
+@contextmanager
+def trace_scope(**labels: object) -> Iterator[None]:
+    """Tag every event recorded inside with ``labels`` (e.g. cell/block).
+
+    The sweep runner wraps each work unit in a scope, which is what turns
+    the flat buffer into per-``(cell, block)`` draw-order fingerprints.
+    Nesting composes; a disabled sanitizer makes this a cheap no-op.
+    """
+    if not enabled():
+        yield
+        return
+    items = tuple(sorted(labels.items()))
+    _scope_stack.extend(items)
+    try:
+        yield
+    finally:
+        del _scope_stack[len(_scope_stack) - len(items):]
+
+
+def snapshot() -> Tuple[TraceEvent, ...]:
+    """The trace recorded so far in this process."""
+    return tuple(_events)
+
+
+def clear() -> None:
+    """Drop the recorded trace (start a fresh comparison window)."""
+    _events.clear()
+
+
+def fingerprints(
+    events: Sequence[TraceEvent],
+) -> Dict[Scope, Tuple[TraceEvent, ...]]:
+    """Group a trace by scope, preserving within-scope order.
+
+    The value sequences are the per-scope draw-order fingerprints; the
+    empty-scope group ``()`` holds the scheduler-side derivations.
+    """
+    grouped: Dict[Scope, List[TraceEvent]] = {}
+    for event in events:
+        grouped.setdefault(event.scope, []).append(event)
+    return {scope: tuple(seq) for scope, seq in grouped.items()}
+
+
+@dataclass(frozen=True)
+class TraceDivergence:
+    """The first place two traces disagree."""
+
+    scope: Scope
+    call_index: int  # index within the scope's event sequence
+    left: Optional[TraceEvent]  # None = left trace is missing this call
+    right: Optional[TraceEvent]
+
+    def describe(self) -> str:
+        scope = ", ".join(f"{k}={v!r}" for k, v in self.scope) or "<scheduler>"
+        left = self.left.describe() if self.left is not None else "<absent>"
+        right = self.right.describe() if self.right is not None else "<absent>"
+        return (
+            f"first RNG divergence in scope [{scope}] at call index "
+            f"{self.call_index}:\n  left:  {left}\n  right: {right}"
+        )
+
+
+def first_divergence(
+    left: Sequence[TraceEvent],
+    right: Sequence[TraceEvent],
+    *,
+    require_same_scopes: bool = True,
+) -> Optional[TraceDivergence]:
+    """The first mismatched (stream key, call index), or ``None``.
+
+    Scopes are compared in deterministic (sorted) order; within a scope
+    the event sequences must match element-wise.  With
+    ``require_same_scopes=False``, scopes present in only one trace are
+    ignored — useful when one side legitimately ran extra speculative
+    blocks that the other side never collected.
+    """
+    grouped_left = fingerprints(left)
+    grouped_right = fingerprints(right)
+    scopes = set(grouped_left)
+    if require_same_scopes:
+        scopes |= set(grouped_right)
+    else:
+        scopes &= set(grouped_right)
+    for scope in sorted(scopes, key=repr):
+        seq_left = grouped_left.get(scope, ())
+        seq_right = grouped_right.get(scope, ())
+        for i in range(max(len(seq_left), len(seq_right))):
+            event_left = seq_left[i] if i < len(seq_left) else None
+            event_right = seq_right[i] if i < len(seq_right) else None
+            if (
+                event_left is None
+                or event_right is None
+                or not event_left.matches(event_right)
+            ):
+                return TraceDivergence(
+                    scope=scope,
+                    call_index=i,
+                    left=event_left,
+                    right=event_right,
+                )
+    return None
+
+
+def assert_traces_match(
+    left: Sequence[TraceEvent],
+    right: Sequence[TraceEvent],
+    *,
+    require_same_scopes: bool = True,
+) -> None:
+    """Raise ``AssertionError`` naming the first divergent stream.
+
+    The parity tests' entry point: on mismatch the error message carries
+    the scope (cell/block), the call index within it, and both events'
+    derivation keys — the localized form of "serial and parallel
+    disagreed".
+    """
+    divergence = first_divergence(
+        left, right, require_same_scopes=require_same_scopes
+    )
+    if divergence is not None:
+        raise AssertionError(divergence.describe())

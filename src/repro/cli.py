@@ -181,6 +181,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_path_p.add_argument("--cache-dir", default=None)
 
+    check_p = sub.add_parser(
+        "check",
+        help=(
+            "run the determinism contract checks (AST lint R001-R004, "
+            "stream registry scan, spec hash manifest)"
+        ),
+    )
+    check_p.add_argument(
+        "roots",
+        nargs="*",
+        metavar="DIR",
+        help=(
+            "directories to lint (default: the installed package plus the "
+            "checkout's tests/, examples/ and benchmarks/ trees)"
+        ),
+    )
+    check_p.add_argument(
+        "--fix-manifest",
+        action="store_true",
+        help=(
+            "re-pin the SweepSpec hash manifest after a deliberate "
+            "spec-identity change (requires the matching version bump)"
+        ),
+    )
+
     sub.add_parser("list", help="list registered experiments")
     sub.add_parser("demo", help="run a small end-to-end demonstration")
     return parser
@@ -551,6 +576,21 @@ def _cmd_cache(args) -> int:
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
+def _cmd_check(args) -> int:
+    from .checks import format_findings, run_checks
+    from .checks.manifest import DEFAULT_MANIFEST_PATH, write_manifest
+
+    if args.fix_manifest:
+        write_manifest()
+        print(f"re-pinned spec hash manifest at {DEFAULT_MANIFEST_PATH}")
+    findings = run_checks(args.roots if args.roots else None)
+    if not findings:
+        print("determinism checks: 0 findings")
+        return 0
+    print(format_findings(findings))
+    return 1
+
+
 def _cmd_demo() -> int:
     from .algorithms import HarmonicSearch, NonUniformSearch, UniformSearch
     from .analysis.competitiveness import optimal_time
@@ -598,6 +638,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "check":
+        return _cmd_check(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -141,7 +141,6 @@ def run(
         lambda k: UniformSearch(EPS), instrument_ks, boundaries, cutoff, load_seed
     )
     for profile in profiles:
-        total = 0.0
         for cov in profile.coverage:
             loads.add_row(
                 k=profile.k,
@@ -150,7 +149,6 @@ def run(
                 union_coverage=cov.fraction,
                 per_agent_load=cov.per_agent_mean,
             )
-            total += cov.per_agent_mean
         loads.add_note(
             f"k={profile.k}: total per-agent distinct cells = "
             f"{profile.per_agent_distinct:.0f} <= cutoff+1 = {profile.cutoff + 1}"

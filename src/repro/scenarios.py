@@ -55,6 +55,8 @@ from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from .checks.registry import register_stream
+
 __all__ = [
     "AgentProfile",
     "ScenarioSpec",
@@ -66,7 +68,7 @@ __all__ = [
 #: Key appended to ``derive_rng(seed, agent, SCENARIO_STREAM)`` for per-agent
 #: scenario randomness in the step engine, keeping trajectory streams
 #: untouched.  An arbitrary constant far outside plausible agent/trial keys.
-SCENARIO_STREAM = 0x5CE7A510
+SCENARIO_STREAM = register_stream("SCENARIO_STREAM", 0x5CE7A510)
 
 
 @dataclass(frozen=True)

@@ -6,6 +6,16 @@ independent streams for trials and agents are derived with ``spawn`` so that
 statistically independent regardless of how many are drawn, and (3) the
 same agent stream can be replayed through either simulation engine (the
 basis of the engine cross-validation tests).
+
+This module is the *only* place the codebase constructs
+``numpy.random.Generator`` objects (rule R001 of the determinism
+contract; see ``repro.checks``).  Every construction funnels through one
+point, :func:`_construct`, which is also where the ``REPRO_RNG_TRACE=1``
+draw-order sanitizer (:mod:`repro.checks.trace`) observes stream
+creation: with tracing on, each derivation records its kind, structured
+key and seed fingerprint, so a determinism violation is reported as "the
+first divergent stream in cell (D, k) block b" instead of a far-away
+bitwise diff.
 """
 
 from __future__ import annotations
@@ -13,6 +23,9 @@ from __future__ import annotations
 from typing import List, Sequence, Union
 
 import numpy as np
+
+from ..checks import trace
+from ..checks.registry import register_stream
 
 __all__ = [
     "make_rng",
@@ -33,20 +46,33 @@ SeedLike = Union[None, int, Sequence[int], np.random.SeedSequence, np.random.Gen
 #: ``derive_seed(root, index)`` keys (different leading word), so a
 #: cell's block stream depends only on ``(root, distance, k, block)`` —
 #: the invariant that makes cached blocks appendable across runs.
-BLOCK_STREAM = 0xB10C5EED
+BLOCK_STREAM = register_stream("BLOCK_STREAM", 0xB10C5EED)
+
+
+def _construct(
+    seq: np.random.SeedSequence, kind: str, key: Sequence[int] = ()
+) -> np.random.Generator:
+    """The single Generator construction point (trace hook lives here)."""
+    trace.record(kind, key, seq)
+    return np.random.default_rng(seq)
 
 
 def make_rng(seed: SeedLike = None) -> np.random.Generator:
     """Create a :class:`numpy.random.Generator` from any seed-like value.
 
     Passing an existing ``Generator`` returns it unchanged, so library
-    functions can accept either a seed or a live generator.
+    functions can accept either a seed or a live generator.  Every other
+    seed-like value is normalised to a ``SeedSequence`` first —
+    ``np.random.SeedSequence(seed)`` is exactly what ``default_rng(seed)``
+    does internally, so the normalisation is bitwise-neutral — and then
+    built at the traced construction point.
     """
     if isinstance(seed, np.random.Generator):
         return seed
-    if isinstance(seed, np.random.SeedSequence):
-        return np.random.default_rng(seed)
-    return np.random.default_rng(seed)
+    if not isinstance(seed, np.random.SeedSequence):
+        seed = np.random.SeedSequence(seed)
+    return _construct(seed, "make_rng")
+
 
 def spawn_seeds(seed: SeedLike, count: int) -> List[np.random.SeedSequence]:
     """Derive ``count`` independent child seed sequences from ``seed``."""
@@ -60,12 +86,26 @@ def spawn_seeds(seed: SeedLike, count: int) -> List[np.random.SeedSequence]:
         root = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
     else:
         root = np.random.SeedSequence(seed)
-    return list(root.spawn(count))
+    children = list(root.spawn(count))
+    for index, child in enumerate(children):
+        trace.record("spawn_seeds", (index,), child)
+    return children
 
 
 def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
     """Derive ``count`` independent generators from ``seed``."""
-    return [np.random.default_rng(s) for s in spawn_seeds(seed, count)]
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    elif isinstance(seed, np.random.Generator):
+        root = np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    else:
+        root = np.random.SeedSequence(seed)
+    return [
+        _construct(child, "spawn_rngs", (index,))
+        for index, child in enumerate(root.spawn(count))
+    ]
 
 
 def _key_sequence(seed: SeedLike, *key: int) -> np.random.SeedSequence:
@@ -120,7 +160,7 @@ def derive_rng(seed: SeedLike, *key: int) -> np.random.Generator:
     ``(root, trial, agent)`` triple, independent of evaluation order —
     the anchor of cross-engine replay tests.
     """
-    return np.random.default_rng(_key_sequence(seed, *key))
+    return _construct(_key_sequence(seed, *key), "derive_rng", key)
 
 
 def derive_seed(seed: SeedLike, *key: int) -> int:
@@ -131,4 +171,6 @@ def derive_seed(seed: SeedLike, *key: int) -> int:
     generator: the same ``(root, *key)`` always yields the same integer,
     and distinct keys yield statistically independent streams.
     """
-    return int(_key_sequence(seed, *key).generate_state(1, np.uint64)[0])
+    seq = _key_sequence(seed, *key)
+    trace.record("derive_seed", key, seq)
+    return int(seq.generate_state(1, np.uint64)[0])

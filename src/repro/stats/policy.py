@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional
 
 from .accumulators import FindTimeSummary
 
@@ -74,11 +74,12 @@ class BudgetPolicy:
                 f"confidence must be in (0, 1), got {self.confidence}"
             )
         if self.kind == "fixed":
-            if self.trials is None or int(self.trials) < 1:
+            trials = self.trials
+            if trials is None or int(trials) < 1:
                 raise ValueError(
-                    f"fixed policy needs trials >= 1, got {self.trials}"
+                    f"fixed policy needs trials >= 1, got {trials}"
                 )
-            object.__setattr__(self, "trials", int(self.trials))
+            object.__setattr__(self, "trials", int(trials))
             return
         if int(self.min_trials) < 1:
             raise ValueError(f"min_trials must be >= 1, got {self.min_trials}")
@@ -90,17 +91,19 @@ class BudgetPolicy:
         object.__setattr__(self, "min_trials", int(self.min_trials))
         object.__setattr__(self, "max_trials", int(self.max_trials))
         if self.kind == "target_rel_ci":
-            if self.rel_ci is None or not 0 < float(self.rel_ci):
+            rel_ci = self.rel_ci
+            if rel_ci is None or not 0 < float(rel_ci):
                 raise ValueError(
-                    f"target_rel_ci needs rel_ci > 0, got {self.rel_ci}"
+                    f"target_rel_ci needs rel_ci > 0, got {rel_ci}"
                 )
-            object.__setattr__(self, "rel_ci", float(self.rel_ci))
+            object.__setattr__(self, "rel_ci", float(rel_ci))
         elif self.kind == "wall":
-            if self.seconds is None or not float(self.seconds) > 0:
+            seconds = self.seconds
+            if seconds is None or not float(seconds) > 0:
                 raise ValueError(
-                    f"wall policy needs seconds > 0, got {self.seconds}"
+                    f"wall policy needs seconds > 0, got {seconds}"
                 )
-            object.__setattr__(self, "seconds", float(self.seconds))
+            object.__setattr__(self, "seconds", float(seconds))
 
     # -- constructors -------------------------------------------------
     @classmethod
@@ -154,38 +157,45 @@ class BudgetPolicy:
         elapsed: float = 0.0,
     ) -> bool:
         """Is a cell with ``count`` trials and this ``summary`` done?"""
+        # The Optional fields are narrowed through locals: __post_init__
+        # guarantees each kind's own field is set, which mypy cannot see
+        # across the frozen-dataclass boundary.
         if self.kind == "fixed":
-            return count >= self.trials
+            return self.trials is not None and count >= self.trials
         if count >= self.max_trials:
             return True
         if count < self.min_trials:
             return False
         if self.kind == "target_rel_ci":
-            if summary is None:
+            target = self.rel_ci
+            if summary is None or target is None:
                 return False
-            rel = summary.rel_ci
-            return math.isfinite(rel) and rel <= self.rel_ci
-        return elapsed >= self.seconds  # wall
+            rel = float(summary.rel_ci)
+            return math.isfinite(rel) and rel <= target
+        seconds = self.seconds  # wall
+        return seconds is not None and elapsed >= seconds
 
     def describe(self) -> str:
         if self.kind == "fixed":
             return f"fixed({self.trials} trials)"
         if self.kind == "target_rel_ci":
+            rel_ci = self.rel_ci if self.rel_ci is not None else math.nan
             return (
-                f"target_rel_ci(r={self.rel_ci:g} @ {self.confidence:g}, "
+                f"target_rel_ci(r={rel_ci:g} @ {self.confidence:g}, "
                 f"trials in [{self.min_trials}, ~{self.max_trials}])"
             )
+        seconds = self.seconds if self.seconds is not None else math.nan
         return (
-            f"wall({self.seconds:g}s/cell, "
+            f"wall({seconds:g}s/cell, "
             f"trials in [{self.min_trials}, ~{self.max_trials}])"
         )
 
     # -- serialisation ------------------------------------------------
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, object]:
         """Canonical JSON-able form (hashed into sweep-spec identity)."""
         if self.kind == "fixed":
             return {"kind": "fixed", "trials": self.trials}
-        data = {
+        data: Dict[str, object] = {
             "kind": self.kind,
             "min_trials": self.min_trials,
             "max_trials": self.max_trials,
@@ -198,7 +208,7 @@ class BudgetPolicy:
         return data
 
     @classmethod
-    def from_dict(cls, data: Mapping) -> "BudgetPolicy":
+    def from_dict(cls, data: Mapping[str, Any]) -> "BudgetPolicy":
         kind = data.get("kind")
         if kind == "fixed":
             return cls.fixed(data["trials"])

@@ -55,7 +55,16 @@ import threading
 from concurrent.futures import BrokenExecutor, CancelledError, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -92,8 +101,11 @@ DEFAULT_MAX_RESTARTS = 3
 
 TaskFn = Callable[[object], np.ndarray]
 
+#: The ``--workers`` knob: a count, ``-1``, or ``"auto"``.
+WorkersLike = Union[int, str]
 
-def resolve_workers(workers) -> int:
+
+def resolve_workers(workers: WorkersLike) -> int:
     """Normalise a worker-count knob to a concrete integer.
 
     ``"auto"`` (or ``-1``) autotunes to the usable CPU count — the
@@ -213,7 +225,7 @@ class SweepExecutor:
     def submit(
         self,
         fn: TaskFn,
-        payload,
+        payload: object,
         result_shape: Optional[Tuple[int, ...]] = None,
     ) -> int:
         raise NotImplementedError
@@ -221,7 +233,7 @@ class SweepExecutor:
     def next_completed(self) -> Tuple[int, np.ndarray]:
         raise NotImplementedError
 
-    def discard(self, tickets) -> None:
+    def discard(self, tickets: Iterable[int]) -> None:
         """Abandon submitted tasks without collecting their results.
 
         The failure-cleanup seam: a caller whose run dies mid-flight
@@ -255,10 +267,15 @@ class SerialExecutor(SweepExecutor):
 
     def __init__(self) -> None:
         self._tasks: Dict[int, Tuple[TaskFn, object]] = {}
-        self._order: list = []
+        self._order: List[int] = []
         self._tickets = itertools.count()
 
-    def submit(self, fn, payload, result_shape=None) -> int:
+    def submit(
+        self,
+        fn: TaskFn,
+        payload: object,
+        result_shape: Optional[Tuple[int, ...]] = None,
+    ) -> int:
         ticket = next(self._tickets)
         self._tasks[ticket] = (fn, payload)
         self._order.append(ticket)
@@ -271,7 +288,7 @@ class SerialExecutor(SweepExecutor):
         fn, payload = self._tasks.pop(ticket)
         return ticket, np.asarray(fn(payload), dtype=np.float64)
 
-    def discard(self, tickets) -> None:
+    def discard(self, tickets: Iterable[int]) -> None:
         dropped = {t for t in tickets if t in self._tasks}
         for ticket in dropped:
             del self._tasks[ticket]
@@ -307,7 +324,12 @@ class VirtualExecutor(SweepExecutor):
         self._tickets = itertools.count()
         self._seq = itertools.count()  # FIFO tie-break for equal finishes
 
-    def submit(self, fn, payload, result_shape=None) -> int:
+    def submit(
+        self,
+        fn: TaskFn,
+        payload: object,
+        result_shape: Optional[Tuple[int, ...]] = None,
+    ) -> int:
         ticket = next(self._tickets)
         result = np.asarray(fn(payload), dtype=np.float64)
         cost = float(self._cost_fn(fn, payload, result))
@@ -327,7 +349,7 @@ class VirtualExecutor(SweepExecutor):
         self._clock = max(self._clock, finish)
         return ticket, result
 
-    def discard(self, tickets) -> None:
+    def discard(self, tickets: Iterable[int]) -> None:
         dropped = set(tickets)
         self._heap = [
             entry for entry in self._heap if entry[2] not in dropped
@@ -433,7 +455,12 @@ class ProcessExecutor(SweepExecutor):
         record.shm = None
 
     # -- submission / completion ---------------------------------------
-    def submit(self, fn, payload, result_shape=None) -> int:
+    def submit(
+        self,
+        fn: TaskFn,
+        payload: object,
+        result_shape: Optional[Tuple[int, ...]] = None,
+    ) -> int:
         with self._lock:
             if self._closed:
                 raise RuntimeError("executor is closed")
@@ -530,7 +557,7 @@ class ProcessExecutor(SweepExecutor):
             finally:
                 self._release_shm(record)
 
-    def discard(self, tickets) -> None:
+    def discard(self, tickets: Iterable[int]) -> None:
         with self._lock:
             records = [
                 self._records.pop(t)
@@ -562,7 +589,7 @@ class ProcessExecutor(SweepExecutor):
 
 
 def make_executor(
-    workers=0, backend: str = "auto", **options
+    workers: WorkersLike = 0, backend: str = "auto", **options: object
 ) -> SweepExecutor:
     """Build an executor from the ``--workers`` / ``--backend`` knobs.
 
@@ -586,7 +613,7 @@ def make_executor(
 @contextmanager
 def ensure_executor(
     executor: Optional[SweepExecutor],
-    workers=0,
+    workers: WorkersLike = 0,
     backend: str = "auto",
 ) -> Iterator[SweepExecutor]:
     """Yield ``executor`` as-is, or an ephemeral one closed on exit.

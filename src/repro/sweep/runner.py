@@ -84,6 +84,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..checks import trace
+from ..checks.registry import register_stream
 from ..sim.events import (
     find_time_statistics,
     simulate_find_times_batch,
@@ -126,7 +128,7 @@ __all__ = [
 #: world must not depend on which other cells are swept (the fixed path's
 #: per-group spawn chain does depend on the grid), or cached blocks could
 #: not be shared across grids.
-PLACEMENT_STREAM = 0x97ACE5
+PLACEMENT_STREAM = register_stream("PLACEMENT_STREAM", 0x97ACE5)
 
 ProgressCallback = Callable[["ProgressEvent"], None]
 
@@ -271,24 +273,25 @@ def _execute_chunk(payload) -> np.ndarray:
     bitwise identical however the group was split.
     """
     spec, k, distances, placement_seeds, sim_seed, world_seeds = payload
-    strategy = build_algorithm(spec.algorithm, k, spec.param_dict())
-    worlds = [
-        place_treasure(distance, spec.placement, seed=placement_seed)
-        for distance, placement_seed in zip(distances, placement_seeds)
-    ]
-    if isinstance(strategy, Walker):
-        rows = [
-            strategy.find_times(
-                world, k, spec.trials, world_seed,
-                horizon=spec.horizon, scenario=spec.scenario,
-            )
-            for world, world_seed in zip(worlds, world_seeds)
+    with trace.trace_scope(k=k, distances=tuple(distances)):
+        strategy = build_algorithm(spec.algorithm, k, spec.param_dict())
+        worlds = [
+            place_treasure(distance, spec.placement, seed=placement_seed)
+            for distance, placement_seed in zip(distances, placement_seeds)
         ]
-        return np.stack(rows)
-    return simulate_find_times_batch(
-        strategy, worlds, k, spec.trials, sim_seed,
-        horizon=spec.horizon, scenario=spec.scenario,
-    )
+        if isinstance(strategy, Walker):
+            rows = [
+                strategy.find_times(
+                    world, k, spec.trials, world_seed,
+                    horizon=spec.horizon, scenario=spec.scenario,
+                )
+                for world, world_seed in zip(worlds, world_seeds)
+            ]
+            return np.stack(rows)
+        return simulate_find_times_batch(
+            strategy, worlds, k, spec.trials, sim_seed,
+            horizon=spec.horizon, scenario=spec.scenario,
+        )
 
 
 def _fixed_tasks(spec: SweepSpec, workers: int) -> List[tuple]:
@@ -423,20 +426,21 @@ def _usable_prefix(existing: Optional[np.ndarray]) -> np.ndarray:
 def _execute_block(payload) -> np.ndarray:
     """Simulate one trial block of one cell; module-level for pickling."""
     spec, distance, k, block = payload
-    strategy = build_algorithm(spec.algorithm, k, spec.param_dict())
-    world = _cell_world(spec, distance, k)
-    trials = block_trials(block)
-    if isinstance(strategy, Walker):
-        return walker_find_times_block(
+    with trace.trace_scope(cell=(distance, k), block=block):
+        strategy = build_algorithm(spec.algorithm, k, spec.param_dict())
+        world = _cell_world(spec, distance, k)
+        trials = block_trials(block)
+        if isinstance(strategy, Walker):
+            return walker_find_times_block(
+                strategy, world, k, trials, spec.seed,
+                distance=distance, block=block,
+                horizon=spec.horizon, scenario=spec.scenario,
+            )
+        return simulate_find_times_block(
             strategy, world, k, trials, spec.seed,
             distance=distance, block=block,
             horizon=spec.horizon, scenario=spec.scenario,
         )
-    return simulate_find_times_block(
-        strategy, world, k, trials, spec.seed,
-        distance=distance, block=block,
-        horizon=spec.horizon, scenario=spec.scenario,
-    )
 
 
 def reference_cell_times(

@@ -26,7 +26,17 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..algorithms import (
     HarmonicSearch,
@@ -39,6 +49,7 @@ from ..algorithms import (
     UniformSearch,
 )
 from ..algorithms.base import ExcursionAlgorithm
+from ..checks.registry import register_stream
 from ..scenarios import ScenarioSpec
 from ..sim.walkers import BiasedWalker, LevyWalker, RandomWalker, Walker
 from ..stats import BudgetPolicy
@@ -144,7 +155,7 @@ FIXED_CHUNK_SIZE = 4
 #: Leading key of the per-chunk simulation stream when a group splits:
 #: chunk ``c`` of a group is seeded ``derive_seed(group_seed,
 #: GROUP_CHUNK_STREAM, c)``.
-GROUP_CHUNK_STREAM = 0xC4A9C
+GROUP_CHUNK_STREAM = register_stream("GROUP_CHUNK_STREAM", 0xC4A9C)
 
 
 def group_chunks(distances: Sequence[int]) -> List[Tuple[int, ...]]:
@@ -155,12 +166,12 @@ def group_chunks(distances: Sequence[int]) -> List[Tuple[int, ...]]:
     cache entry); larger groups split into :data:`FIXED_CHUNK_SIZE`-sized
     chunks in distance order.
     """
-    distances = tuple(distances)
-    if len(distances) <= FIXED_CHUNK_THRESHOLD:
-        return [distances]
+    items = tuple(distances)
+    if len(items) <= FIXED_CHUNK_THRESHOLD:
+        return [items]
     return [
-        distances[i : i + FIXED_CHUNK_SIZE]
-        for i in range(0, len(distances), FIXED_CHUNK_SIZE)
+        items[i : i + FIXED_CHUNK_SIZE]
+        for i in range(0, len(items), FIXED_CHUNK_SIZE)
     ]
 
 ParamsLike = Union[Mapping[str, float], Sequence[Tuple[str, float]]]
@@ -292,11 +303,11 @@ class SweepSpec:
             self, "distances", tuple(int(d) for d in self.distances)
         )
         object.__setattr__(self, "ks", tuple(int(k) for k in self.ks))
-        params = self.params
-        if isinstance(params, Mapping):
-            items = params.items()
-        else:
-            items = params
+        # The constructor accepts mappings and pair sequences for the
+        # polymorphic fields; the locals are Any because the declared
+        # field types describe the *canonicalised* form built here.
+        params: Any = self.params
+        items = params.items() if isinstance(params, Mapping) else params
         object.__setattr__(
             self,
             "params",
@@ -314,7 +325,7 @@ class SweepSpec:
             raise TypeError(
                 f"spec seed must be a plain int, got {type(self.seed).__name__}"
             )
-        scenario = self.scenario
+        scenario: Any = self.scenario
         if isinstance(scenario, Mapping):
             scenario = ScenarioSpec.from_dict(scenario)
         if scenario is not None and not isinstance(scenario, ScenarioSpec):
@@ -327,7 +338,7 @@ class SweepSpec:
         if scenario is not None and scenario.is_default:
             scenario = None
         object.__setattr__(self, "scenario", scenario)
-        budget = self.budget
+        budget: Any = self.budget
         if isinstance(budget, Mapping):
             budget = BudgetPolicy.from_dict(budget)
         if budget is not None and not isinstance(budget, BudgetPolicy):
@@ -371,14 +382,14 @@ class SweepSpec:
             for d in group.distances
         ]
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, object]:
         """Canonical JSON-able form (the hashing and cache-metadata basis).
 
         The ``budget`` key is emitted only when an adaptive policy is
         present, so budget-less specs keep the exact dict (and hash, and
         on-disk cache entries) they had before the adaptive layer existed.
         """
-        data = {
+        data: Dict[str, object] = {
             "version": SPEC_VERSION,
             "algorithm": self.algorithm,
             "params": [list(pair) for pair in self.params],
@@ -426,8 +437,22 @@ class SweepSpec:
             return True
         return not isinstance(probe, Walker)
 
+    def hashed_fields(self) -> Tuple[str, ...]:
+        """The keys of this spec's full-identity hash partition.
+
+        Introspection seam for rule R005: the committed hash manifest
+        records which fields exist in which partition, so a field that
+        silently appears, disappears, or moves between partitions is
+        caught by ``repro-ants check``.
+        """
+        return tuple(sorted(self.to_dict()))
+
+    def data_fields(self) -> Tuple[str, ...]:
+        """The keys of this spec's block-stream-identity hash partition."""
+        return tuple(sorted(self.data_dict()))
+
     @classmethod
-    def from_dict(cls, data: Mapping) -> "SweepSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
         return cls(
             algorithm=data["algorithm"],
             distances=tuple(data["distances"]),
@@ -447,7 +472,7 @@ class SweepSpec:
         canonical = json.dumps(self.to_dict(), sort_keys=True)
         return hashlib.sha256(canonical.encode()).hexdigest()[:20]
 
-    def data_dict(self) -> Dict:
+    def data_dict(self) -> Dict[str, object]:
         """Identity of this spec's per-cell trial-block *streams*.
 
         Everything that determines the content of block ``b`` of cell

@@ -1,0 +1,17 @@
+"""Seeded R001 violations: ambient/global randomness (never imported)."""
+
+import random
+
+import numpy as np
+
+
+def ambient_numpy_draw() -> float:
+    return float(np.random.normal())
+
+
+def ambient_numpy_seed() -> None:
+    np.random.seed(1234)
+
+
+def stdlib_random_draw() -> float:
+    return random.random()

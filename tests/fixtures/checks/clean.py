@@ -1,0 +1,21 @@
+"""A clean module: derived randomness only — zero findings expected."""
+
+from repro.sim.rng import derive_rng, derive_seed, make_rng
+
+
+def derived_stream(root: int, trial: int, agent: int):
+    return derive_rng(root, trial, agent)
+
+
+def derived_seed(root: int, index: int) -> int:
+    return derive_seed(root, index)
+
+
+def seeded_generator(seed: int):
+    return make_rng(seed)
+
+
+def suppressed_ambient() -> float:
+    import numpy as np
+
+    return float(np.random.normal())  # repro: allow(R001)

@@ -1,0 +1,12 @@
+"""Seeded R003 violations: stream-tag constants breaking registration."""
+
+UNREGISTERED_STREAM = 0xDEAD
+
+
+def register_stream(name, tag):  # stand-in so the module is self-contained
+    return tag
+
+
+ALPHA_STREAM = register_stream("ALPHA_STREAM", 0xA11CE)
+BETA_STREAM = register_stream("BETA_STREAM", 0xA11CE)  # collides with ALPHA
+GAMMA_STREAM = register_stream("MISNAMED_STREAM", 0x6A33A)

@@ -1,0 +1,17 @@
+"""Seeded R002 violations: fresh-entropy Generators in engine code.
+
+Linted with a forced ``sim/...`` relpath (the rule is scoped to the
+engine/runner directories, which this corpus lives outside of).
+"""
+
+from numpy.random import default_rng
+
+from repro.sim.rng import make_rng
+
+
+def unseeded_generator():
+    return default_rng()
+
+
+def explicit_none_seed():
+    return make_rng(None)

@@ -1,0 +1,9 @@
+"""Seeded R001 violation: a seed derived from the wall clock."""
+
+import time
+
+from repro.sim.rng import make_rng
+
+
+def clock_seeded_generator():
+    return make_rng(int(time.time()))

@@ -1,0 +1,16 @@
+"""R005 drift stand-in: what a hashed-field edit looks like.
+
+The manifest rule is exercised against the real ``SweepSpec`` by
+monkeypatching its dict in the tests; this file only documents the bug
+shape (a new hashed field without a ``SPEC_VERSION`` bump) for readers
+of the corpus.
+"""
+
+
+def to_dict(self):
+    data = {
+        "version": 2,  # <- unbumped while the dict below grew a knob
+        "algorithm": self.algorithm,
+        "new_knob": self.new_knob,
+    }
+    return data

@@ -1,0 +1,18 @@
+"""Seeded R004 violations: execution layout leaking into seeds/specs."""
+
+from repro.sim.rng import derive_seed
+from repro.sweep import SweepSpec
+
+
+def seed_from_worker_count(root: int, workers: int) -> int:
+    return derive_seed(root, workers)
+
+
+def spec_from_executor(executor) -> SweepSpec:
+    return SweepSpec(
+        algorithm="uniform",
+        distances=(4,),
+        ks=(1,),
+        trials=8,
+        seed=executor.workers,
+    )

@@ -17,7 +17,6 @@ from repro.algorithms import (
 )
 from repro.algorithms.base import UniformBallFamily
 from repro.algorithms.harmonic import PowerLawRingFamily, harmonic_normalizing_constant
-from repro.core.geometry import l1_norm
 
 
 class TestUniformBallFamily:

@@ -13,7 +13,6 @@ from repro.algorithms.baselines import (
     SingleSpiralSearch,
     random_walk_find_times,
 )
-from repro.core.spiral import spiral_hit_time
 from repro.sim.engine import run_agent, run_search
 from repro.sim.world import World, place_treasure
 

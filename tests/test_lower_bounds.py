@@ -2,14 +2,14 @@
 
 import pytest
 
-from repro.algorithms import NonUniformSearch, SingleSpiralSearch, UniformSearch
+from repro.algorithms import SingleSpiralSearch, UniformSearch
 from repro.analysis.lower_bounds import (
     adversarial_treasure,
     annulus_load_profile,
     harmonic_sum_divergence,
     visit_probability_map,
 )
-from repro.core.geometry import ball_size, l1_norm
+from repro.core.geometry import ball_size
 
 
 class TestHarmonicSumDivergence:

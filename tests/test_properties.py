@@ -8,7 +8,6 @@ schedule monotonicity, engine-level physical constraints.
 import math
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Tests for the top-level public API (the README quickstart contract)."""
 
 import numpy as np
-import pytest
 
 import repro
 

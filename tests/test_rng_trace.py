@@ -1,0 +1,253 @@
+"""The RNG draw-order sanitizer (``repro.checks.trace``; REPRO_RNG_TRACE).
+
+The determinism contract's runtime half: with tracing enabled, every
+generator construction in :mod:`repro.sim.rng` records a per-scope
+draw-order fingerprint, and a parity failure is reported as the first
+divergent (stream key, call index) instead of a far-away bitwise diff.
+"""
+
+import numpy as np
+import pytest
+
+import repro.sim.events as events_module
+from repro.checks import trace
+from repro.sim.rng import (
+    BLOCK_STREAM,
+    derive_rng,
+    derive_seed,
+    make_rng,
+    spawn_rngs,
+    spawn_seeds,
+)
+from repro.sweep import SweepSpec, run_sweep
+
+
+@pytest.fixture
+def traced(monkeypatch):
+    """Enable the sanitizer for one test with a fresh buffer."""
+    monkeypatch.setenv(trace.ENV_VAR, "1")
+    trace.clear()
+    yield
+    trace.clear()
+
+
+def traced_sweep(spec, **kwargs):
+    """Run one sweep under tracing and return its trace window."""
+    trace.clear()
+    run_sweep(spec, cache=False, **kwargs)
+    return trace.snapshot()
+
+
+FIXED_SPEC = SweepSpec(
+    algorithm="uniform", distances=(4, 8), ks=(1, 2), trials=4, seed=1234
+)
+# A fixed-kind budget is folded into plain ``trials`` by the spec and
+# runs on the fixed path; a rel-CI target is what engages the adaptive
+# block scheduler (the tight ``max_trials`` cap keeps the run small).
+ADAPTIVE_SPEC = SweepSpec(
+    algorithm="uniform",
+    distances=(4, 8),
+    ks=(1,),
+    trials=4,
+    seed=99,
+    budget={
+        "kind": "target_rel_ci",
+        "rel_ci": 0.5,
+        "min_trials": 8,
+        "max_trials": 16,
+    },
+)
+
+
+class TestBuffering:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(trace.ENV_VAR, raising=False)
+        assert not trace.enabled()
+        make_rng(7)
+        derive_rng(7, 1, 2)
+        with trace.trace_scope(cell=(4, 1)):
+            derive_seed(7, 3)
+        assert trace.snapshot() == ()
+
+    def test_zero_value_counts_as_disabled(self, monkeypatch):
+        monkeypatch.setenv(trace.ENV_VAR, "0")
+        assert not trace.enabled()
+
+    def test_constructions_record_kind_key_scope(self, traced):
+        make_rng(7)
+        derive_rng(7, 11, 12)
+        with trace.trace_scope(cell=(4, 1), block=0):
+            derive_seed(7, 13)
+        events = trace.snapshot()
+        assert [e.kind for e in events] == [
+            "make_rng", "derive_rng", "derive_seed",
+        ]
+        assert events[1].key == (11, 12)
+        assert events[0].scope == ()
+        assert events[2].scope == (("block", 0), ("cell", (4, 1)))
+        assert all(e.index == i for i, e in enumerate(events))
+
+    def test_spawn_records_one_event_per_child(self, traced):
+        spawn_seeds(5, 3)
+        spawn_rngs(5, 2)
+        events = trace.snapshot()
+        assert [e.kind for e in events] == [
+            "spawn_seeds"] * 3 + ["spawn_rngs"] * 2
+        assert [e.key for e in events] == [(0,), (1,), (2,), (0,), (1,)]
+
+    def test_fingerprint_is_pure(self, traced):
+        # Fingerprinting must not perturb the stream it observes: a
+        # traced generator draws identically to an untraced one.
+        traced_value = make_rng(1234).random()
+        trace.clear()
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setenv(trace.ENV_VAR, "0")
+            untraced_value = make_rng(1234).random()
+        assert traced_value == untraced_value
+
+    def test_same_seed_same_fingerprint(self, traced):
+        make_rng(42)
+        make_rng(42)
+        make_rng(43)
+        prints = [e.fingerprint for e in trace.snapshot()]
+        assert prints[0] == prints[1] != prints[2]
+
+
+class TestComparison:
+    def test_identical_traces_have_no_divergence(self, traced):
+        left = traced_sweep(FIXED_SPEC)
+        right = traced_sweep(FIXED_SPEC)
+        assert len(left) > 0
+        assert trace.first_divergence(left, right) is None
+        trace.assert_traces_match(left, right)
+
+    def test_cross_scope_order_is_free(self, traced):
+        with trace.trace_scope(block=0):
+            derive_seed(1, 10)
+        with trace.trace_scope(block=1):
+            derive_seed(1, 11)
+        left = trace.snapshot()
+        trace.clear()
+        with trace.trace_scope(block=1):
+            derive_seed(1, 11)
+        with trace.trace_scope(block=0):
+            derive_seed(1, 10)
+        right = trace.snapshot()
+        assert trace.first_divergence(left, right) is None
+
+    def test_within_scope_order_is_not_free(self, traced):
+        with trace.trace_scope(block=0):
+            derive_seed(1, 10)
+            derive_seed(1, 11)
+        left = trace.snapshot()
+        trace.clear()
+        with trace.trace_scope(block=0):
+            derive_seed(1, 11)
+            derive_seed(1, 10)
+        right = trace.snapshot()
+        divergence = trace.first_divergence(left, right)
+        assert divergence is not None
+        assert divergence.call_index == 0
+
+    def test_missing_call_reports_absent_side(self, traced):
+        with trace.trace_scope(block=0):
+            derive_seed(1, 10)
+            derive_seed(1, 11)
+        left = trace.snapshot()
+        trace.clear()
+        with trace.trace_scope(block=0):
+            derive_seed(1, 10)
+        right = trace.snapshot()
+        divergence = trace.first_divergence(left, right)
+        assert divergence is not None
+        assert divergence.call_index == 1
+        assert divergence.right is None
+        assert "<absent>" in divergence.describe()
+
+    def test_extra_scopes_gate(self, traced):
+        with trace.trace_scope(block=0):
+            derive_seed(1, 10)
+        left = trace.snapshot()
+        trace.clear()
+        with trace.trace_scope(block=0):
+            derive_seed(1, 10)
+        with trace.trace_scope(block=1):  # speculative extra block
+            derive_seed(1, 11)
+        right = trace.snapshot()
+        assert trace.first_divergence(left, right) is not None
+        assert (
+            trace.first_divergence(left, right, require_same_scopes=False)
+            is None
+        )
+
+
+class TestSweepParity:
+    def test_serial_fixed_runs_are_draw_order_identical(self, traced):
+        left = traced_sweep(FIXED_SPEC)
+        right = traced_sweep(FIXED_SPEC)
+        grouped = trace.fingerprints(left)
+        assert () in grouped  # scheduler-side spawn chain
+        assert any(scope != () for scope in grouped)  # chunk scopes
+        trace.assert_traces_match(left, right)
+
+    def test_serial_vs_process_scheduler_parity(self, traced):
+        serial = traced_sweep(FIXED_SPEC, workers=0)
+        pooled = traced_sweep(FIXED_SPEC, workers=2, backend="process")
+        scheduler_serial = trace.fingerprints(serial)[()]
+        scheduler_pooled = trace.fingerprints(pooled)[()]
+        assert len(scheduler_pooled) > 0
+        # Worker-side events live in the pool processes; the parent-side
+        # derivation log must agree call-for-call.
+        trace.assert_traces_match(
+            scheduler_serial, scheduler_pooled, require_same_scopes=False
+        )
+
+    def test_adaptive_serial_parity(self, traced):
+        left = traced_sweep(ADAPTIVE_SPEC)
+        right = traced_sweep(ADAPTIVE_SPEC)
+        scopes = set(trace.fingerprints(left))
+        assert any(
+            dict(scope).get("block") is not None
+            for scope in scopes
+            if scope
+        )
+        trace.assert_traces_match(left, right)
+
+    def test_injected_mismatch_names_stream_and_call_index(
+        self, traced, monkeypatch
+    ):
+        baseline = traced_sweep(ADAPTIVE_SPEC)
+        # Simulate the PR 2 bug class: a block-seed derivation silently
+        # changes its stream tag.  Every downstream draw shifts; the
+        # sanitizer must localize this to the first divergent block-seed
+        # derivation, not a whole-array diff.
+        monkeypatch.setattr(events_module, "BLOCK_STREAM", 0xDEADBEEF)
+        forged = traced_sweep(ADAPTIVE_SPEC)
+        divergence = trace.first_divergence(baseline, forged)
+        assert divergence is not None
+        assert divergence.scope != ()  # localized to a (cell, block) scope
+        assert dict(divergence.scope).keys() == {"cell", "block"}
+        description = divergence.describe()
+        assert "derive_seed" in description
+        assert "BLOCK_STREAM" in description  # baseline side names the tag
+        assert f"{0xDEADBEEF}" in description  # forged side shows raw word
+        assert f"call index {divergence.call_index}" in description
+        with pytest.raises(AssertionError, match="first RNG divergence"):
+            trace.assert_traces_match(baseline, forged)
+
+    def test_forged_stream_changes_results_too(self, traced, monkeypatch):
+        # The sanitizer's claim is that draw-order divergence *precedes*
+        # result divergence; check the implication's other half.
+        baseline = run_sweep(ADAPTIVE_SPEC, cache=False)
+        monkeypatch.setattr(events_module, "BLOCK_STREAM", 0xDEADBEEF)
+        forged = run_sweep(ADAPTIVE_SPEC, cache=False)
+        cell = (ADAPTIVE_SPEC.distances[0], ADAPTIVE_SPEC.ks[0])
+        assert not np.array_equal(
+            baseline.cell(*cell).times, forged.cell(*cell).times
+        )
+
+    def test_describe_names_registered_streams(self, traced):
+        derive_seed(7, BLOCK_STREAM, 4, 1, 0)
+        event = trace.snapshot()[-1]
+        assert "BLOCK_STREAM" in event.describe()
+        assert "<scheduler>" in event.describe()

@@ -10,8 +10,6 @@ staggered starts equal explicit delay arrays, and speed ladders keep the
 swarm's total edge budget fixed.
 """
 
-import math
-
 import numpy as np
 import pytest
 

@@ -217,7 +217,7 @@ class TestCache:
         crashy = small_spec(
             trials=10, scenario=ScenarioSpec(crash_hazard=0.01), horizon=1e5
         )
-        first = run_sweep(plain, cache_dir=str(tmp_path))
+        run_sweep(plain, cache_dir=str(tmp_path))
         # A perturbed spec must not be served the unperturbed entry.
         perturbed = run_sweep(crashy, cache_dir=str(tmp_path))
         assert not perturbed.from_cache

@@ -8,7 +8,6 @@ concentrate around the completion time of stages ``s + O(1)`` — i.e.
 measured find times on the schedule's time axis and compare with ``s``.
 """
 
-import itertools
 import math
 
 import numpy as np

@@ -44,8 +44,6 @@ class TestRenderVisitMap:
 
 class TestRenderTrajectory:
     def test_spiral_is_dense_square_blob(self):
-        positions = []
-        x = y = 0
         program = SingleSpiralSearch().step_program(np.random.default_rng(0))
         positions = list(itertools.islice(program, 48))  # covers B(3)
         art = render_trajectory(positions, radius=3)
