@@ -1,0 +1,44 @@
+"""Bench E12 — regenerates the generalised-worlds tables, asserts the shapes.
+
+Puts dynamic-world throughput into ``BENCH_<rev>.json``: the dynamic
+kernels (closed-form target advancement, per-world row seeding) are a
+different cost profile from the legacy batch path, so regressions in
+their trials/sec should be visible per commit like every other engine's.
+"""
+
+from repro.experiments.e12_dynamic_worlds import run
+
+SEED = 20120716
+
+
+def test_e12_dynamic_worlds(once, bench_info):
+    mobility, arrival, count = once(run, quick=True, seed=SEED)
+    print("\n" + mobility.to_text())
+    print(arrival.to_text())
+    print(count.to_text())
+    bench_info["trials"] = sum(
+        row["trials"]
+        for table in (mobility, arrival, count)
+        for row in table.rows
+    )
+    bench_info["grid"] = "3 strategies x 10 worlds"
+
+    def rows(table, name):
+        return [r for r in table.rows if r["algorithm"] == name]
+
+    # Slow diffusion barely hurts A_k; adversarial drift is the cliff.
+    a_k = rows(mobility, "A_k (knows k)")
+    assert a_k[1]["vs_static"] < 2.0  # walk(0.05)
+    assert a_k[3]["vs_static"] > a_k[1]["vs_static"]  # drift
+
+    # The belief searcher keeps up with diffusing targets; the escaping
+    # drift target is the adversarial cliff for it too.
+    belief = rows(mobility, "grid-belief")
+    assert all(row["success"] >= 0.8 for row in belief[:3])
+    assert belief[3]["vs_static"] == max(r["vs_static"] for r in belief)
+
+    # Extra targets speed everyone up: first find over n placements.
+    for name in ("A_k (knows k)", "grid-belief"):
+        n4 = rows(count, name)[-1]
+        assert n4["n_targets"] == 4
+        assert n4["vs_static"] < 1.0

@@ -17,9 +17,11 @@ theorem-by-theorem reproduction results.
 """
 
 from .algorithms import (
+    AdaptiveSearcher,
     BiasedWalkSearch,
     ExcursionAlgorithm,
     ExcursionFamily,
+    GridBeliefSearch,
     HarmonicSearch,
     HedgedApproxSearch,
     KnownDSearch,
@@ -37,15 +39,20 @@ from .analysis.competitiveness import competitiveness, optimal_time
 from .scenarios import AgentProfile, ScenarioSpec
 from .sim import (
     BiasedWalker,
+    Engine,
     LevyWalker,
     RandomWalker,
     Result,
     Walker,
     World,
+    WorldSpec,
+    engine_for,
     excursion_find_time,
     expected_find_time,
     make_rng,
+    place_targets,
     place_treasure,
+    resolve_world,
     run_search,
     simulate_find_times,
     simulate_find_times_batch,
@@ -61,17 +68,20 @@ from .stats import (
 )
 from .sweep import SweepExecutor, SweepSpec, make_executor, run_sweep
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "AdaptiveSearcher",
     "AgentProfile",
     "BiasedWalkSearch",
     "BiasedWalker",
     "BudgetPolicy",
+    "Engine",
     "ExcursionAlgorithm",
     "ExcursionFamily",
     "FindTimeAccumulator",
     "FindTimeSummary",
+    "GridBeliefSearch",
     "HarmonicSearch",
     "HedgedApproxSearch",
     "KnownDSearch",
@@ -92,13 +102,17 @@ __all__ = [
     "UniformSearch",
     "Walker",
     "World",
+    "WorldSpec",
     "competitiveness",
+    "engine_for",
     "excursion_find_time",
     "expected_find_time",
     "make_executor",
     "make_rng",
     "optimal_time",
+    "place_targets",
     "place_treasure",
+    "resolve_world",
     "run_search",
     "run_sweep",
     "simulate_find_times",

@@ -12,6 +12,10 @@ Upper-bound constructions (Sections 3 and 5):
 Baselines: :class:`SingleSpiralSearch`, :class:`KnownDSearch`,
 :class:`RandomWalkSearch`, :class:`BiasedWalkSearch`,
 :class:`LevyFlightSearch`.
+
+Adaptive baseline for the generalised worlds of :mod:`repro.sim.world`:
+:class:`GridBeliefSearch` (:mod:`repro.algorithms.belief`), compared in
+experiment E12.
 """
 
 from .approximate import (
@@ -21,6 +25,7 @@ from .approximate import (
     one_sided_guesses,
 )
 from .base import ExcursionAlgorithm, ExcursionFamily, SearchAlgorithm, UniformBallFamily
+from .belief import AdaptiveSearcher, GridBeliefSearch
 from .baselines import (
     BiasedWalkSearch,
     KnownDSearch,
@@ -40,9 +45,11 @@ from .sector import SectorSearch, sector_find_times
 from .uniform import UniformSearch
 
 __all__ = [
+    "AdaptiveSearcher",
     "BiasedWalkSearch",
     "ExcursionAlgorithm",
     "ExcursionFamily",
+    "GridBeliefSearch",
     "HarmonicSearch",
     "HedgedApproxSearch",
     "KnownDSearch",

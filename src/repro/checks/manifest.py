@@ -57,8 +57,9 @@ def canonical_specs() -> Dict[str, object]:
 
     Covers: the plain fixed path, a chunk-splitting excursion spec (whose
     dict carries the ``fixed_chunking`` marker), a chunk-exempt walker
-    spec with a horizon, a scenario'd spec, and an adaptive-budget spec
-    (whose dict carries the ``budget`` key).
+    spec with a horizon, a scenario'd spec, an adaptive-budget spec
+    (whose dict carries the ``budget`` key), and a dynamic-world spec
+    (whose dict carries the ``world`` key in both hash partitions).
     """
     from ..sweep.spec import SweepSpec
 
@@ -111,6 +112,22 @@ def canonical_specs() -> Dict[str, object]:
                 "min_trials": 32,
                 "max_trials": 256,
                 "confidence": 0.95,
+            },
+        ),
+        "dynamic_world": SweepSpec(
+            algorithm="grid_belief",
+            distances=(4, 8),
+            ks=(2,),
+            trials=8,
+            seed=2012,
+            horizon=2048.0,
+            world={
+                "n_targets": 2,
+                "motion": "walk",
+                "motion_rate": 0.1,
+                "arrival": "geometric",
+                "arrival_hazard": 0.001,
+                "detection_prob": 0.9,
             },
         ),
     }

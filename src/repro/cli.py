@@ -12,6 +12,8 @@ Examples::
     repro-ants sweep nonuniform --distances 16,32,64 --ks 1,4,16 --trials 60
     repro-ants sweep uniform --param eps=0.5 --distances 64 --ks 1,2,4,8
     repro-ants sweep levy --param mu=2 --distances 32 --ks 4 --horizon 40960
+    repro-ants sweep grid_belief --distances 16 --ks 4 --horizon 6144 \
+        --n-targets 2 --target-motion walk --motion-rate 0.1
     repro-ants sweep uniform --param eps=0.5 --distances 64 --ks 1,4,16 \
         --target-rel-ci 0.05 --max-trials 2048 --progress
     repro-ants run E3 --target-rel-ci 0.03   # precision-targeted trials
@@ -61,7 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "experiments",
         nargs="+",
-        help="experiment ids (E1..E11) or 'all'",
+        help="experiment ids (E1..E12) or 'all'",
     )
     mode = run_p.add_mutually_exclusive_group()
     mode.add_argument("--quick", action="store_true", help="small grids (default)")
@@ -85,8 +87,9 @@ def build_parser() -> argparse.ArgumentParser:
         "algorithm",
         help=(
             "registered sweep strategy (nonuniform, uniform, harmonic, "
-            "random_walk, biased_walk, levy, ...); walker baselines "
-            "require --horizon"
+            "random_walk, biased_walk, levy, grid_belief, ...); walker "
+            "baselines, adaptive searchers and dynamic worlds require "
+            "--horizon"
         ),
     )
     sweep_p.add_argument(
@@ -143,6 +146,47 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0,
         help="probability of noticing the treasure per crossing",
+    )
+    world_g = sweep_p.add_argument_group(
+        "world process",
+        "generalised target worlds (see DESIGN.md §10); any non-default "
+        "knob requires --horizon",
+    )
+    world_g.add_argument(
+        "--n-targets",
+        type=int,
+        default=1,
+        help="number of targets on the distance ring (extras uniform)",
+    )
+    world_g.add_argument(
+        "--target-motion",
+        choices=("static", "drift", "walk"),
+        default="static",
+        help="target motion process (drift/walk need --motion-rate)",
+    )
+    world_g.add_argument(
+        "--motion-rate",
+        type=float,
+        default=0.0,
+        help="expected target steps per time unit for drift/walk motion",
+    )
+    world_g.add_argument(
+        "--arrival-hazard",
+        type=float,
+        default=0.0,
+        help=(
+            "per-time-unit geometric arrival hazard (0 = targets present "
+            "from t=0)"
+        ),
+    )
+    world_g.add_argument(
+        "--target-detection-prob",
+        type=float,
+        default=1.0,
+        help=(
+            "world-level detection probability per crossing (composes "
+            "multiplicatively with the scenario's --detection-prob)"
+        ),
     )
     _add_executor_arguments(sweep_p)
     sweep_p.add_argument("--no-cache", action="store_true")
@@ -411,6 +455,7 @@ def _parse_int_list(text: str, label: str) -> tuple:
 def _cmd_sweep(args) -> int:
     from .analysis.competitiveness import competitiveness
     from .scenarios import ScenarioSpec
+    from .sim.world import WorldSpec
     from .sweep import ALGORITHM_BUILDERS, SweepSpec, run_sweep
     from .sweep.executor import resolve_workers
     from .experiments.io import ResultTable
@@ -441,6 +486,14 @@ def _cmd_sweep(args) -> int:
             start_stagger=args.start_stagger,
             detection_prob=args.detection_prob,
         )
+        world = WorldSpec(
+            n_targets=args.n_targets,
+            motion=args.target_motion,
+            motion_rate=args.motion_rate,
+            arrival=("geometric" if args.arrival_hazard > 0 else "present"),
+            arrival_hazard=args.arrival_hazard,
+            detection_prob=args.target_detection_prob,
+        )
         spec = SweepSpec(
             algorithm=args.algorithm,
             distances=_parse_int_list(args.distances, "distances"),
@@ -453,6 +506,7 @@ def _cmd_sweep(args) -> int:
             require_k_le_d=args.require_k_le_d,
             scenario=scenario,
             budget=budget,
+            world=world,
         )
     except (TypeError, ValueError) as error:
         raise SystemExit(str(error))
@@ -506,6 +560,8 @@ def _cmd_sweep(args) -> int:
         )
     if spec.scenario is not None:
         table.add_note(f"scenario: {spec.scenario.describe()}")
+    if spec.world is not None:
+        table.add_note(f"world: {spec.world.describe()}")
     if spec.budget is not None:
         table.add_note(
             f"adaptive allocation: {spec.budget.describe()} — "

@@ -23,6 +23,7 @@ from . import (
     e9_speedup,
     e10_ablations,
     e11_robustness,
+    e12_dynamic_worlds,
 )
 from .io import ResultTable
 
@@ -51,6 +52,7 @@ _MODULES = (
     (e9_speedup, "Section 2 observation"),
     (e10_ablations, "design ablations"),
     (e11_robustness, "Sections 1-2 robustness"),
+    (e12_dynamic_worlds, "Section 2 model, relaxed"),
 )
 
 EXPERIMENTS: Dict[str, ExperimentInfo] = {

@@ -38,8 +38,24 @@ from .metrics import (
     distinct_nodes_visited,
     union_first_visits,
 )
+from .protocol import (
+    Engine,
+    ExcursionBatchEngine,
+    StepEngine,
+    WalkerBatchEngine,
+    engine_for,
+)
 from .rng import derive_rng, derive_seed, make_rng, spawn_rngs, spawn_seeds
-from .world import Result, World, place_treasure
+from .world import (
+    Result,
+    TargetTrack,
+    World,
+    WorldSpec,
+    initial_targets,
+    place_targets,
+    place_treasure,
+    resolve_world,
+)
 from ..scenarios import AgentProfile, ScenarioSpec
 
 __all__ = [
@@ -47,23 +63,33 @@ __all__ = [
     "AgentTrace",
     "AnnulusCoverage",
     "BiasedWalker",
+    "Engine",
+    "ExcursionBatchEngine",
     "LevyWalker",
     "RandomWalker",
     "Result",
     "ScenarioSpec",
+    "StepEngine",
     "StepRun",
+    "TargetTrack",
     "Walker",
+    "WalkerBatchEngine",
     "World",
+    "WorldSpec",
     "ball_coverage_fraction",
     "coverage_by_annulus",
     "derive_rng",
     "derive_seed",
     "distinct_nodes_visited",
+    "engine_for",
     "excursion_find_time",
     "expected_find_time",
     "first_visit_times",
+    "initial_targets",
     "make_rng",
+    "place_targets",
     "place_treasure",
+    "resolve_world",
     "run_agent",
     "run_search",
     "simulate_find_times",

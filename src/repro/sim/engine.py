@@ -33,9 +33,22 @@ from ..scenarios import (
     steps_within,
 )
 from .rng import SeedLike, derive_rng
-from .world import Result, World
+from .world import (
+    MOTION_DIR_X,
+    MOTION_DIR_Y,
+    TARGET_STREAM,
+    Result,
+    World,
+    WorldSpec,
+    initial_targets,
+    resolve_world,
+)
 
 __all__ = ["AgentTrace", "StepRun", "run_agent", "run_search", "first_visit_times"]
+
+#: Largest horizon for which a dynamic-motion target trajectory is
+#: precomputed (the step engine materialises positions per time unit).
+_MAX_DYNAMIC_HORIZON = 1 << 22
 
 
 @dataclass
@@ -115,6 +128,183 @@ def run_agent(
     return AgentTrace(agent=agent, find_time=find_time, steps=steps, visited=visited)
 
 
+def _step_trajectory(
+    spec: WorldSpec,
+    targets0: np.ndarray,
+    horizon: int,
+    motion_rng: np.random.Generator,
+) -> np.ndarray:
+    """Target positions at every integer time, shape ``(T + 1, n, 2)``.
+
+    The step engine is the reference, so it evaluates motion *per step*
+    rather than at excursion/chunk granularity: ``drift`` is the closed
+    form at each time, ``walk`` flips one lazy-step coin plus one
+    direction per time unit.  Static motion returns a single-row view
+    (indexed with a clamp, so no ``(T, n, 2)`` array is materialised).
+    """
+    n = spec.n_targets
+    if spec.motion == "static":
+        return targets0[None, :, :]
+    if horizon > _MAX_DYNAMIC_HORIZON:
+        raise ValueError(
+            "dynamic-motion step runs precompute the target trajectory; "
+            f"horizon {horizon} exceeds the {_MAX_DYNAMIC_HORIZON} cap — "
+            "use the vectorised engines for long dynamic runs"
+        )
+    if spec.motion == "drift":
+        dirs = motion_rng.integers(0, 4, size=n)
+        dvec = np.stack([MOTION_DIR_X[dirs], MOTION_DIR_Y[dirs]], axis=-1)
+        steps = np.floor(
+            spec.motion_rate * np.arange(horizon + 1, dtype=np.float64)
+        ).astype(np.int64)
+        return targets0[None, :, :] + steps[:, None, None] * dvec[None, :, :]
+    moved = motion_rng.random((horizon, n)) < spec.motion_rate
+    dirs = motion_rng.integers(0, 4, size=(horizon, n))
+    dvec = np.stack([MOTION_DIR_X[dirs], MOTION_DIR_Y[dirs]], axis=-1)
+    traj = np.empty((horizon + 1, n, 2), dtype=np.int64)
+    traj[0] = targets0
+    traj[1:] = targets0[None, :, :] + np.cumsum(
+        np.where(moved[:, :, None], dvec, 0), axis=0
+    )
+    return traj
+
+
+def _run_agent_dynamic(
+    algorithm: SearchAlgorithm,
+    traj: np.ndarray,
+    arrivals: np.ndarray,
+    rng: np.random.Generator,
+    horizon: int,
+    *,
+    agent: int = 0,
+    detection_prob: float = 1.0,
+    detect_rng: Optional[np.random.Generator] = None,
+) -> AgentTrace:
+    """Dynamic-world twin of :func:`run_agent`: per-step target lookup.
+
+    ``traj`` holds every target's position at each integer time (a
+    single-row view for static motion, index-clamped); a visit counts only
+    at steps at or after the target's arrival, and each target crossing
+    flips its own detection coin.
+    """
+    if horizon < 0:
+        raise ValueError(f"horizon must be non-negative, got {horizon}")
+    if detection_prob < 1.0 and detect_rng is None:
+        raise ValueError("detection_prob < 1 requires a detect_rng stream")
+    n = traj.shape[1]
+    last = traj.shape[0] - 1
+    find_time: Optional[int] = None
+    steps = 0
+    program = algorithm.step_program(rng)
+    for t, position in enumerate(program, start=1):
+        if t > horizon:
+            steps = t - 1
+            break
+        steps = t
+        row = traj[t if t <= last else last]
+        hit = False
+        for j in range(n):
+            if (
+                position[0] == row[j, 0]
+                and position[1] == row[j, 1]
+                and t >= arrivals[j]
+            ):
+                if (
+                    detection_prob >= 1.0
+                    or detect_rng.random() < detection_prob
+                ):
+                    hit = True
+                    break
+        if hit:
+            find_time = t
+            break
+    return AgentTrace(agent=agent, find_time=find_time, steps=steps)
+
+
+def _run_search_dynamic(
+    algorithm: SearchAlgorithm,
+    world,
+    wspec: WorldSpec,
+    k: int,
+    seed: SeedLike,
+    *,
+    horizon: int,
+    prune: bool,
+    scenario: Optional[ScenarioSpec],
+) -> StepRun:
+    """Dynamic-world step search: the per-step-exact reference execution.
+
+    Supports crash and lossy-detection scenarios (where a step index *is*
+    the wall clock); heterogeneous speeds and staggered starts would
+    decouple the two and are rejected — use the vectorised engines for
+    those combinations.  Motion and arrival randomness comes from
+    ``derive_rng(seed, TARGET_STREAM)``; agent trajectories keep their
+    legacy ``derive_rng(seed, i)`` streams, so the searcher's walk is
+    identical across world settings.
+    """
+    scn = resolve_scenario(scenario)
+    if scn is not None and (scn.speed_spread > 0 or scn.start_stagger > 0):
+        raise ValueError(
+            "the step engine runs dynamic worlds only with unit speeds "
+            "and simultaneous starts; use the vectorised engines for "
+            "speed/stagger scenarios"
+        )
+    horizon = int(horizon)
+    targets0 = initial_targets(world, wspec)
+    motion_rng = derive_rng(seed, TARGET_STREAM)
+    traj = _step_trajectory(wspec, targets0, horizon, motion_rng)
+    if wspec.arrival == "geometric":
+        arrivals = motion_rng.geometric(
+            wspec.arrival_hazard, size=wspec.n_targets
+        ).astype(np.float64)
+    else:
+        arrivals = np.zeros(wspec.n_targets, dtype=np.float64)
+
+    scn_detection = scn.detection_prob if scn is not None else 1.0
+    detection = wspec.detection_prob * scn_detection
+    traces: List[AgentTrace] = []
+    best_wall: Optional[float] = None
+    finder: Optional[int] = None
+    for i in range(k):
+        agent_horizon = horizon
+        srng = None
+        if (scn is not None and scn.crash_hazard > 0) or detection < 1:
+            srng = derive_rng(seed, i, SCENARIO_STREAM)
+        if scn is not None and scn.crash_hazard > 0:
+            lifetime = float(srng.geometric(scn.crash_hazard))
+            agent_horizon = min(agent_horizon, int(steps_within(lifetime)))
+        if prune and best_wall is not None:
+            agent_horizon = min(agent_horizon, max(int(best_wall) - 1, 0))
+        trace = _run_agent_dynamic(
+            algorithm,
+            traj,
+            arrivals,
+            derive_rng(seed, i),
+            agent_horizon,
+            agent=i,
+            detection_prob=detection,
+            detect_rng=srng if detection < 1 else None,
+        )
+        traces.append(trace)
+        if trace.find_time is not None:
+            wall = float(trace.find_time)
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+                finder = i
+    total_steps = sum(trace.steps for trace in traces)
+    if best_wall is None:
+        result = Result(
+            time=float("inf"), found=False, finder=None,
+            steps_simulated=total_steps,
+        )
+    else:
+        result = Result(
+            time=float(best_wall), found=True, finder=finder,
+            steps_simulated=total_steps,
+        )
+    return StepRun(result=result, traces=traces)
+
+
 def run_search(
     algorithm: SearchAlgorithm,
     world: World,
@@ -126,6 +316,7 @@ def run_search(
     prune: bool = True,
     scenario: Optional[ScenarioSpec] = None,
     start_delays=None,
+    world_spec: Optional[WorldSpec] = None,
 ) -> StepRun:
     """Simulate ``k`` agents at step level; the search ends at the first find.
 
@@ -146,9 +337,31 @@ def run_search(
     untouched and the default scenario is exactly the legacy behaviour.
     ``AgentTrace.find_time`` stays the *step index* of the find; the
     wall-clock conversion lives in ``Result.time``.
+
+    ``world_spec`` (:class:`repro.sim.world.WorldSpec`) declares the world
+    process.  A ``None``/all-default spec keeps the exact legacy static
+    single-target path below; dynamic worlds run the per-step-exact
+    reference execution (``world`` may also be an ``(n_targets, 2)``
+    array), which rejects ``record_visits``, explicit delays, and
+    speed/stagger scenarios.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
+    wspec = resolve_world(world_spec)
+    if wspec is not None:
+        if record_visits:
+            raise ValueError(
+                "record_visits is not supported for dynamic worlds"
+            )
+        if start_delays is not None:
+            raise ValueError(
+                "start_delays are not supported for dynamic worlds in "
+                "the step engine"
+            )
+        return _run_search_dynamic(
+            algorithm, world, wspec, k, seed,
+            horizon=horizon, prune=prune, scenario=scenario,
+        )
     scn = resolve_scenario(scenario)
     delays = np.zeros(k, dtype=np.float64)
     if start_delays is not None:

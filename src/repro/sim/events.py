@@ -41,8 +41,15 @@ from ..core.spiral import (
     spiral_position_array,
 )
 from ..scenarios import ScenarioSpec, resolve_scenario
-from .rng import BLOCK_STREAM, SeedLike, derive_seed, make_rng
-from .world import World
+from .rng import BLOCK_STREAM, SeedLike, derive_rng, derive_seed, make_rng
+from .world import (
+    TARGET_STREAM,
+    TargetTrack,
+    World,
+    WorldSpec,
+    initial_targets,
+    resolve_world,
+)
 
 __all__ = [
     "simulate_find_times",
@@ -141,6 +148,147 @@ def _scenario_state(
     return cum, speeds, crash_abs, q
 
 
+def _compose_detection(
+    spec: WorldSpec, q: Optional[float]
+) -> Optional[float]:
+    """World-level detection composed with the scenario's lossy knob."""
+    q_world = spec.detection_prob if spec.detection_prob < 1 else None
+    if q_world is None:
+        return q
+    return q_world if q is None else q_world * q
+
+
+def _simulate_find_times_dynamic(
+    algorithm: ExcursionAlgorithm,
+    targets0: np.ndarray,
+    spec: WorldSpec,
+    k: int,
+    trials: int,
+    seed: SeedLike,
+    *,
+    horizon: Optional[float],
+    max_phases: int,
+    start_delays: Optional[np.ndarray],
+    scenario: Optional[ScenarioSpec],
+) -> np.ndarray:
+    """Dynamic/multi-target twin of :func:`simulate_find_times`.
+
+    Target positions are advanced *at excursion granularity*: each phase,
+    every trial's targets are moved in closed form to that trial's
+    earliest active-agent clock and frozen for the phase's excursions
+    (exact for static multi-target worlds; the documented modelling
+    granularity for moving targets — see DESIGN.md §10).  Hits are
+    resolved per target with the same outbound/spiral/return closed forms
+    as the legacy kernel; a hit is valid only at wall-clock times at or
+    after the target's arrival, gated per leg because arrival is a lower
+    bound (a return-leg crossing can count even when the outbound crossing
+    of the same excursion was too early).
+    """
+    if spec.motion != "static" and horizon is None:
+        raise ValueError(
+            "dynamic-motion worlds need a horizon: a moving target can "
+            "escape every searcher, so an un-capped run may never end"
+        )
+    rng = make_rng(seed)
+    motion_rng = derive_rng(seed, TARGET_STREAM)
+    scn = resolve_scenario(scenario)
+
+    cum = np.zeros((trials, k), dtype=np.float64)
+    if start_delays is not None:
+        delays = np.asarray(start_delays, dtype=np.float64)
+        if np.any(delays < 0):
+            raise ValueError("start delays must be non-negative")
+        cum = cum + np.broadcast_to(delays, (trials, k))
+    cum, speeds, crash_abs, q = _scenario_state(scn, k, trials, cum, rng)
+    q_eff = _compose_detection(spec, q)
+    track = TargetTrack(spec, targets0, trials, motion_rng)
+    best = np.full(trials, np.inf)
+    cap = np.inf if horizon is None else float(horizon)
+
+    families = algorithm.families()
+    for phase_index in itertools.count():
+        if phase_index >= max_phases:
+            raise RuntimeError(
+                f"simulation exceeded max_phases={max_phases}; "
+                f"pass a horizon or raise the cap"
+            )
+        if crash_abs is not None:
+            cum[cum >= crash_abs] = np.inf
+        active = cum < np.minimum(best, cap)[:, None]
+        if not np.any(active):
+            break
+        family = next(families, None)
+        if family is None:
+            break
+
+        rows, cols = np.nonzero(active)
+        count = rows.size
+        ux, uy, budgets = family.sample(rng, count)
+        start = cum[rows, cols]
+        travel = np.abs(ux) + np.abs(uy)
+        dx_end, dy_end = spiral_position_array(budgets)
+        ex = ux + dx_end
+        ey = uy + dy_end
+        speed = speeds[cols] if speeds is not None else None
+
+        # Freeze each trial's targets at its earliest active clock.
+        t_query = np.where(
+            active.any(axis=1),
+            np.min(np.where(active, cum, np.inf), axis=1),
+            0.0,
+        )
+        pos = track.positions(t_query)
+
+        # Earliest valid hit on any target, per draw, in wall-clock time.
+        hit_wall = np.full(count, np.inf)
+        for j in range(spec.n_targets):
+            txj = pos[rows, j, 0]
+            tyj = pos[rows, j, 1]
+            arr_j = track.arrival[rows, j]
+
+            out_mask, out_off = _outbound_hit_offsets(ux, uy, txj, tyj)
+            if q_eff is not None:
+                out_mask = out_mask & (rng.random(count) < q_eff)
+            spiral_hit = _hit_times(txj - ux, tyj - uy)
+            sp_mask = spiral_hit <= budgets
+            if q_eff is not None:
+                sp_mask = sp_mask & (rng.random(count) < q_eff)
+            ret_mask, ret_off = _return_hit_offsets(ex, ey, txj, tyj)
+            if q_eff is not None:
+                ret_mask = ret_mask & (rng.random(count) < q_eff)
+
+            target_wall = np.full(count, np.inf)
+            for mask, off in (
+                (out_mask, out_off.astype(np.float64)),
+                (sp_mask, travel + spiral_hit),
+                (ret_mask, travel + budgets + ret_off),
+            ):
+                wall = start + (off / speed if speed is not None else off)
+                ok = mask & (wall >= arr_j)
+                target_wall = np.where(
+                    ok, np.minimum(target_wall, wall), target_wall
+                )
+            hit_wall = np.minimum(hit_wall, target_wall)
+
+        found = np.isfinite(hit_wall)
+        if crash_abs is not None:
+            found &= hit_wall <= crash_abs[rows, cols]
+        if np.any(found):
+            np.minimum.at(best, rows[found], hit_wall[found])
+            cum[rows[found], cols[found]] = np.inf
+
+        not_found = ~found
+        duration = travel + budgets + np.abs(ex) + np.abs(ey)
+        if speed is not None:
+            duration = duration / speed
+        cum[rows[not_found], cols[not_found]] = (
+            start[not_found] + duration[not_found]
+        )
+
+    best[best > cap] = np.inf
+    return best
+
+
 def simulate_find_times(
     algorithm: ExcursionAlgorithm,
     world: World,
@@ -152,6 +300,7 @@ def simulate_find_times(
     max_phases: int = 1_000_000,
     start_delays: Optional[np.ndarray] = None,
     scenario: Optional[ScenarioSpec] = None,
+    world_spec: Optional[WorldSpec] = None,
 ) -> np.ndarray:
     """First times at which any of ``k`` agents finds the treasure.
 
@@ -172,11 +321,32 @@ def simulate_find_times(
     detection; all times stay wall-clock (an edge costs ``1 / speed``).
     A ``None`` or all-default scenario takes exactly the legacy code path
     and is bitwise identical to the unperturbed engine.
+
+    ``world_spec`` (:class:`repro.sim.world.WorldSpec`) declares the world
+    process.  A ``None`` or all-default spec resolves to ``None`` and the
+    static single-target legacy path below runs *structurally unchanged*
+    (bitwise identical output, enforced by property tests); anything else
+    routes to the dynamic kernel, where ``world`` may also be an
+    ``(n_targets, 2)`` array of initial target positions.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
+    wspec = resolve_world(world_spec)
+    if wspec is not None:
+        return _simulate_find_times_dynamic(
+            algorithm,
+            initial_targets(world, wspec),
+            wspec,
+            k,
+            trials,
+            seed,
+            horizon=horizon,
+            max_phases=max_phases,
+            start_delays=start_delays,
+            scenario=scenario,
+        )
     rng = make_rng(seed)
     tx, ty = world.treasure
     scn = resolve_scenario(scenario)
@@ -277,6 +447,7 @@ def simulate_find_times_block(
     horizon: Optional[float] = None,
     max_phases: int = 1_000_000,
     scenario: Optional[ScenarioSpec] = None,
+    world_spec: Optional[WorldSpec] = None,
 ) -> np.ndarray:
     """One deterministic trial *block* of cell ``(distance, k)``.
 
@@ -295,6 +466,7 @@ def simulate_find_times_block(
     return simulate_find_times(
         algorithm, world, k, trials, seed,
         horizon=horizon, max_phases=max_phases, scenario=scenario,
+        world_spec=world_spec,
     )
 
 

@@ -56,8 +56,22 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..scenarios import ScenarioSpec, resolve_scenario, steps_within
-from .rng import BLOCK_STREAM, SeedLike, derive_seed, make_rng, spawn_seeds
-from .world import World
+from .rng import (
+    BLOCK_STREAM,
+    SeedLike,
+    derive_rng,
+    derive_seed,
+    make_rng,
+    spawn_seeds,
+)
+from .world import (
+    TARGET_STREAM,
+    TargetTrack,
+    World,
+    WorldSpec,
+    initial_targets,
+    resolve_world,
+)
 
 __all__ = [
     "Walker",
@@ -177,6 +191,146 @@ def _slot_plan(
     )
 
 
+def _world_track(
+    world,
+    world_spec: Optional[WorldSpec],
+    trials: int,
+    seed: SeedLike,
+) -> Optional[TargetTrack]:
+    """Resolve the dynamic-world state, or ``None`` for the legacy path.
+
+    Mirrors :func:`repro.sim.world.resolve_world`'s structural contract:
+    a ``None``/all-default spec returns ``None`` before any randomness is
+    touched, so the static single-target code below it stays bitwise
+    identical.  Dynamic worlds draw their motion and arrival randomness
+    from ``derive_rng(seed, TARGET_STREAM)``, never from the walker's own
+    movement stream.
+    """
+    wspec = resolve_world(world_spec)
+    if wspec is None:
+        return None
+    targets0 = initial_targets(world, wspec)
+    return TargetTrack(
+        wspec, targets0, trials, derive_rng(seed, TARGET_STREAM)
+    )
+
+
+def _track_detection(
+    track: TargetTrack, plan: Optional[_SlotPlan]
+) -> Optional[float]:
+    """World-level detection composed with the scenario's lossy knob."""
+    q = track.spec.detection_prob
+    if plan is not None and plan.detection is not None:
+        q *= plan.detection
+    return q if q < 1 else None
+
+
+def _mask_missed(valid: np.ndarray, q: Optional[float], rng) -> np.ndarray:
+    """Clear valid-hit cells whose detection coin fails (in place)."""
+    if q is not None:
+        hr, hc = np.nonzero(valid)
+        if hr.size:
+            missed = rng.random(hr.size) >= q
+            valid[hr[missed], hc[missed]] = False
+    return valid
+
+
+def _step_chunk_hits(
+    track: TargetTrack,
+    px: np.ndarray,
+    py: np.ndarray,
+    alive: np.ndarray,
+    trial_of: np.ndarray,
+    t: int,
+    span: int,
+    plan: Optional[_SlotPlan],
+    rng,
+) -> np.ndarray:
+    """Valid-hit matrix for one dynamic-world step chunk.
+
+    Targets are frozen at the chunk's start time ``t`` — the walker
+    engine's per-chunk motion granularity (pass a smaller ``chunk`` to
+    refine it) — then each target is an elementwise position comparison,
+    arrival-gated in wall-clock time and detection-thinned with the world
+    knob composed with the scenario's.
+    """
+    trials_idx = trial_of[alive]
+    pos = track.positions_at(t)
+    steps = t + 1 + np.arange(span, dtype=np.int64)
+    if plan is not None:
+        wall = plan.wall(alive[:, None], steps[None, :].astype(np.float64))
+        cap_ok = steps[None, :] <= plan.step_cap[alive, None]
+    else:
+        wall = steps.astype(np.float64)[None, :]
+        cap_ok = None
+    q = _track_detection(track, plan)
+    hit = np.zeros(px.shape, dtype=bool)
+    for j in range(track.n):
+        hj = (px == pos[trials_idx, j, 0][:, None]) & (
+            py == pos[trials_idx, j, 1][:, None]
+        )
+        if track.spec.arrival == "geometric":
+            hj = hj & (wall >= track.arrival[trials_idx, j][:, None])
+        hit |= _mask_missed(hj, q, rng)
+    if cap_ok is not None:
+        hit = hit & cap_ok
+    return hit
+
+
+def _segment_hits(
+    track: TargetTrack,
+    start_x: np.ndarray,
+    start_y: np.ndarray,
+    start_t: np.ndarray,
+    dx: np.ndarray,
+    dy: np.ndarray,
+    lengths: np.ndarray,
+    alive: np.ndarray,
+    trial_of: np.ndarray,
+    horizon: int,
+    plan: Optional[_SlotPlan],
+    rng,
+) -> np.ndarray:
+    """Per-slot earliest valid dynamic-world hit *step time* (inf when none).
+
+    Targets are frozen at the chunk's earliest slot clock (monotone across
+    chunks: every surviving slot's clock only grows); each segment's
+    crossing of each target is the same closed-form ray test as the static
+    path.  Times along a slot's segment stream are monotone, so the
+    minimum over all (segment, target) entries is the slot's first valid
+    hit.
+    """
+    trials_idx = trial_of[alive]
+    chunk_start = float(start_t[:, 0].min()) if start_t.size else 0.0
+    pos = track.positions_at(chunk_start)
+    q = _track_detection(track, plan)
+    best_step = np.full(alive.size, np.inf)
+    for j in range(track.n):
+        txj = pos[trials_idx, j, 0][:, None]
+        tyj = pos[trials_idx, j, 1][:, None]
+        off_x = (txj - start_x) * dx
+        off_y = (tyj - start_y) * dy
+        hit = np.where(
+            dx != 0,
+            (start_y == tyj) & (off_x >= 1) & (off_x <= lengths),
+            (start_x == txj) & (off_y >= 1) & (off_y <= lengths),
+        )
+        offset = np.where(dx != 0, off_x, off_y)
+        hit_time = start_t + offset
+        if plan is None:
+            valid = hit & (hit_time <= horizon)
+            wall = hit_time.astype(np.float64)
+        else:
+            valid = hit & (hit_time <= plan.step_cap[alive, None])
+            wall = plan.wall(alive[:, None], hit_time.astype(np.float64))
+        if track.spec.arrival == "geometric":
+            valid = valid & (wall >= track.arrival[trials_idx, j][:, None])
+        valid = _mask_missed(valid, q, rng)
+        times = np.where(valid, hit_time.astype(np.float64), np.inf)
+        best_step = np.minimum(best_step, times.min(axis=1))
+    return best_step
+
+
 class Walker(ABC):
     """A memoryless baseline simulable by the batched walker engine.
 
@@ -202,6 +356,7 @@ class Walker(ABC):
         chunk: Optional[int] = None,
         scenario: Optional[ScenarioSpec] = None,
         start_delays=None,
+        world_spec: Optional[WorldSpec] = None,
     ) -> np.ndarray:
         """First times any of ``k`` walkers stands on the treasure.
 
@@ -218,6 +373,12 @@ class Walker(ABC):
         parameter; both perturbations combine additively.  The default
         (no scenario, no delays) is bitwise identical to the unperturbed
         engine.
+
+        ``world_spec`` (:class:`repro.sim.world.WorldSpec`) declares the
+        world process; a ``None``/all-default spec keeps the exact legacy
+        static single-target path (bitwise identical).  Dynamic worlds
+        freeze target positions per simulation chunk and ``world`` may
+        also be an ``(n_targets, 2)`` array of initial positions.
         """
 
     @abstractmethod
@@ -244,10 +405,13 @@ class RandomWalker(Walker):
         chunk: Optional[int] = None,
         scenario: Optional[ScenarioSpec] = None,
         start_delays=None,
+        world_spec: Optional[WorldSpec] = None,
     ) -> np.ndarray:
         horizon = _validate(k, trials, horizon)
+        track = _world_track(world, world_spec, trials, seed)
         rng = make_rng(seed)
-        tx, ty = world.treasure
+        if track is None:
+            tx, ty = world.treasure
         n = trials * k
         span_cap = _auto_chunk(n, chunk, floor=16, cap=8192)
         x = np.zeros(n, dtype=np.int64)
@@ -266,15 +430,20 @@ class RandomWalker(Walker):
             moves = rng.integers(0, 4, size=(alive.size, span))
             px = x[alive, None] + np.cumsum(_DIR_X[moves], axis=1)
             py = y[alive, None] + np.cumsum(_DIR_Y[moves], axis=1)
-            hit = (px == tx) & (py == ty)
-            if plan is not None:
-                # Hit at chunk column j happens at step t + j + 1; only
-                # steps within the slot's cap (horizon and crash, in its
-                # own speed) count, and each crossing is noticed only with
-                # the scenario's detection probability.
-                steps = t + 1 + np.arange(span, dtype=np.int64)
-                hit = hit & (steps[None, :] <= plan.step_cap[alive, None])
-                hit = plan.mask_missed(hit, rng)
+            if track is None:
+                hit = (px == tx) & (py == ty)
+                if plan is not None:
+                    # Hit at chunk column j happens at step t + j + 1; only
+                    # steps within the slot's cap (horizon and crash, in its
+                    # own speed) count, and each crossing is noticed only with
+                    # the scenario's detection probability.
+                    steps = t + 1 + np.arange(span, dtype=np.int64)
+                    hit = hit & (steps[None, :] <= plan.step_cap[alive, None])
+                    hit = plan.mask_missed(hit, rng)
+            else:
+                hit = _step_chunk_hits(
+                    track, px, py, alive, trial_of, t, span, plan, rng
+                )
             any_hit = hit.any(axis=1)
             if np.any(any_hit):
                 first = np.argmax(hit[any_hit], axis=1)
@@ -341,10 +510,15 @@ class _SegmentWalker(Walker):
         chunk: Optional[int] = None,
         scenario: Optional[ScenarioSpec] = None,
         start_delays=None,
+        world_spec: Optional[WorldSpec] = None,
     ) -> np.ndarray:
         horizon = _validate(k, trials, horizon)
+        track = _world_track(world, world_spec, trials, seed)
         rng = make_rng(seed)
-        tx, ty = world.treasure
+        if track is None:
+            tx, ty = world.treasure
+        else:
+            tx = ty = 0
         n = trials * k
         segs = _auto_chunk(n, chunk, floor=16, cap=512)
         x = np.zeros(n, dtype=np.int64)
@@ -365,19 +539,20 @@ class _SegmentWalker(Walker):
             alive = self._consume(
                 x, y, t, trial_of, trial_best, alive,
                 lengths[:, None], dirs[:, None], tx, ty, horizon, plan, rng,
+                track,
             )
         while alive.size:
             lengths, dirs = self._sample_segments(rng, alive.size, segs)
             alive = self._consume(
                 x, y, t, trial_of, trial_best, alive,
-                lengths, dirs, tx, ty, horizon, plan, rng,
+                lengths, dirs, tx, ty, horizon, plan, rng, track,
             )
         return trial_best
 
     @staticmethod
     def _consume(
         x, y, t, trial_of, trial_best, alive, lengths, dirs, tx, ty, horizon,
-        plan=None, rng=None,
+        plan=None, rng=None, track=None,
     ) -> np.ndarray:
         """Walk one ``(alive, segments)`` block; returns the surviving rows."""
         dx = _DIR_X[dirs]
@@ -390,42 +565,61 @@ class _SegmentWalker(Walker):
         start_x = end_x - step_x
         start_y = end_y - step_y
         start_t = end_t - lengths
-        # Ray test: steps along the segment's axis to reach the treasure.
-        off_x = (tx - start_x) * dx
-        off_y = (ty - start_y) * dy
-        hit = np.where(
-            dx != 0,
-            (start_y == ty) & (off_x >= 1) & (off_x <= lengths),
-            (start_x == tx) & (off_y >= 1) & (off_y <= lengths),
-        )
-        offset = np.where(dx != 0, off_x, off_y)
-        hit_time = start_t + offset
-        if plan is None:
-            valid = hit & (hit_time <= horizon)
-        else:
-            # Per-slot caps fold the wall-clock horizon and the crash time
-            # into one step bound; each crossing is noticed only with the
-            # scenario's detection probability (a straight segment crosses
-            # a fixed cell at most once, so one coin per hitting segment
-            # is exact).
-            valid = hit & (hit_time <= plan.step_cap[alive, None])
-            valid = plan.mask_missed(valid, rng)
-        any_hit = valid.any(axis=1)
-        if np.any(any_hit):
-            first = np.argmax(valid[any_hit], axis=1)
+        if track is None:
+            # Ray test: steps along the segment's axis to reach the treasure.
+            off_x = (tx - start_x) * dx
+            off_y = (ty - start_y) * dy
+            hit = np.where(
+                dx != 0,
+                (start_y == ty) & (off_x >= 1) & (off_x <= lengths),
+                (start_x == tx) & (off_y >= 1) & (off_y <= lengths),
+            )
+            offset = np.where(dx != 0, off_x, off_y)
+            hit_time = start_t + offset
             if plan is None:
-                np.minimum.at(
-                    trial_best,
-                    trial_of[alive[any_hit]],
-                    hit_time[any_hit, first].astype(np.float64),
-                )
+                valid = hit & (hit_time <= horizon)
             else:
-                sel = alive[any_hit]
-                np.minimum.at(
-                    trial_best,
-                    trial_of[sel],
-                    plan.wall(sel, hit_time[any_hit, first].astype(np.float64)),
-                )
+                # Per-slot caps fold the wall-clock horizon and the crash time
+                # into one step bound; each crossing is noticed only with the
+                # scenario's detection probability (a straight segment crosses
+                # a fixed cell at most once, so one coin per hitting segment
+                # is exact).
+                valid = hit & (hit_time <= plan.step_cap[alive, None])
+                valid = plan.mask_missed(valid, rng)
+            any_hit = valid.any(axis=1)
+            if np.any(any_hit):
+                first = np.argmax(valid[any_hit], axis=1)
+                if plan is None:
+                    np.minimum.at(
+                        trial_best,
+                        trial_of[alive[any_hit]],
+                        hit_time[any_hit, first].astype(np.float64),
+                    )
+                else:
+                    sel = alive[any_hit]
+                    np.minimum.at(
+                        trial_best,
+                        trial_of[sel],
+                        plan.wall(sel, hit_time[any_hit, first].astype(np.float64)),
+                    )
+        else:
+            find_step = _segment_hits(
+                track, start_x, start_y, start_t, dx, dy, lengths,
+                alive, trial_of, horizon, plan, rng,
+            )
+            any_hit = np.isfinite(find_step)
+            if np.any(any_hit):
+                if plan is None:
+                    np.minimum.at(
+                        trial_best, trial_of[alive[any_hit]],
+                        find_step[any_hit],
+                    )
+                else:
+                    sel = alive[any_hit]
+                    np.minimum.at(
+                        trial_best, trial_of[sel],
+                        plan.wall(sel, find_step[any_hit]),
+                    )
         x[alive] = end_x[:, -1]
         y[alive] = end_y[:, -1]
         t[alive] = end_t[:, -1]
@@ -517,11 +711,12 @@ def walker_find_times(
     chunk: Optional[int] = None,
     scenario: Optional[ScenarioSpec] = None,
     start_delays=None,
+    world_spec: Optional[WorldSpec] = None,
 ) -> np.ndarray:
     """Functional entry point: ``walker.find_times`` with the same contract."""
     return walker.find_times(
         world, k, trials, seed, horizon=horizon, chunk=chunk,
-        scenario=scenario, start_delays=start_delays,
+        scenario=scenario, start_delays=start_delays, world_spec=world_spec,
     )
 
 
@@ -537,6 +732,7 @@ def walker_find_times_block(
     horizon: float,
     chunk: Optional[int] = None,
     scenario: Optional[ScenarioSpec] = None,
+    world_spec: Optional[WorldSpec] = None,
 ) -> np.ndarray:
     """One deterministic trial block of walker cell ``(distance, k)``.
 
@@ -551,7 +747,7 @@ def walker_find_times_block(
     seed = derive_seed(root_seed, BLOCK_STREAM, int(distance), int(k), int(block))
     return walker.find_times(
         world, k, trials, seed, horizon=horizon, chunk=chunk,
-        scenario=scenario,
+        scenario=scenario, world_spec=world_spec,
     )
 
 
@@ -566,6 +762,7 @@ def walker_find_times_batch(
     chunk: Optional[int] = None,
     scenario: Optional[ScenarioSpec] = None,
     start_delays=None,
+    world_spec: Optional[WorldSpec] = None,
 ) -> np.ndarray:
     """Per-world find-time matrix, shape ``(len(worlds), trials)``.
 
@@ -582,13 +779,21 @@ def walker_find_times_batch(
     noise, and the chunked simulators are already within a small factor
     of memory bandwidth.
     """
-    if not worlds:
+    if len(worlds) == 0:
         raise ValueError("worlds must be non-empty")
-    resolved = [w if isinstance(w, World) else World(tuple(w)) for w in worlds]
+    if resolve_world(world_spec) is None:
+        resolved = [
+            w if isinstance(w, World) else World(tuple(w)) for w in worlds
+        ]
+    else:
+        # Dynamic worlds: each entry may be an (n_targets, 2) initial-
+        # position array; find_times normalises it.
+        resolved = list(worlds)
     rows = [
         walker.find_times(
             w, k, trials, s, horizon=horizon, chunk=chunk,
             scenario=scenario, start_delays=start_delays,
+            world_spec=world_spec,
         )
         for w, s in zip(resolved, spawn_seeds(seed, len(resolved)))
     ]

@@ -84,16 +84,18 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..algorithms.belief import AdaptiveSearcher
 from ..checks import trace
 from ..checks.registry import register_stream
 from ..sim.events import (
     find_time_statistics,
+    simulate_find_times,
     simulate_find_times_batch,
     simulate_find_times_block,
 )
 from ..sim.rng import derive_seed, spawn_seeds
 from ..sim.walkers import Walker, walker_find_times_block
-from ..sim.world import place_treasure
+from ..sim.world import place_targets, place_treasure
 from ..stats import FindTimeAccumulator, FindTimeSummary, summarize_times
 from .cache import (
     append_blocks,
@@ -275,11 +277,39 @@ def _execute_chunk(payload) -> np.ndarray:
     spec, k, distances, placement_seeds, sim_seed, world_seeds = payload
     with trace.trace_scope(k=k, distances=tuple(distances)):
         strategy = build_algorithm(spec.algorithm, k, spec.param_dict())
+        if spec.world is not None:
+            # Dynamic-world rows resolve one per-world-seeded engine
+            # call per distance (walker-style), so results are
+            # independent of the chunk layout.
+            targets = [
+                place_targets(
+                    distance, spec.placement, spec.world.n_targets,
+                    seed=placement_seed,
+                )
+                for distance, placement_seed in zip(
+                    distances, placement_seeds
+                )
+            ]
+            rows = []
+            for world, world_seed in zip(targets, world_seeds):
+                if isinstance(strategy, (Walker, AdaptiveSearcher)):
+                    rows.append(strategy.find_times(
+                        world, k, spec.trials, world_seed,
+                        horizon=spec.horizon, scenario=spec.scenario,
+                        world_spec=spec.world,
+                    ))
+                else:
+                    rows.append(simulate_find_times(
+                        strategy, world, k, spec.trials, world_seed,
+                        horizon=spec.horizon, scenario=spec.scenario,
+                        world_spec=spec.world,
+                    ))
+            return np.stack(rows)
         worlds = [
             place_treasure(distance, spec.placement, seed=placement_seed)
             for distance, placement_seed in zip(distances, placement_seeds)
         ]
-        if isinstance(strategy, Walker):
+        if isinstance(strategy, (Walker, AdaptiveSearcher)):
             rows = [
                 strategy.find_times(
                     world, k, spec.trials, world_seed,
@@ -313,7 +343,11 @@ def _fixed_tasks(spec: SweepSpec, workers: int) -> List[tuple]:
         sim_seed, placement_seeds = child_seeds[0], child_seeds[1:]
         strategy = build_algorithm(spec.algorithm, group.k, spec.param_dict())
         offsets = {d: i for i, d in enumerate(group.distances)}
-        if isinstance(strategy, Walker):
+        rowwise = (
+            isinstance(strategy, (Walker, AdaptiveSearcher))
+            or spec.world is not None
+        )
+        if rowwise:
             world_seeds = spawn_seeds(sim_seed, len(group.distances))
             if workers > 1:
                 per_task = max(
@@ -410,8 +444,18 @@ def _run_fixed(
 # ----------------------------------------------------------------------
 
 def _cell_world(spec: SweepSpec, distance: int, k: int):
-    """The cell's world, seeded independently of every other cell."""
+    """The cell's world, seeded independently of every other cell.
+
+    Dynamic-world specs get an ``(n_targets, 2)`` initial-position array
+    (the form every engine accepts alongside a non-default world spec)
+    from the same per-cell placement stream.
+    """
     placement_seed = derive_seed(spec.seed, PLACEMENT_STREAM, distance, k)
+    if spec.world is not None:
+        return place_targets(
+            distance, spec.placement, spec.world.n_targets,
+            seed=placement_seed,
+        )
     return place_treasure(distance, spec.placement, seed=placement_seed)
 
 
@@ -430,16 +474,18 @@ def _execute_block(payload) -> np.ndarray:
         strategy = build_algorithm(spec.algorithm, k, spec.param_dict())
         world = _cell_world(spec, distance, k)
         trials = block_trials(block)
-        if isinstance(strategy, Walker):
+        if isinstance(strategy, (Walker, AdaptiveSearcher)):
             return walker_find_times_block(
                 strategy, world, k, trials, spec.seed,
                 distance=distance, block=block,
                 horizon=spec.horizon, scenario=spec.scenario,
+                world_spec=spec.world,
             )
         return simulate_find_times_block(
             strategy, world, k, trials, spec.seed,
             distance=distance, block=block,
             horizon=spec.horizon, scenario=spec.scenario,
+            world_spec=spec.world,
         )
 
 
@@ -799,6 +845,17 @@ def run_sweep(
             f"sweep algorithm {spec.algorithm!r} is a walker baseline and "
             f"needs a finite spec horizon (walks on Z^2 have infinite "
             f"expected hitting time)"
+        )
+    if isinstance(probe, AdaptiveSearcher) and spec.horizon is None:
+        raise ValueError(
+            f"sweep algorithm {spec.algorithm!r} is an adaptive searcher "
+            f"and needs a finite spec horizon"
+        )
+    if spec.world is not None and spec.horizon is None:
+        raise ValueError(
+            "sweeps over a non-default world spec need a finite horizon: "
+            "moving or late-arriving targets make unbounded searches "
+            "non-terminating"
         )
     with ensure_executor(executor, workers=workers, backend=backend) as ex:
         if spec.budget is None:

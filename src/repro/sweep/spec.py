@@ -39,6 +39,7 @@ from typing import (
 )
 
 from ..algorithms import (
+    GridBeliefSearch,
     HarmonicSearch,
     HedgedApproxSearch,
     NaiveTrustSearch,
@@ -49,9 +50,11 @@ from ..algorithms import (
     UniformSearch,
 )
 from ..algorithms.base import ExcursionAlgorithm
+from ..algorithms.belief import AdaptiveSearcher
 from ..checks.registry import register_stream
 from ..scenarios import ScenarioSpec
 from ..sim.walkers import BiasedWalker, LevyWalker, RandomWalker, Walker
+from ..sim.world import WorldSpec, resolve_world
 from ..stats import BudgetPolicy
 
 __all__ = [
@@ -177,10 +180,11 @@ def group_chunks(distances: Sequence[int]) -> List[Tuple[int, ...]]:
 ParamsLike = Union[Mapping[str, float], Sequence[Tuple[str, float]]]
 
 #: What a builder may return: an excursion algorithm (resolved by the
-#: batched excursion engine) or a walker baseline (resolved by the batched
-#: walker engine of :mod:`repro.sim.walkers`).  The runner dispatches on
-#: the instance type.
-SweepStrategy = Union[ExcursionAlgorithm, Walker]
+#: batched excursion engine), a walker baseline (resolved by the batched
+#: walker engine of :mod:`repro.sim.walkers`), or an adaptive searcher
+#: (self-simulating, walker-shaped; :mod:`repro.algorithms.belief`).  The
+#: runner dispatches on the instance type.
+SweepStrategy = Union[ExcursionAlgorithm, Walker, AdaptiveSearcher]
 
 #: name -> builder(k, params) for every strategy a sweep can name.
 #: Builders receive the true agent count ``k`` so that k-aware algorithms
@@ -239,6 +243,16 @@ register_algorithm(
     lambda k, p: LevyWalker(p.get("mu", 2.0), int(p.get("max_segment", 10**6))),
 )
 
+# Adaptive searchers (require a spec horizon; see repro.algorithms.belief).
+register_algorithm(
+    "grid_belief",
+    lambda k, p: GridBeliefSearch(
+        cell=int(p.get("cell", 4)),
+        radius=(int(p["radius"]) if "radius" in p else None),
+        tremble=p.get("tremble", 0.25),
+    ),
+)
+
 
 @dataclass(frozen=True)
 class SweepCell:
@@ -284,6 +298,18 @@ class SweepSpec:
     :meth:`data_hash`, so tightening a target tops existing blocks up
     instead of recomputing them.  ``trials`` is ignored by adaptive
     execution (allocation comes from the policy).
+
+    ``world`` (:class:`repro.sim.world.WorldSpec`, a mapping, or ``None``)
+    is the world-process layer — target count, motion, arrival,
+    world-level detection.  Like the scenario, it participates in both
+    hash partitions (a dynamic sweep is a different sweep *and* a
+    different block stream) and the all-default spec is canonicalised to
+    ``None`` via :func:`repro.sim.world.resolve_world`, so "no world
+    spec" and "explicitly static" are the same spec, the same hash, and
+    the same cache entry — the engines' structural legacy-path guarantee
+    makes that sound.  Dynamic-world execution is per-row seeded (one
+    engine call per distance), so the chunk layout never affects results
+    and dynamic specs never carry the ``fixed_chunking`` marker.
     """
 
     algorithm: str
@@ -297,6 +323,7 @@ class SweepSpec:
     require_k_le_d: bool = False
     scenario: Optional[ScenarioSpec] = None
     budget: Optional[BudgetPolicy] = None
+    world: Optional[WorldSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -352,6 +379,17 @@ class SweepSpec:
             object.__setattr__(self, "trials", int(budget.trials))
             budget = None
         object.__setattr__(self, "budget", budget)
+        world: Any = self.world
+        if isinstance(world, Mapping):
+            world = WorldSpec.from_dict(world)
+        if world is not None and not isinstance(world, WorldSpec):
+            raise TypeError(
+                f"spec world must be a WorldSpec, mapping or None, "
+                f"got {type(world).__name__}"
+            )
+        # Canonicalise: the all-default world IS the absent world, so
+        # static single-target specs keep their historical hash and cache.
+        object.__setattr__(self, "world", resolve_world(world))
 
     def param_dict(self) -> Dict[str, float]:
         return dict(self.params)
@@ -406,6 +444,11 @@ class SweepSpec:
         }
         if self.budget is not None:
             data["budget"] = self.budget.to_dict()
+        # Like ``budget``: emitted only when present, so every static
+        # single-target spec keeps its historical dict, hash, and cache
+        # entries byte for byte.
+        if self.world is not None:
+            data["world"] = self.world.to_dict()
         # Specs whose k-groups exceed the chunk threshold execute under
         # the chunked fixed-path layout, which — for excursion
         # algorithms, whose batch engine shares draws across a chunk —
@@ -427,6 +470,11 @@ class SweepSpec:
             for group in self.groups()
         ):
             return False
+        if self.world is not None:
+            # Dynamic-world rows are per-world seeded (one engine call
+            # per distance, walker-style), so any chunk layout is
+            # bitwise identical to the unsplit group.
+            return False
         try:
             probe = build_algorithm(
                 self.algorithm, self.ks[0], self.param_dict()
@@ -435,7 +483,7 @@ class SweepSpec:
             # Unregistered strategy or missing parameter: the spec can
             # never execute, so err on the side of the marker.
             return True
-        return not isinstance(probe, Walker)
+        return not isinstance(probe, (Walker, AdaptiveSearcher))
 
     def hashed_fields(self) -> Tuple[str, ...]:
         """The keys of this spec's full-identity hash partition.
@@ -465,6 +513,7 @@ class SweepSpec:
             require_k_le_d=bool(data["require_k_le_d"]),
             scenario=data.get("scenario"),
             budget=data.get("budget"),
+            world=data.get("world"),
         )
 
     def spec_hash(self) -> str:
@@ -484,7 +533,7 @@ class SweepSpec:
         a wider grid reuses the old grid's cells, a tighter precision
         target tops cells up.
         """
-        return {
+        data: Dict[str, object] = {
             "version": SPEC_VERSION,
             "block_schedule": BLOCK_SCHEDULE_VERSION,
             "algorithm": self.algorithm,
@@ -496,6 +545,12 @@ class SweepSpec:
                 self.scenario.to_dict() if self.scenario is not None else None
             ),
         }
+        # The world process changes every block's content, so it joins
+        # the block-stream identity — but only when present, keeping
+        # every existing static block store keyed as before.
+        if self.world is not None:
+            data["world"] = self.world.to_dict()
+        return data
 
     def data_hash(self) -> str:
         """Stable content hash of :meth:`data_dict` (block-store key)."""

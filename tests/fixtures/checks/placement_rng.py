@@ -1,0 +1,19 @@
+"""Seeded placement-seeding violations: the pre-``PLACEMENT_DRAW_STREAM`` shape.
+
+``place_treasure("random")`` historically drew its ring sample from an
+ad-hoc stream with no registered tag; routing placement through
+``derive_rng(seed, PLACEMENT_DRAW_STREAM)`` put it under the same
+R001/R003 coverage as every other draw.  This fixture pins both halves of
+the old shape: an ambient stdlib draw standing in for untracked placement
+randomness, and a bare-literal stream tag that bypasses the registry.
+"""
+
+import random
+
+PLACEMENT_HACK_STREAM = 0x97ACE  # bare literal tag: R003
+
+
+def place_random_legacy(distance):
+    # Ambient placement draw (R001): not derivable from any spec seed.
+    angle = random.uniform(0.0, 1.0)
+    return distance, angle

@@ -84,6 +84,17 @@ class TestLintRules:
         findings = lint_file("broken.py", text="def broken(:\n")
         assert [f.rule for f in findings] == ["R000"]
 
+    def test_legacy_placement_shape_fires_r001_and_r003(self):
+        # The pre-PLACEMENT_DRAW_STREAM placement shape: an ambient draw
+        # plus a bare-literal stream tag.  Both halves must keep firing.
+        findings = lint_file(fixture("placement_rng.py"))
+        assert [f.rule for f in findings] == ["R001"]
+        assert "random.uniform" in findings[0].message
+        stream_findings = scan_stream_files([fixture("placement_rng.py")])
+        assert [f.rule for f in stream_findings] == ["R003"]
+        assert "PLACEMENT_HACK_STREAM" in stream_findings[0].message
+        assert "bare" in stream_findings[0].message
+
 
 class TestStreamScan:
     def test_duplicate_and_misregistered_streams_fire_r003(self):
@@ -95,6 +106,7 @@ class TestStreamScan:
         assert "mismatched name" in messages  # GAMMA registered as MISNAMED
 
     def test_registered_tree_streams_are_disjoint(self):
+        import repro.algorithms.belief  # noqa: F401 - registers BELIEF_STREAM
         import repro.sweep.runner  # noqa: F401 - registers all streams
 
         streams = dict(STREAM_REGISTRY)
@@ -103,6 +115,9 @@ class TestStreamScan:
             "SCENARIO_STREAM",
             "GROUP_CHUNK_STREAM",
             "PLACEMENT_STREAM",
+            "PLACEMENT_DRAW_STREAM",
+            "TARGET_STREAM",
+            "BELIEF_STREAM",
         ):
             assert name in streams
         assert len(set(streams.values())) == len(streams)

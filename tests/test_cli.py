@@ -142,6 +142,90 @@ class TestSweepCommand:
             main(["sweep", "uniform", "--distances", "8", "--ks", "1", "--trials", "0"])
 
 
+class TestWorldFlags:
+    def test_parse_world_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "sweep", "grid_belief",
+                "--distances", "16",
+                "--ks", "4",
+                "--horizon", "6144",
+                "--n-targets", "2",
+                "--target-motion", "walk",
+                "--motion-rate", "0.1",
+                "--arrival-hazard", "0.01",
+            ]
+        )
+        assert args.n_targets == 2
+        assert args.target_motion == "walk"
+        assert args.motion_rate == 0.1
+        assert args.arrival_hazard == 0.01
+        assert args.target_detection_prob == 1.0
+
+    def test_dynamic_sweep_prints_world_note(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep", "nonuniform",
+                    "--distances", "8",
+                    "--ks", "2",
+                    "--trials", "8",
+                    "--seed", "3",
+                    "--horizon", "1536",
+                    "--n-targets", "2",
+                    "--target-motion", "drift",
+                    "--motion-rate", "0.05",
+                    "--cache-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "world: n_targets=2, motion=drift(0.05)" in out
+
+    def test_default_world_flags_leave_spec_static(self, tmp_path, capsys):
+        # All-default world flags canonicalise to no world at all: the
+        # printed table must not claim a world and the spec (hence the
+        # cache key) is the historical static one.
+        assert (
+            main(
+                [
+                    "sweep", "nonuniform",
+                    "--distances", "8",
+                    "--ks", "2",
+                    "--trials", "8",
+                    "--seed", "3",
+                    "--cache-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        assert "world:" not in capsys.readouterr().out
+
+    def test_inconsistent_world_flags_exit_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "sweep", "nonuniform",
+                    "--distances", "8",
+                    "--ks", "2",
+                    "--horizon", "512",
+                    "--target-motion", "walk",  # needs --motion-rate
+                ]
+            )
+
+    def test_dynamic_world_without_horizon_exits_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "sweep", "nonuniform",
+                    "--distances", "8",
+                    "--ks", "2",
+                    "--n-targets", "2",
+                ]
+            )
+
+
 class TestAdaptiveFlags:
     def test_parse_budget_arguments(self):
         args = build_parser().parse_args(

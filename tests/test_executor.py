@@ -316,6 +316,56 @@ class TestBackendDeterminism:
         assert_sweeps_equal(second, run_sweep(adapt, cache=False))
 
 
+class TestDynamicWorldBackendDeterminism:
+    """Serial == process, bitwise, for non-default world specs (E12)."""
+
+    WORLD = {
+        "n_targets": 2, "motion": "drift", "motion_rate": 0.1,
+        "arrival": "geometric", "arrival_hazard": 0.005,
+    }
+
+    def dynamic(self, **overrides):
+        base = dict(
+            trials=10, horizon=1500.0, world=self.WORLD,
+            distances=tuple(range(4, 15)), ks=(2,),
+        )
+        base.update(overrides)
+        return small_spec(**base)
+
+    def test_dynamic_excursion(self):
+        spec = self.dynamic()
+        assert_sweeps_equal(
+            run_sweep(spec, cache=False),
+            run_sweep(spec, cache=False, workers=2),
+        )
+
+    def test_dynamic_walker(self):
+        spec = self.dynamic(algorithm="random_walk")
+        assert_sweeps_equal(
+            run_sweep(spec, cache=False),
+            run_sweep(spec, cache=False, workers=2),
+        )
+
+    def test_dynamic_belief(self):
+        spec = self.dynamic(algorithm="grid_belief")
+        assert_sweeps_equal(
+            run_sweep(spec, cache=False),
+            run_sweep(spec, cache=False, workers=3),
+        )
+
+    def test_dynamic_adaptive_budget(self):
+        spec = self.dynamic(
+            distances=(6, 10),
+            budget=BudgetPolicy.target_rel_ci(
+                1e-9, min_trials=32, max_trials=64
+            ),
+        )
+        assert_sweeps_equal(
+            run_sweep(spec, cache=False),
+            run_sweep(spec, cache=False, workers=2),
+        )
+
+
 class TestFixedChunking:
     MANY = tuple(range(4, 16))  # 12 distances: above the split threshold
 

@@ -26,10 +26,10 @@ def results():
 
 
 class TestRegistry:
-    def test_all_eleven_registered(self):
-        assert len(EXPERIMENTS) == 11
+    def test_all_twelve_registered(self):
+        assert len(EXPERIMENTS) == 12
         assert [i.experiment_id for i in list_experiments()] == [
-            f"E{n}" for n in range(1, 12)
+            f"E{n}" for n in range(1, 13)
         ]
 
     def test_unknown_id_rejected(self):
@@ -252,3 +252,34 @@ class TestE11Shape:
         for table in (crash, speed):
             first = table.rows[0]
             assert first["degradation"] == 1.0
+
+
+class TestE12Shape:
+    def test_three_tables_one_per_relaxation_axis(self, results):
+        mobility, arrival, count = results["E12"]
+        assert len(mobility.rows) == 3 * 4  # strategies x motion settings
+        assert len(arrival.rows) == 3 * 3
+        assert len(count.rows) == 3 * 3
+
+    def test_baseline_rows_anchor_vs_static_at_one(self, results):
+        for table in results["E12"]:
+            for name in {r["algorithm"] for r in table.rows}:
+                first = next(
+                    r for r in table.rows if r["algorithm"] == name
+                )
+                assert first["vs_static"] == 1.0
+
+    def test_extra_targets_speed_every_strategy_up(self, results):
+        _, _, count = results["E12"]
+        for row in count.rows:
+            if row["n_targets"] == 4:
+                assert row["vs_static"] < 1.0
+
+    def test_motion_rows_actually_move_the_numbers(self, results):
+        # The one-shot harmonic degeneracy regression: every strategy's
+        # drift row must differ from its static baseline (a frozen-world
+        # kernel would reproduce vs_static == 1.0 exactly).
+        mobility, _, _ = results["E12"]
+        for name in {r["algorithm"] for r in mobility.rows}:
+            rows = [r for r in mobility.rows if r["algorithm"] == name]
+            assert rows[3]["mean_time"] != rows[0]["mean_time"]

@@ -29,7 +29,7 @@ import pytest
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
 GOLDEN_SEED = 20120716  # the experiments' default root seed
-EXPERIMENT_IDS = ("E1", "E3", "E7", "E11")
+EXPERIMENT_IDS = ("E1", "E3", "E7", "E11", "E12")
 
 #: Columns that must reproduce exactly (grid coordinates and closed
 #: forms).  E11's knob columns qualify; "spread" does NOT belong here —
@@ -39,6 +39,7 @@ EXPERIMENT_IDS = ("E1", "E3", "E7", "E11")
 EXACT_COLUMNS = {
     "D", "k", "trials", "eps", "optimal", "cells",
     "lifetime_x_opt", "speed_ratio", "hazard",
+    "n_targets", "arrival_x_opt",
 }
 
 #: (relative, absolute) tolerance floors per statistical column, used when
@@ -60,6 +61,7 @@ FALLBACK_TOLS = {
     "b": (0.45, 0.1),
     "r2": (0.45, 0.1),
     "phi_at_kmax": (0.30, 1e-9),
+    "vs_static": (0.45, 1e-9),
 }
 
 

@@ -1,0 +1,312 @@
+"""`WorldSpec` layer: validation, canonicalisation, and the legacy-path pin.
+
+The load-bearing guarantee of the generalised world seam (DESIGN.md §10):
+a ``None`` or all-default ``WorldSpec`` takes the *structurally unchanged*
+legacy code path in every engine, so the paper's static single-target
+model is bitwise identical to the pre-worlds engines.  The property tests
+here pin that across all three engines through the ``Engine`` protocol
+adapters, alongside the spec's validation/serialisation contract, the
+``TargetTrack`` closed forms, and the ``Result.meta`` aliasing regression.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    GridBeliefSearch,
+    NonUniformSearch,
+    SingleSpiralSearch,
+)
+from repro.sim import (
+    Engine,
+    ExcursionBatchEngine,
+    RandomWalker,
+    StepEngine,
+    WalkerBatchEngine,
+    engine_for,
+)
+from repro.sim.rng import derive_rng
+from repro.sim.world import (
+    Result,
+    TargetTrack,
+    World,
+    WorldSpec,
+    initial_targets,
+    place_targets,
+    place_treasure,
+    resolve_world,
+)
+
+
+class TestWorldSpecValidation:
+    def test_defaults_are_the_paper_model(self):
+        spec = WorldSpec()
+        assert spec.is_default and spec.is_static
+        assert spec.describe() == "default"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(n_targets=0),
+            dict(motion="teleport"),
+            dict(motion="static", motion_rate=0.5),
+            dict(motion="walk"),  # needs a rate in (0, 1]
+            dict(motion="walk", motion_rate=1.5),
+            dict(motion="drift", motion_rate=0.0),
+            dict(arrival="poisson"),
+            dict(arrival="present", arrival_hazard=0.1),
+            dict(arrival="geometric"),  # needs a hazard in (0, 1]
+            dict(arrival="geometric", arrival_hazard=2.0),
+            dict(detection_prob=0.0),
+            dict(detection_prob=1.5),
+        ],
+    )
+    def test_rejects_inconsistent_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            WorldSpec(**kwargs)
+
+    def test_is_static_covers_motion_only(self):
+        # Geometric arrival with static motion still needs arrival draws:
+        # is_static answers "are positions time-invariant", nothing more.
+        spec = WorldSpec(arrival="geometric", arrival_hazard=0.1)
+        assert spec.is_static and not spec.is_default
+
+    def test_describe_lists_non_default_knobs(self):
+        spec = WorldSpec(n_targets=3, motion="drift", motion_rate=0.25)
+        text = spec.describe()
+        assert "n_targets=3" in text and "drift(0.25)" in text
+
+    def test_dict_roundtrip(self):
+        spec = WorldSpec(
+            n_targets=2, motion="walk", motion_rate=0.1,
+            arrival="geometric", arrival_hazard=0.01, detection_prob=0.8,
+        )
+        assert WorldSpec.from_dict(spec.to_dict()) == spec
+        assert WorldSpec.from_dict({}) == WorldSpec()
+
+
+class TestResolveWorld:
+    def test_none_and_default_canonicalise_to_none(self):
+        assert resolve_world(None) is None
+        assert resolve_world(WorldSpec()) is None
+
+    def test_non_default_passes_through(self):
+        spec = WorldSpec(n_targets=2)
+        assert resolve_world(spec) is spec
+
+    def test_rejects_foreign_types(self):
+        with pytest.raises(TypeError):
+            resolve_world({"n_targets": 2})
+
+
+class TestPlacement:
+    def test_distance_one_offaxis_collapses_to_corner_cell(self):
+        # There is no distance-1 cell off both axes; the documented
+        # collapse is the spiral-last ring cell (0, -1).
+        assert place_treasure(1, "offaxis").treasure == (0, -1)
+
+    @pytest.mark.parametrize("distance", [1, 2, 3, 17, 100])
+    def test_random_ring_distance_is_exact(self, distance):
+        for seed in range(40):
+            world = place_treasure(distance, "random", seed=seed)
+            assert world.distance == distance
+
+    def test_random_draw_rides_the_registered_stream(self):
+        from repro.sim.world import PLACEMENT_DRAW_STREAM
+        from repro.core.geometry import sample_uniform_ring
+
+        rng = derive_rng(5, PLACEMENT_DRAW_STREAM)
+        x, y = sample_uniform_ring(rng, 20, 1)
+        assert place_treasure(20, "random", seed=5).treasure == (
+            int(x[0]), int(y[0]),
+        )
+
+    def test_live_generator_seed_is_consumed_directly(self):
+        rng = np.random.default_rng(3)
+        a = place_treasure(9, "random", seed=rng)
+        b = place_treasure(9, "random", seed=np.random.default_rng(3))
+        assert a.treasure == b.treasure
+
+    def test_place_targets_first_matches_place_treasure(self):
+        for placement in ("axis", "corner", "offaxis", "random"):
+            targets = place_targets(12, placement, n_targets=3, seed=8)
+            assert tuple(targets[0]) == place_treasure(
+                12, placement, seed=8
+            ).treasure
+
+    def test_extra_target_positions_independent_of_count(self):
+        small = place_targets(12, "offaxis", n_targets=2, seed=8)
+        large = place_targets(12, "offaxis", n_targets=5, seed=8)
+        assert np.array_equal(small[1], large[1])
+        assert all(
+            abs(x) + abs(y) == 12 for x, y in large.tolist()
+        )
+
+
+class TestInitialTargets:
+    def test_world_normalises_to_single_row(self):
+        targets = initial_targets(World((3, -4)), WorldSpec())
+        assert targets.shape == (1, 2) and tuple(targets[0]) == (3, -4)
+
+    def test_flat_pair_and_array_forms(self):
+        spec = WorldSpec()
+        assert initial_targets((2, 5), spec).shape == (1, 2)
+        two = initial_targets([[1, 2], [3, 4]], WorldSpec(n_targets=2))
+        assert two.shape == (2, 2)
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="n_targets"):
+            initial_targets([[1, 2]], WorldSpec(n_targets=2))
+
+    def test_target_on_source_rejected(self):
+        with pytest.raises(ValueError, match="source"):
+            initial_targets([[0, 0], [1, 2]], WorldSpec(n_targets=2))
+
+
+class TestTargetTrack:
+    def make(self, spec, trials=4, targets=((5, 0),)):
+        return TargetTrack(
+            spec,
+            np.asarray(targets, dtype=np.int64),
+            trials,
+            derive_rng(11, 0x7A26E7, 0),
+        )
+
+    def test_static_positions_never_move(self):
+        track = self.make(WorldSpec(arrival="geometric", arrival_hazard=0.5))
+        early = track.positions_at(0.0).copy()
+        late = track.positions_at(1000.0)
+        assert np.array_equal(early, late)
+
+    def test_drift_is_a_closed_form_of_time(self):
+        spec = WorldSpec(motion="drift", motion_rate=0.25)
+        track = self.make(spec, trials=8)
+        base = track.positions_at(0.0).copy()
+        at_8 = track.positions_at(8.0)
+        moved = np.abs(at_8 - base).sum(axis=-1)
+        assert np.all(moved == 2)  # floor(0.25 * 8) cells, one direction
+        # Re-querying an earlier time is exact, not stateful.
+        assert np.array_equal(track.positions_at(0.0), base)
+
+    def test_walk_moves_at_most_one_cell_per_step_and_is_monotone(self):
+        spec = WorldSpec(motion="walk", motion_rate=0.5)
+        track = self.make(spec, trials=16)
+        prev = track.positions_at(0.0).copy()
+        for t in (3.0, 3.0, 7.0):  # repeated query: a no-op window
+            cur = track.positions_at(t)
+            assert np.abs(cur - prev).sum() <= 16 * 7
+            prev = cur.copy()
+
+    def test_walk_is_reproducible_from_the_motion_stream(self):
+        spec = WorldSpec(motion="walk", motion_rate=0.3)
+        a = self.make(spec, trials=6).positions_at(50.0)
+        b = self.make(spec, trials=6).positions_at(50.0)
+        assert np.array_equal(a, b)
+
+    def test_arrival_draws_only_for_geometric(self):
+        present = self.make(WorldSpec(n_targets=1))
+        assert np.all(present.arrival == 0.0)
+        late = self.make(
+            WorldSpec(arrival="geometric", arrival_hazard=0.2), trials=64
+        )
+        assert late.arrival.shape == (64, 1)
+        assert np.all(late.arrival >= 1.0)  # geometric support is 1, 2, ...
+
+
+ENGINES = {
+    "excursion-batch": (
+        ExcursionBatchEngine(), lambda k: NonUniformSearch(k=k)
+    ),
+    "walker-batch": (WalkerBatchEngine(), lambda k: RandomWalker()),
+    "step": (StepEngine(), lambda k: SingleSpiralSearch()),
+}
+
+
+class TestLegacyBitwiseParity:
+    """All-default world == no world, bitwise, on every engine."""
+
+    @pytest.mark.parametrize("name", sorted(ENGINES))
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        distance=st.integers(2, 12),
+        k=st.integers(1, 4),
+    )
+    def test_default_world_spec_is_bitwise_legacy(
+        self, name, seed, distance, k
+    ):
+        engine, build = ENGINES[name]
+        world = place_treasure(distance, "offaxis")
+        horizon = 16.0 * distance * distance
+        legacy = engine.find_times(
+            build(k), world, k, 8, seed, horizon=horizon, world_spec=None
+        )
+        explicit = engine.find_times(
+            build(k), world, k, 8, seed, horizon=horizon,
+            world_spec=WorldSpec(),
+        )
+        assert np.array_equal(legacy, explicit)
+
+    def test_adapters_add_nothing_over_direct_calls(self):
+        world = place_treasure(8, "offaxis")
+        from repro.sim.events import simulate_find_times
+
+        direct = simulate_find_times(
+            NonUniformSearch(k=2), world, 2, 16, 7, horizon=1024.0
+        )
+        via = ExcursionBatchEngine().find_times(
+            NonUniformSearch(k=2), world, 2, 16, 7, horizon=1024.0
+        )
+        assert np.array_equal(direct, via)
+
+        walker_direct = RandomWalker().find_times(
+            world, 2, 16, 7, horizon=512.0
+        )
+        walker_via = WalkerBatchEngine().find_times(
+            RandomWalker(), world, 2, 16, 7, horizon=512.0
+        )
+        assert np.array_equal(walker_direct, walker_via)
+
+    def test_engine_for_dispatch(self):
+        assert isinstance(
+            engine_for(NonUniformSearch(k=2)), ExcursionBatchEngine
+        )
+        assert isinstance(engine_for(RandomWalker()), WalkerBatchEngine)
+        assert isinstance(engine_for(GridBeliefSearch()), WalkerBatchEngine)
+        assert isinstance(engine_for(SingleSpiralSearch()), StepEngine)
+        with pytest.raises(TypeError):
+            engine_for(object())
+
+    def test_adapters_satisfy_the_protocol(self):
+        for engine, _ in ENGINES.values():
+            assert isinstance(engine, Engine)
+
+    def test_step_engine_requires_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            StepEngine().find_times(
+                SingleSpiralSearch(), place_treasure(4, "axis"), 1, 2, 0
+            )
+
+
+class TestResultMetaAliasing:
+    def test_two_results_never_alias_one_meta_dict(self):
+        shared = {"tag": "a", "nested": {"n": 1}}
+        first = Result(time=1.0, found=True, meta=shared)
+        second = Result(time=2.0, found=True, meta=shared)
+        assert first.meta is not second.meta
+        assert first.meta["nested"] is not second.meta["nested"]
+
+    def test_caller_mutation_after_construction_is_invisible(self):
+        payload = {"nested": {"n": 1}}
+        result = Result(time=1.0, found=True, meta=payload)
+        payload["nested"]["n"] = 99
+        payload["added"] = True
+        assert result.meta == {"nested": {"n": 1}}
+
+    def test_default_meta_not_shared_between_instances(self):
+        a = Result(time=1.0, found=True)
+        b = Result(time=2.0, found=True)
+        a.meta["only_a"] = 1
+        assert b.meta == {}
