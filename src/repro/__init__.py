@@ -66,9 +66,15 @@ from .stats import (
     StreamingMoments,
     summarize_times,
 )
-from .sweep import SweepExecutor, SweepSpec, make_executor, run_sweep
+from .sweep import (
+    RemoteExecutor,
+    SweepExecutor,
+    SweepSpec,
+    make_executor,
+    run_sweep,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AdaptiveSearcher",
@@ -91,6 +97,7 @@ __all__ = [
     "NonUniformSearch",
     "RandomWalkSearch",
     "RandomWalker",
+    "RemoteExecutor",
     "Result",
     "RestartingHarmonicSearch",
     "RhoApproxSearch",

@@ -19,11 +19,13 @@ to catch the (often statistically invisible) consequence:
   ``None``) draws fresh OS entropy: bitwise-unreproducible by
   construction.
 * **R004 — worker/executor state must not flow into seed derivation or
-  hashed spec fields.**  Passing ``workers``/``backend``/pool objects to
+  hashed spec fields.**  Passing ``workers``/``backend``/pool objects —
+  or, since the remote backend, ``hosts``/``port``/endpoint values — to
   ``derive_seed``/``derive_rng``/``spawn_seeds`` or into ``SweepSpec``
   field values makes *results* depend on execution *layout* — the exact
   inversion of PR 5's layout-is-spec-only rule, and the way a "2x faster
-  on 8 cores" change silently forks the cache.
+  on 8 cores" (or "same sweep, different host list") change silently
+  forks the cache.
 
 A finding on a line that genuinely needs the pattern (a fixture, a
 deliberate nondeterminism probe) is suppressed with a trailing
@@ -96,6 +98,9 @@ _CLOCK_CALLS = frozenset(
 
 #: Identifiers that smell like execution layout (R004): none of these
 #: may appear inside a seed-derivation argument or a SweepSpec field.
+#: The second group covers the remote backend: which hosts a sweep is
+#: sharded across is layout too, and a host list in a spec would fork
+#: the cache per cluster.
 _TAINTED_NAMES = frozenset(
     {
         "workers",
@@ -107,6 +112,16 @@ _TAINTED_NAMES = frozenset(
         "backend",
         "executor",
         "pool",
+        "hosts",
+        "host",
+        "hostname",
+        "port",
+        "ports",
+        "address",
+        "addresses",
+        "endpoint",
+        "endpoints",
+        "slots",
     }
 )
 

@@ -35,7 +35,14 @@ allocated trials and the achieved CI half-width.
 ``--workers N`` fans work out to a persistent process pool shared by
 every sweep of the invocation, ``--workers auto`` sizes it to the usable
 CPUs, and ``--backend serial|process`` overrides the automatic choice.
-Serial and pooled runs produce bitwise-identical results.
+``--backend remote --hosts a:7077,b:7077`` fans work out to ``repro-ants
+worker`` processes on other hosts instead (DESIGN.md §11)::
+
+    repro-ants worker --port 7077        # on each worker host
+    repro-ants sweep nonuniform --distances 16,32 --ks 1,4 \
+        --backend remote --hosts hostA:7077,hostB:7077
+
+Serial, pooled, and remote runs produce bitwise-identical results.
 """
 
 from __future__ import annotations
@@ -250,6 +257,31 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    worker_p = sub.add_parser(
+        "worker",
+        help=(
+            "serve sweep tasks to remote drivers (the --backend remote "
+            "worker process; see DESIGN.md §11)"
+        ),
+    )
+    worker_p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default loopback; use 0.0.0.0 for LAN)",
+    )
+    worker_p.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="port to bind (default 7077; 0 picks an ephemeral port)",
+    )
+    worker_p.add_argument(
+        "--slots",
+        type=int,
+        default=1,
+        help="tasks executed concurrently per driver connection",
+    )
+
     sub.add_parser("list", help="list registered experiments")
     sub.add_parser("demo", help="run a small end-to-end demonstration")
     return parser
@@ -291,11 +323,22 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
     )
     group.add_argument(
         "--backend",
-        choices=("auto", "serial", "process"),
+        choices=("auto", "serial", "process", "remote"),
         default="auto",
         help=(
             "execution backend: 'auto' picks the process pool when "
-            "--workers > 1, 'serial'/'process' force the choice"
+            "--workers > 1, 'serial'/'process' force the choice, "
+            "'remote' fans out to repro-ants worker hosts (needs "
+            "--hosts or $REPRO_REMOTE_HOSTS)"
+        ),
+    )
+    group.add_argument(
+        "--hosts",
+        default=None,
+        metavar="HOST[:PORT],...",
+        help=(
+            "comma-separated worker endpoints for --backend remote "
+            "(default port 7077)"
         ),
     )
 
@@ -390,6 +433,7 @@ def _cmd_run(
     csv_dir: Optional[str],
     workers=0,
     backend: str = "auto",
+    hosts=None,
     cache: bool = True,
     budget=None,
     progress=None,
@@ -406,10 +450,15 @@ def _cmd_run(
     # One persistent executor serves every sweep of every experiment in
     # this invocation: warm workers carry over from E1 to E11 instead of
     # each sweep paying pool spawn-up.  (The pool itself is lazy — an
-    # all-cache run never forks.)
-    with make_executor(
-        workers=resolve_workers(workers), backend=backend
-    ) as executor:
+    # all-cache run never forks, and the remote backend only connects
+    # on first submit.)
+    try:
+        executor = make_executor(
+            workers=resolve_workers(workers), backend=backend, hosts=hosts
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    with executor:
         for experiment_id in ids:
             started = time.perf_counter()
             info = EXPERIMENTS.get(experiment_id.upper())
@@ -457,7 +506,7 @@ def _cmd_sweep(args) -> int:
     from .scenarios import ScenarioSpec
     from .sim.world import WorldSpec
     from .sweep import ALGORITHM_BUILDERS, SweepSpec, run_sweep
-    from .sweep.executor import resolve_workers
+    from .sweep.executor import make_executor, resolve_workers
     from .experiments.io import ResultTable
 
     if args.algorithm not in ALGORITHM_BUILDERS:
@@ -512,14 +561,22 @@ def _cmd_sweep(args) -> int:
         raise SystemExit(str(error))
     started = time.perf_counter()
     try:
-        result = run_sweep(
-            spec,
+        executor = make_executor(
             workers=resolve_workers(args.workers),
             backend=args.backend,
-            cache=not args.no_cache,
-            cache_dir=args.cache_dir,
-            progress=_progress_printer if args.progress else None,
+            hosts=args.hosts,
         )
+    except ValueError as error:  # e.g. --hosts without --backend remote
+        raise SystemExit(str(error))
+    try:
+        with executor:
+            result = run_sweep(
+                spec,
+                executor=executor,
+                cache=not args.no_cache,
+                cache_dir=args.cache_dir,
+                progress=_progress_printer if args.progress else None,
+            )
     except ValueError as error:  # e.g. walker strategy without --horizon
         raise SystemExit(str(error))
     elapsed = time.perf_counter() - started
@@ -647,6 +704,30 @@ def _cmd_check(args) -> int:
     return 1
 
 
+def _cmd_worker(args) -> int:
+    from .sweep.remote import DEFAULT_PORT, PROTOCOL_VERSION, serve_worker
+    from .sweep.spec import BLOCK_SCHEDULE_VERSION, SPEC_VERSION
+
+    if args.slots < 1:
+        raise SystemExit(f"--slots expects a count >= 1, got {args.slots}")
+    port = DEFAULT_PORT if args.port is None else args.port
+
+    def ready(host: str, bound_port: int) -> None:
+        # Parseable by drivers launching workers with --port 0.
+        print(
+            f"repro-ants worker listening on {host}:{bound_port} "
+            f"(protocol {PROTOCOL_VERSION}, spec v{SPEC_VERSION}, "
+            f"blocks v{BLOCK_SCHEDULE_VERSION}, slots {args.slots})",
+            flush=True,
+        )
+
+    try:
+        serve_worker(args.host, port, slots=args.slots, ready=ready)
+    except OSError as error:  # port in use, unresolvable bind address, ...
+        raise SystemExit(f"worker failed to bind {args.host}:{port}: {error}")
+    return 0
+
+
 def _cmd_demo() -> int:
     from .algorithms import HarmonicSearch, NonUniformSearch, UniformSearch
     from .analysis.competitiveness import optimal_time
@@ -686,6 +767,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.csv,
             workers=args.workers,
             backend=args.backend,
+            hosts=args.hosts,
             cache=not args.no_cache,
             budget=_budget_from_args(args),
             progress=_progress_printer if args.progress else None,
@@ -696,6 +778,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cache(args)
     if args.command == "check":
         return _cmd_check(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -37,9 +37,11 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 import zipfile
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -65,6 +67,27 @@ __all__ = [
 #: derived from, so ``repro-ants cache list`` is O(entries) — it never
 #: opens an archive whose sidecar is present and consistent.
 MANIFEST_SUFFIX = ".manifest.json"
+
+#: Lockfile suffix serialising block-store read-merge-write cycles:
+#: ``<entry>.npz`` pairs with ``<entry>.npz.lock`` while a writer is
+#: inside :func:`append_blocks`.
+LOCK_SUFFIX = ".lock"
+
+#: A lockfile older than this is presumed abandoned (its writer died
+#: between acquire and release) and is taken over.  Merges are a few
+#: milliseconds of JSON + array copying, so half a minute is orders of
+#: magnitude past any live holder.
+LOCK_STALE_SECONDS = 30.0
+
+#: How long a writer waits for the lock before proceeding *unlocked*.
+#: The cache is best-effort by contract — blocking a sweep on a cache
+#: serialisation would invert its priorities — and the unlocked merge
+#: degrades exactly to the pre-lock behaviour (worst case: one racing
+#: top-up lost, never a foreign cell).
+LOCK_TIMEOUT_SECONDS = 10.0
+
+#: Poll interval while waiting on a held lock.
+_LOCK_POLL_SECONDS = 0.01
 
 CellKey = Tuple[int, int]
 
@@ -174,25 +197,91 @@ def save_blocks(
     return _atomic_savez(path, meta, arrays)
 
 
+@contextmanager
+def _store_lock(path: str) -> Iterator[bool]:
+    """Serialise one store's read-merge-write cycle with an O_EXCL lockfile.
+
+    Creating ``<path>.lock`` with ``O_CREAT | O_EXCL`` is atomic on every
+    platform and filesystem the cache targets, including NFS mounts that
+    remote shards share.  The file records ``pid host time`` for
+    debugging.  Three exits:
+
+    * acquired — yields ``True``; the lockfile is removed on exit.
+    * stale takeover — a lock older than :data:`LOCK_STALE_SECONDS`
+      (by mtime) is unlinked and acquisition retried; a crashed writer
+      therefore stalls successors for at most the stale window.
+    * timeout — after :data:`LOCK_TIMEOUT_SECONDS` the writer proceeds
+      *without* the lock (yields ``False``): the cache is best-effort,
+      and an unserialised merge is strictly better than a blocked sweep.
+    """
+    lock_path = path + LOCK_SUFFIX
+    directory = os.path.dirname(path)
+    deadline = time.monotonic() + LOCK_TIMEOUT_SECONDS
+    acquired = False
+    while True:
+        try:
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                age = time.time() - os.stat(lock_path).st_mtime
+            except OSError:
+                continue  # holder released between open and stat; retry
+            if age > LOCK_STALE_SECONDS:
+                try:
+                    os.unlink(lock_path)  # abandoned: take it over
+                except OSError:
+                    pass  # someone else's takeover won; retry
+                continue
+            if time.monotonic() >= deadline:
+                break  # proceed unlocked; see docstring
+            time.sleep(_LOCK_POLL_SECONDS)
+        except OSError:
+            break  # unwritable cache dir: the save will no-op anyway
+        else:
+            acquired = True
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(
+                        f"{os.getpid()} {os.uname().nodename} {time.time()}\n"
+                    )
+            except OSError:
+                pass  # contents are debug-only
+            break
+    try:
+        yield acquired
+    finally:
+        if acquired:
+            try:
+                os.unlink(lock_path)
+            except OSError:
+                pass
+
+
 def append_blocks(
     spec: SweepSpec, path: str, blocks: Mapping[CellKey, np.ndarray]
 ) -> bool:
     """Merge executor results into a block store (read-modify-write).
 
     ``blocks`` is the writer's view: the cells it loaded at sweep start
-    plus every cell the executor extended.  The store on disk is re-read
-    immediately before the atomic replace and, per cell, the longer
-    array wins — so when two sweeps sharing one data identity race, a
-    concurrent writer's cells survive and at worst a racing window of
-    one cell's *top-up* is lost, never another grid's whole
-    contribution.  (Blocks are deterministic prefixes of one stream, so
-    "longer" strictly supersedes "shorter".)
+    plus every cell the executor extended.  The read-merge-write cycle
+    runs under the store's lockfile (:func:`_store_lock`), so concurrent
+    writers — parallel experiment processes, remote shards syncing one
+    store — serialise and every writer's cells survive; per cell, the
+    longer array wins.  (Blocks are deterministic prefixes of one
+    stream, so "longer" strictly supersedes "shorter".)  If the lock
+    cannot be acquired within the timeout the merge proceeds unlocked,
+    degrading to the historical best-effort behaviour: at worst a racing
+    window of one cell's *top-up* is lost, never another writer's whole
+    contribution.
     """
-    merged: Dict[CellKey, np.ndarray] = dict(blocks)
-    for key, times in load_blocks(spec, path).items():
-        if key not in merged or times.size > merged[key].size:
-            merged[key] = times
-    return save_blocks(spec, path, merged)
+    with _store_lock(path):
+        merged: Dict[CellKey, np.ndarray] = dict(blocks)
+        for key, times in load_blocks(spec, path).items():
+            if key not in merged or times.size > merged[key].size:
+                merged[key] = times
+        return save_blocks(spec, path, merged)
 
 
 def _manifest_record(meta: Dict, npz_size: int) -> Dict:

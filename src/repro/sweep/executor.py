@@ -25,7 +25,15 @@ experiment.  This module owns all three:
   of a real pool with the modelled task durations, which gives
   deterministic, machine-independent regression tests for scheduling
   quality (``benchmarks/test_bench_executor.py`` pins the block-level
-  scheduler's speedup over the old per-cell pool this way).
+  scheduler's speedup over the old per-cell pool this way).  Its
+  optional ``latency``/``bandwidth`` knobs model remote dispatch, so
+  distributed scheduling policies are benchmarkable offline too.
+* :class:`repro.sweep.remote.RemoteExecutor` (module
+  :mod:`repro.sweep.remote`, selected with ``backend="remote"``) — the
+  same seam stretched across machines: tasks fan out to ``repro-ants
+  worker`` processes over a small TCP protocol, with handshake version
+  checks, heartbeats, and crash/timeout resubmission riding the same
+  determinism argument as the process pool's rebuilds.
 
 Results are 1-D or 2-D ``float64`` arrays.  The process backend ships
 them back through ``multiprocessing.shared_memory`` when the result is
@@ -79,8 +87,9 @@ __all__ = [
     "BACKENDS",
 ]
 
-#: Known backend names (``auto`` resolves on the worker count).
-BACKENDS = ("auto", "serial", "process")
+#: Known backend names (``auto`` resolves on the worker count; it never
+#: picks ``remote`` — distributing a sweep is always an explicit ask).
+BACKENDS = ("auto", "serial", "process", "remote")
 
 #: Environment kill switch for shared-memory transport ("0" disables).
 SHM_ENV = "REPRO_SWEEP_SHM"
@@ -148,32 +157,53 @@ def _maybe_crash() -> None:
     os._exit(37)
 
 
-def _attach_shm(name: str):
-    """Attach to an existing segment; the parent owns its lifetime.
+#: Serialises the pre-3.13 resource-tracker monkeypatch in
+#: :func:`_attach_untracked`.  Without it, two threads attaching
+#: concurrently interleave their save/patch/restore sequences: the
+#: second thread saves the first thread's no-op lambda as "original"
+#: and restores *that*, permanently disabling resource tracking for the
+#: whole process.  Pool workers attach one segment at a time today, but
+#: the remote worker runs tasks on a ``slots``-wide thread pool — and a
+#: process-global patch must be safe regardless of who calls it.
+_TRACKER_PATCH_LOCK = threading.Lock()
 
-    The parent created, registered, and will unlink the segment, so the
-    worker's attach must stay out of resource tracking entirely: Python
-    >= 3.13 has ``track=False`` for exactly this, while older
-    interpreters register every attach unconditionally — into whichever
-    tracker the worker happens to talk to (its own after a bare fork, or
-    the parent's inherited one), producing spurious leak warnings or
-    double-unregister noise at shutdown.  For those, registration is
-    suppressed around the attach (pool workers run tasks one at a time,
-    so the brief swap is single-threaded).
+
+def _attach_untracked(name: str):
+    """Pre-3.13 fallback: attach with resource tracking suppressed.
+
+    Older interpreters register every attach unconditionally — into
+    whichever tracker the caller happens to talk to (its own after a
+    bare fork, or the parent's inherited one), producing spurious leak
+    warnings or double-unregister noise at shutdown.  Registration is
+    suppressed by briefly swapping in a no-op; the swap mutates
+    process-global state, so it runs under :data:`_TRACKER_PATCH_LOCK`
+    to keep concurrent attaches from clobbering the real function.
     """
-    from multiprocessing import shared_memory
+    from multiprocessing import resource_tracker, shared_memory
 
-    try:
-        return shared_memory.SharedMemory(name=name, track=False)
-    except TypeError:  # Python < 3.13: no track parameter
-        from multiprocessing import resource_tracker
-
+    with _TRACKER_PATCH_LOCK:
         original = resource_tracker.register
         resource_tracker.register = lambda *args, **kwargs: None
         try:
             return shared_memory.SharedMemory(name=name)
         finally:
             resource_tracker.register = original
+
+
+def _attach_shm(name: str):
+    """Attach to an existing segment; the parent owns its lifetime.
+
+    The parent created, registered, and will unlink the segment, so the
+    worker's attach must stay out of resource tracking entirely: Python
+    >= 3.13 has ``track=False`` for exactly this; older interpreters go
+    through :func:`_attach_untracked`.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        return _attach_untracked(name)
 
 
 def _invoke_task(fn: TaskFn, payload, shm_name: Optional[str]):
@@ -311,13 +341,34 @@ class VirtualExecutor(SweepExecutor):
     by this executor make the same decisions they would against real
     hardware with those durations.  :attr:`makespan` is then a
     deterministic, machine-independent measure of scheduling quality.
+
+    ``latency`` and ``bandwidth`` extend the cost model to remote
+    workers: each task pays a flat ``latency`` (dispatch round-trip) and,
+    when ``bandwidth`` is set, ``result.nbytes / bandwidth`` for the
+    result transfer — so remote-scheduling policies (block sizing vs
+    round-trip overhead) are benchmarkable deterministically before any
+    socket opens.  The defaults (``0.0`` / ``None``) model the local
+    pool and leave existing behaviour bit-for-bit unchanged.
     """
 
     backend = "virtual"
 
-    def __init__(self, workers: int, cost_fn) -> None:
+    def __init__(
+        self,
+        workers: int,
+        cost_fn,
+        *,
+        latency: float = 0.0,
+        bandwidth: Optional[float] = None,
+    ) -> None:
         self.workers = max(1, int(workers))
         self._cost_fn = cost_fn
+        self._latency = float(latency)
+        if self._latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency!r}")
+        self._bandwidth = None if bandwidth is None else float(bandwidth)
+        if self._bandwidth is not None and self._bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth!r}")
         self._clock = 0.0
         self._free = [0.0] * self.workers
         self._heap: list = []
@@ -335,6 +386,9 @@ class VirtualExecutor(SweepExecutor):
         cost = float(self._cost_fn(fn, payload, result))
         if cost < 0:
             raise ValueError(f"cost_fn returned a negative cost: {cost}")
+        cost += self._latency
+        if self._bandwidth is not None:
+            cost += result.nbytes / self._bandwidth
         worker = min(range(self.workers), key=self._free.__getitem__)
         start = max(self._clock, self._free[worker])
         finish = start + cost
@@ -367,7 +421,7 @@ class VirtualExecutor(SweepExecutor):
 
 
 class _Record:
-    __slots__ = ("ticket", "fn", "payload", "shm", "done")
+    __slots__ = ("ticket", "fn", "payload", "shm", "done", "failed")
 
     def __init__(self, ticket, fn, payload, shm) -> None:
         self.ticket = ticket
@@ -375,6 +429,10 @@ class _Record:
         self.payload = payload
         self.shm = shm
         self.done = False
+        #: True when the queued outcome is an exception — the segment is
+        #: then dead weight (no collect path reads it) and the restart
+        #: orphan sweep may unlink it early.
+        self.failed = False
 
 
 class ProcessExecutor(SweepExecutor):
@@ -507,6 +565,7 @@ class ProcessExecutor(SweepExecutor):
                 return
             record.done = True
             outcome = error if error is not None else future.result()
+            record.failed = isinstance(outcome, BaseException)
         self._ready.put((record.ticket, outcome))
 
     def _rebuild(self, generation: int) -> None:
@@ -526,10 +585,26 @@ class ProcessExecutor(SweepExecutor):
                 for record in self._records.values():
                     if not record.done:
                         record.done = True
+                        record.failed = True
+                        # The outcome is an exception: no collect path
+                        # will ever read this record's segment, and a
+                        # caller that stops collecting after the first
+                        # failure would leak it until close().  Unlink
+                        # now, while the record is still ours.
+                        self._release_shm(record)
                         self._ready.put((record.ticket, failure))
                 return
             for record in self._records.values():
-                if not record.done:
+                if record.done:
+                    # Orphan sweep: a *failed* record still holding a
+                    # segment (exception queued, maybe never collected)
+                    # has no remaining path that needs it — reclaim it
+                    # during the restart instead of at close().  A
+                    # successful shm result keeps its segment: the
+                    # collector still has to read it.
+                    if record.failed:
+                        self._release_shm(record)
+                else:
                     self._launch(record)
 
     def next_completed(self) -> Tuple[int, np.ndarray]:
@@ -596,14 +671,30 @@ def make_executor(
     ``backend="auto"`` picks the process pool when the resolved worker
     count exceeds one and serial execution otherwise; explicit
     ``"serial"`` / ``"process"`` force the choice (``"process"`` with one
-    worker still exercises the full IPC path).  ``workers`` accepts an
-    integer or ``"auto"`` (see :func:`resolve_workers`).  ``options``
-    are forwarded to :class:`ProcessExecutor`.
+    worker still exercises the full IPC path).  ``backend="remote"``
+    builds a :class:`~repro.sweep.remote.RemoteExecutor` from the
+    ``hosts`` option (or the ``REPRO_REMOTE_HOSTS`` environment
+    variable); ``auto`` never chooses it — distributing a sweep is an
+    explicit decision.  ``workers`` accepts an integer or ``"auto"``
+    (see :func:`resolve_workers`).  Remaining ``options`` are forwarded
+    to the chosen executor class.
     """
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; known: {', '.join(BACKENDS)}"
         )
+    if backend == "remote":
+        from .remote import HOSTS_ENV, RemoteExecutor
+
+        hosts = options.pop("hosts", None) or os.environ.get(HOSTS_ENV)
+        if not hosts:
+            raise ValueError(
+                "remote backend needs hosts: pass hosts=... "
+                f"(CLI: --hosts) or set {HOSTS_ENV}"
+            )
+        return RemoteExecutor(hosts, **options)  # type: ignore[arg-type]
+    if options.pop("hosts", None):
+        raise ValueError("hosts= only applies to backend='remote'")
     count = resolve_workers(workers)
     if backend == "serial" or (backend == "auto" and count <= 1):
         return SerialExecutor()

@@ -4,9 +4,10 @@
 :class:`SweepResult` along one of two paths, selected by the spec's
 ``budget``.  Both paths hand their work units to a pluggable
 :class:`repro.sweep.executor.SweepExecutor` (serial, persistent process
-pool, or the virtual-clock test double) instead of spawning ad-hoc
-pools; callers can share one executor across many sweeps (see
-``executor=``), which is what the experiments do.
+pool, the distributed :class:`repro.sweep.remote.RemoteExecutor`, or
+the virtual-clock test double) instead of spawning ad-hoc pools;
+callers can share one executor across many sweeps (see ``executor=``),
+which is what the experiments do.
 
 **Fixed path** (``budget is None`` — including canonicalised
 ``fixed(n)`` policies):

@@ -16,3 +16,17 @@ def spec_from_executor(executor) -> SweepSpec:
         trials=8,
         seed=executor.workers,
     )
+
+
+def seed_from_host_list(root: int, hosts) -> int:
+    return derive_seed(root, len(hosts))
+
+
+def spec_from_endpoint(port: int) -> SweepSpec:
+    return SweepSpec(
+        algorithm="uniform",
+        distances=(4,),
+        ks=(1,),
+        trials=8,
+        seed=port,
+    )

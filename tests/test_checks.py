@@ -74,6 +74,14 @@ class TestLintRules:
         messages = " ".join(f.message for f in findings)
         assert "derive_seed" in messages
         assert "SweepSpec" in messages
+        # The remote-backend taints: host lists and ports are execution
+        # layout exactly like worker counts.
+        assert "`hosts`" in messages
+        assert "`port`" in messages
+        # One finding per tainted name per call site: `executor.workers`
+        # carries two (`executor` and `workers`), the other three
+        # violations one each.
+        assert len(findings) == 5
 
     def test_clean_module_and_suppression_comment(self):
         # clean.py contains one deliberate ambient draw behind a

@@ -16,6 +16,8 @@ The load-bearing guarantees:
 """
 
 import os
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -554,3 +556,178 @@ class TestWallBudgetScheduling:
         # trial ceiling no matter how long its siblings ran.
         assert all(cell.trials == 64 for cell in result)
         assert len(seen) == 4  # one whole-cell reference task per cell
+
+
+class TestVirtualExecutorLatencyModel:
+    """The remote cost extensions: flat latency + result-transfer time."""
+
+    def test_defaults_leave_costs_unchanged(self):
+        ex = VirtualExecutor(1, cost_fn=lambda fn, payload, result: 2.0)
+        ex.submit(_double, np.ones(1))
+        ex.next_completed()
+        assert ex.makespan == 2.0
+
+    def test_latency_charges_flat_per_task(self):
+        ex = VirtualExecutor(
+            2, cost_fn=lambda fn, payload, result: 1.0, latency=0.5
+        )
+        for value in range(4):
+            ex.submit(_double, np.asarray([float(value)]))
+        while ex.pending:
+            ex.next_completed()
+        assert ex.makespan == 3.0  # two (1 + 0.5) tasks per worker
+
+    def test_bandwidth_charges_result_transfer(self):
+        ex = VirtualExecutor(
+            1, cost_fn=lambda fn, payload, result: 0.0, bandwidth=8.0
+        )
+        ex.submit(_double, np.ones(4))  # result: 4 float64 = 32 bytes
+        ex.next_completed()
+        assert ex.makespan == 4.0
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ValueError, match="latency"):
+            VirtualExecutor(1, cost_fn=lambda *a: 1.0, latency=-0.1)
+        with pytest.raises(ValueError, match="bandwidth"):
+            VirtualExecutor(1, cost_fn=lambda *a: 1.0, bandwidth=0.0)
+
+    def test_modelled_remote_sweep_matches_serial(self):
+        # The cost model may only move the virtual clock, never the
+        # arrays: an adaptive sweep under a high-latency remote model
+        # is bitwise the serial sweep.
+        spec = adaptive(max_trials=128)
+        serial = run_sweep(spec, cache=False)
+        modelled = VirtualExecutor(
+            4,
+            cost_fn=lambda fn, payload, result: float(result.size),
+            latency=5.0,
+            bandwidth=1e6,
+        )
+        remote_like = run_sweep(spec, cache=False, executor=modelled)
+        assert_sweeps_equal(serial, remote_like)
+
+
+class TestTrackerPatchSerialisation:
+    """Regression: the pre-3.13 tracker monkeypatch must be serialised.
+
+    ``_attach_untracked`` swaps ``resource_tracker.register`` for a
+    no-op around the attach.  Pre-fix, two threads interleaving the
+    save/patch/restore sequence could save the *other thread's no-op*
+    as "original" and restore that, permanently disabling resource
+    tracking for the whole process.
+    """
+
+    def test_concurrent_attaches_restore_real_register(self, monkeypatch):
+        from multiprocessing import resource_tracker, shared_memory
+
+        from repro.sweep.executor import _attach_untracked
+
+        real_register = resource_tracker.register
+        first_inside = threading.Event()
+        release_first = threading.Event()
+        attached = []
+
+        class FakeSegment:
+            def __init__(self, name=None, **kwargs):
+                # What a real attach does on pre-3.13 interpreters —
+                # call whatever register currently points at.
+                resource_tracker.register(name, "shared_memory")
+                attached.append(name)
+                if name == "held":
+                    first_inside.set()
+                    assert release_first.wait(timeout=10.0)
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", FakeSegment)
+
+        threads = [
+            threading.Thread(target=_attach_untracked, args=("held",)),
+            threading.Thread(target=_attach_untracked, args=("second",)),
+        ]
+        threads[0].start()
+        try:
+            assert first_inside.wait(timeout=10.0)
+            threads[1].start()
+            # The second attach must queue on the patch lock rather
+            # than run while the register swap is mid-flight.
+            time.sleep(0.2)
+            assert attached == ["held"]
+            assert resource_tracker.register is not real_register
+        finally:
+            release_first.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert attached == ["held", "second"]
+        # The load-bearing check: with interleaved attaches the real
+        # register is back afterwards.  Pre-fix, the second thread
+        # restored the first thread's no-op lambda instead.
+        assert resource_tracker.register is real_register
+
+
+class TestGiveUpReleasesSegments:
+    """Regression: give-up must unlink every in-flight shm segment.
+
+    Pre-fix, records failed by the give-up path kept their segments
+    until collect or ``close()``; a caller that (reasonably) stopped
+    collecting after the first RuntimeError leaked one ``/dev/shm``
+    block per outstanding task for the lifetime of a shared executor.
+    """
+
+    @staticmethod
+    def _track_allocations(ex, monkeypatch):
+        created = []
+        real_allocate = ex._allocate_shm
+
+        def tracking_allocate(result_shape):
+            segment = real_allocate(result_shape)
+            if segment is not None:
+                created.append(segment.name)
+            return segment
+
+        monkeypatch.setattr(ex, "_allocate_shm", tracking_allocate)
+        return created
+
+    def test_pool_failure_giveup_unlinks_all_segments(self, monkeypatch):
+        from multiprocessing import shared_memory
+
+        ex = ProcessExecutor(1, max_restarts=0, shm_min_bytes=1)
+        created = self._track_allocations(ex, monkeypatch)
+
+        def broken_pool():
+            raise RuntimeError("pool creation failed")
+
+        monkeypatch.setattr(ex, "_ensure_pool", broken_pool)
+        try:
+            ex.submit(_double, np.arange(64.0), result_shape=(64,))
+            ex.submit(_double, np.arange(64.0), result_shape=(64,))
+            assert len(created) == 2
+            # Nothing collected yet: give-up ran inside the failed
+            # launches and must already have unlinked both segments.
+            for name in created:
+                with pytest.raises(FileNotFoundError):
+                    shared_memory.SharedMemory(name=name)
+            with pytest.raises(RuntimeError, match="giving up"):
+                ex.next_completed()
+        finally:
+            ex.close()
+
+    def test_crash_storm_giveup_unlinks_uncollected(
+        self, tmp_path, monkeypatch
+    ):
+        from multiprocessing import shared_memory
+
+        crash = tmp_path / "crash"
+        crash.write_text("100")
+        monkeypatch.setenv(CRASH_ENV, str(crash))
+        with ProcessExecutor(1, max_restarts=0, shm_min_bytes=1) as ex:
+            created = self._track_allocations(ex, monkeypatch)
+            ex.submit(_double, np.arange(64.0), result_shape=(64,))
+            ex.submit(_double, np.arange(64.0), result_shape=(64,))
+            assert len(created) == 2
+            with pytest.raises(RuntimeError, match="giving up"):
+                ex.next_completed()
+            # The second task's failure was never collected; its
+            # segment must be gone anyway — pre-fix it lingered until
+            # close().
+            for name in created:
+                with pytest.raises(FileNotFoundError):
+                    shared_memory.SharedMemory(name=name)

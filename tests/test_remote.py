@@ -1,0 +1,690 @@
+"""Tests for the distributed sweep backend (DESIGN.md §11).
+
+The load-bearing guarantees:
+
+* the wire format round-trips frames and arrays bit-for-bit;
+* the handshake rejects any code-identity mismatch, both driver- and
+  worker-side;
+* serial == process == remote, bitwise, across fixed and adaptive
+  budgets and dynamic worlds (loopback workers exercise the full
+  socket path in-process);
+* a worker lost mid-sweep — killed, silent, or stalling — has its
+  tasks resubmitted and is bitwise-invisible in the results;
+* losing *every* worker fails outstanding tasks loudly instead of
+  hanging the collector.
+"""
+
+import asyncio
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro.stats import BudgetPolicy
+from repro.sweep import (
+    LoopbackWorker,
+    RemoteExecutor,
+    RemoteTaskError,
+    SweepSpec,
+    make_executor,
+    parse_hosts,
+    run_sweep,
+)
+from repro.sweep.executor import CRASH_ENV
+from repro.sweep.remote import (
+    DEFAULT_PORT,
+    HOSTS_ENV,
+    _PREFIX,
+    _resolve_task_fn,
+    _task_name,
+    decode_array,
+    encode_array,
+    encode_frame,
+    read_frame,
+    version_mismatch,
+    version_record,
+)
+from repro.sweep.runner import _execute_block
+
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "src")
+)
+
+
+def small_spec(**overrides):
+    base = dict(
+        algorithm="nonuniform",
+        distances=(8, 16),
+        ks=(1, 4),
+        trials=20,
+        seed=42,
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+def adaptive(rel_ci=1e-9, min_trials=32, max_trials=128, **overrides):
+    return small_spec(
+        budget=BudgetPolicy.target_rel_ci(
+            rel_ci, min_trials=min_trials, max_trials=max_trials
+        ),
+        **overrides,
+    )
+
+
+def assert_sweeps_equal(a, b):
+    assert len(a.cells) == len(b.cells)
+    for x, y in zip(a.cells, b.cells):
+        assert (x.distance, x.k) == (y.distance, y.k)
+        assert np.array_equal(x.times, y.times), (x.distance, x.k)
+
+
+# A deterministic, repro-importable task for direct executor tests:
+# the third 32-trial block of one adaptive cell.
+BLOCK_PAYLOAD = (adaptive(), 8, 1, 0)
+
+
+def run_block_serially():
+    return _execute_block(BLOCK_PAYLOAD)
+
+
+# ----------------------------------------------------------------------
+# Wire format units
+# ----------------------------------------------------------------------
+
+def _read_frame_sync(data: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(go())
+
+
+class TestWireFormat:
+    def test_frame_roundtrip(self):
+        header = {"type": "task", "id": 7, "fn": "repro.x"}
+        payload = b"\x00\x01binary\xff"
+        assert _read_frame_sync(encode_frame(header, payload)) == (
+            header,
+            payload,
+        )
+
+    def test_empty_payload_roundtrip(self):
+        assert _read_frame_sync(encode_frame({"type": "ping"})) == (
+            {"type": "ping"},
+            b"",
+        )
+
+    def test_oversized_frame_rejected(self):
+        poisoned = _PREFIX.pack(0xFFFFFFFF, 0) + b"x"
+        with pytest.raises(ConnectionError, match="oversized"):
+            _read_frame_sync(poisoned)
+
+    def test_non_object_header_rejected(self):
+        raw = json.dumps([1, 2]).encode()
+        data = _PREFIX.pack(len(raw), 0) + raw
+        with pytest.raises(ConnectionError, match="malformed"):
+            _read_frame_sync(data)
+
+    def test_array_roundtrip_preserves_bytes(self):
+        array = np.arange(12, dtype=np.float64).reshape(3, 4) / 7.0
+        header, payload = encode_array(array)
+        out = decode_array(header, payload)
+        assert out.shape == (3, 4)
+        assert np.array_equal(out, array)
+        assert out.tobytes() == array.tobytes()
+
+    def test_scalar_array_roundtrip(self):
+        header, payload = encode_array(np.float64(3.5))
+        assert decode_array(header, payload) == np.float64(3.5)
+
+    def test_decode_rejects_wrong_dtype(self):
+        with pytest.raises(ValueError, match="dtype"):
+            decode_array({"shape": [1], "dtype": "int32"}, b"\0" * 4)
+
+    def test_decode_rejects_size_mismatch(self):
+        header, payload = encode_array(np.ones(4))
+        with pytest.raises(ValueError, match="does not match"):
+            decode_array({"shape": [5], "dtype": "float64"}, payload)
+
+    def test_decoded_array_is_writable_copy(self):
+        header, payload = encode_array(np.ones(3))
+        out = decode_array(header, payload)
+        out[0] = 9.0  # frombuffer views are read-only; we must copy
+
+
+class TestVersionRecord:
+    def test_matching_records_are_compatible(self):
+        assert version_mismatch(version_record(), version_record()) is None
+
+    def test_each_key_is_checked(self):
+        for key in ("protocol", "spec", "block_schedule", "repro"):
+            theirs = dict(version_record())
+            theirs[key] = "something-else"
+            message = version_mismatch(version_record(), theirs)
+            assert message is not None and key in message
+
+    def test_missing_keys_mismatch(self):
+        assert version_mismatch(version_record(), {}) is not None
+
+
+class TestParseHosts:
+    def test_comma_string_with_default_port(self):
+        assert parse_hosts("a:7000,b") == [("a", 7000), ("b", DEFAULT_PORT)]
+
+    def test_tuple_entries(self):
+        assert parse_hosts([("a", 1), ["b", "2"]]) == [("a", 1), ("b", 2)]
+
+    def test_duplicate_endpoints_are_kept(self):
+        # One endpoint listed twice = two connections (two shards).
+        assert parse_hosts("a:1,a:1") == [("a", 1), ("a", 1)]
+
+    def test_rejects_bad_entries(self):
+        for bad in (":7000", "a:notaport", [("a", 1, 2)], "a:0", "a:70000"):
+            with pytest.raises(ValueError):
+                parse_hosts(bad)
+
+
+class TestTaskFnResolution:
+    def test_roundtrip_for_repro_functions(self):
+        name = _task_name(_execute_block)
+        assert name == "repro.sweep.runner._execute_block"
+        assert _resolve_task_fn(name) is _execute_block
+
+    def test_rejects_non_repro_modules(self):
+        with pytest.raises(ValueError, match="refusing"):
+            _resolve_task_fn("os.system")
+        with pytest.raises(ValueError, match="refusing"):
+            _resolve_task_fn("reprox.evil")  # prefix, not package path
+
+    def test_rejects_missing_attribute(self):
+        with pytest.raises(ValueError):
+            _resolve_task_fn("repro.sweep.runner.no_such_function")
+
+    def test_task_name_rejects_locals(self):
+        def local_fn(payload):
+            return np.zeros(1)
+
+        with pytest.raises(ValueError, match="module-level"):
+            _task_name(local_fn)
+        with pytest.raises(ValueError, match="module-level"):
+            _task_name(lambda p: p)
+
+
+# ----------------------------------------------------------------------
+# Worker-side protocol (raw socket client against a LoopbackWorker)
+# ----------------------------------------------------------------------
+
+def _recv_exactly(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("peer closed")
+        buf += chunk
+    return buf
+
+
+def _recv_frame(sock):
+    hlen, plen = _PREFIX.unpack(_recv_exactly(sock, 8))
+    header = json.loads(_recv_exactly(sock, hlen).decode())
+    payload = _recv_exactly(sock, plen) if plen else b""
+    return header, payload
+
+
+class TestWorkerProtocol:
+    def test_handshake_task_ping_bye(self):
+        import pickle
+
+        with LoopbackWorker() as worker:
+            with socket.create_connection(worker.address, timeout=10) as sock:
+                sock.sendall(encode_frame(
+                    {"type": "hello", "versions": version_record()}
+                ))
+                header, _ = _recv_frame(sock)
+                assert header["type"] == "welcome"
+                assert version_mismatch(
+                    version_record(), header["versions"]
+                ) is None
+                assert header["slots"] == 1
+                assert header["pid"] == os.getpid()  # in-process worker
+
+                sock.sendall(encode_frame({"type": "ping"}))
+                assert _recv_frame(sock)[0]["type"] == "pong"
+
+                blob = pickle.dumps(BLOCK_PAYLOAD)
+                sock.sendall(encode_frame(
+                    {
+                        "type": "task",
+                        "id": 11,
+                        "fn": _task_name(_execute_block),
+                    },
+                    blob,
+                ))
+                header, payload = _recv_frame(sock)
+                assert header["type"] == "result" and header["id"] == 11
+                assert np.array_equal(
+                    decode_array(header, payload), run_block_serially()
+                )
+                sock.sendall(encode_frame({"type": "bye"}))
+
+    def test_version_mismatch_rejected(self):
+        with LoopbackWorker() as worker:
+            with socket.create_connection(worker.address, timeout=10) as sock:
+                versions = dict(version_record())
+                versions["spec"] = -1
+                sock.sendall(encode_frame(
+                    {"type": "hello", "versions": versions}
+                ))
+                header, _ = _recv_frame(sock)
+                assert header["type"] == "reject"
+                assert "spec" in header["reason"]
+
+    def test_task_exception_returns_error_frame(self):
+        import pickle
+
+        with LoopbackWorker() as worker:
+            with socket.create_connection(worker.address, timeout=10) as sock:
+                sock.sendall(encode_frame(
+                    {"type": "hello", "versions": version_record()}
+                ))
+                assert _recv_frame(sock)[0]["type"] == "welcome"
+                sock.sendall(encode_frame(
+                    {
+                        "type": "task",
+                        "id": 3,
+                        "fn": _task_name(_execute_block),
+                    },
+                    pickle.dumps(None),  # unpackable payload: fn raises
+                ))
+                header, _ = _recv_frame(sock)
+                assert header["type"] == "error" and header["id"] == 3
+                assert header["error"]
+
+    def test_disallowed_fn_returns_error_frame(self):
+        import pickle
+
+        with LoopbackWorker() as worker:
+            with socket.create_connection(worker.address, timeout=10) as sock:
+                sock.sendall(encode_frame(
+                    {"type": "hello", "versions": version_record()}
+                ))
+                assert _recv_frame(sock)[0]["type"] == "welcome"
+                sock.sendall(encode_frame(
+                    {"type": "task", "id": 4, "fn": "os.system"},
+                    pickle.dumps("true"),
+                ))
+                header, _ = _recv_frame(sock)
+                assert header["type"] == "error"
+                assert "refusing" in header["error"]
+
+
+# ----------------------------------------------------------------------
+# Fake (misbehaving) workers for driver fault handling
+# ----------------------------------------------------------------------
+
+class FakeWorker:
+    """A raw-socket worker that handshakes, then misbehaves.
+
+    * ``"blackhole"`` — never answers anything after the welcome: the
+      driver's heartbeat must declare it lost.
+    * ``"stall"`` — answers pings but never returns task results: only
+      a per-task deadline can unstick its tasks.
+    * ``"reject"`` — refuses the handshake like a version-skewed peer.
+    """
+
+    def __init__(self, behavior):
+        self.behavior = behavior
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.bind(("127.0.0.1", 0))
+        self._server.listen(4)
+        self._server.settimeout(30.0)
+        self.address = self._server.getsockname()[:2]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        try:
+            conn, _ = self._server.accept()
+        except OSError:
+            return
+        with conn:
+            try:
+                header, _ = _recv_frame(conn)
+                assert header["type"] == "hello"
+                if self.behavior == "reject":
+                    conn.sendall(encode_frame(
+                        {"type": "reject", "reason": "spec version mismatch"}
+                    ))
+                    return
+                conn.sendall(encode_frame({
+                    "type": "welcome",
+                    "versions": version_record(),
+                    "slots": 1,
+                    "pid": 0,
+                }))
+                conn.settimeout(0.2)
+                while not self._stop.is_set():
+                    try:
+                        header, _ = _recv_frame(conn)
+                    except socket.timeout:
+                        continue
+                    if self.behavior == "stall" and header["type"] == "ping":
+                        conn.sendall(encode_frame({"type": "pong"}))
+                    # blackhole: read and ignore everything.
+            except (ConnectionError, OSError):
+                pass
+
+    def stop(self):
+        self._stop.set()
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=10.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+
+class TestDriverFaultHandling:
+    def test_handshake_reject_fails_fast(self):
+        with FakeWorker("reject") as fake:
+            ex = RemoteExecutor([fake.address], connect_timeout=5.0)
+            with pytest.raises(RuntimeError, match="no remote workers"):
+                ex.submit(_execute_block, BLOCK_PAYLOAD)
+            ex.close()
+
+    def test_unreachable_host_fails_fast(self):
+        # A bound-then-closed socket: connection refused immediately.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        ex = RemoteExecutor(
+            [("127.0.0.1", free_port)], connect_timeout=2.0
+        )
+        with pytest.raises(RuntimeError, match="no remote workers"):
+            ex.submit(_execute_block, BLOCK_PAYLOAD)
+        ex.close()
+
+    def test_silent_worker_times_out_and_resubmits(self):
+        expected = run_block_serially()
+        with FakeWorker("blackhole") as fake, LoopbackWorker() as good:
+            ex = RemoteExecutor(
+                [fake.address, good.address],
+                heartbeat_interval=0.1,
+                heartbeat_misses=2,
+            )
+            try:
+                # Two tasks across two single-slot workers: one lands on
+                # the black hole and must be rescued by the heartbeat.
+                t0 = ex.submit(_execute_block, BLOCK_PAYLOAD)
+                t1 = ex.submit(_execute_block, BLOCK_PAYLOAD)
+                results = dict(
+                    ex.next_completed() for _ in range(2)
+                )
+                assert set(results) == {t0, t1}
+                for value in results.values():
+                    assert np.array_equal(value, expected)
+            finally:
+                ex.close()
+
+    def test_stalling_worker_hits_task_timeout(self):
+        expected = run_block_serially()
+        with FakeWorker("stall") as fake, LoopbackWorker() as good:
+            ex = RemoteExecutor(
+                [fake.address, good.address],
+                heartbeat_interval=0.1,
+                heartbeat_misses=50,  # pings succeed; only the deadline fires
+                task_timeout=0.4,
+            )
+            try:
+                t0 = ex.submit(_execute_block, BLOCK_PAYLOAD)
+                t1 = ex.submit(_execute_block, BLOCK_PAYLOAD)
+                results = dict(ex.next_completed() for _ in range(2))
+                assert set(results) == {t0, t1}
+                for value in results.values():
+                    assert np.array_equal(value, expected)
+            finally:
+                ex.close()
+
+    def test_all_workers_lost_fails_outstanding(self):
+        with FakeWorker("blackhole") as fake:
+            ex = RemoteExecutor(
+                [fake.address],
+                heartbeat_interval=0.1,
+                heartbeat_misses=2,
+                max_attempts=1,
+            )
+            try:
+                ex.submit(_execute_block, BLOCK_PAYLOAD)
+                with pytest.raises(RuntimeError, match="remote"):
+                    ex.next_completed()
+                # The executor is poisoned: later submits fail loudly
+                # instead of queueing work nothing will run.
+                with pytest.raises(RuntimeError):
+                    ex.submit(_execute_block, BLOCK_PAYLOAD)
+            finally:
+                ex.close()
+
+    def test_task_exception_raises_not_resubmits(self):
+        with LoopbackWorker() as worker:
+            ex = RemoteExecutor([worker.address])
+            try:
+                ex.submit(_execute_block, None)  # fn raises on the worker
+                with pytest.raises(RemoteTaskError):
+                    ex.next_completed()
+                # A deterministic task failure must not kill the backend.
+                ex.submit(_execute_block, BLOCK_PAYLOAD)
+                _, value = ex.next_completed()
+                assert np.array_equal(value, run_block_serially())
+            finally:
+                ex.close()
+
+    def test_discard_drops_results(self):
+        with LoopbackWorker(slots=2) as worker:
+            ex = RemoteExecutor([worker.address], slots=2)
+            try:
+                t0 = ex.submit(_execute_block, BLOCK_PAYLOAD)
+                t1 = ex.submit(_execute_block, BLOCK_PAYLOAD)
+                ex.discard([t0])
+                ticket, _ = ex.next_completed()
+                assert ticket == t1
+                assert ex.pending == 0
+            finally:
+                ex.close()
+
+
+# ----------------------------------------------------------------------
+# Executor surface via make_executor
+# ----------------------------------------------------------------------
+
+class TestMakeExecutorRemote:
+    def test_hosts_option_builds_remote(self):
+        ex = make_executor(backend="remote", hosts="a:7001,b")
+        assert isinstance(ex, RemoteExecutor)
+        assert ex.workers == 2  # known before any connection opens
+        ex.close()
+
+    def test_slots_scale_scheduling_width(self):
+        ex = make_executor(backend="remote", hosts="a:7001,b", slots=3)
+        assert ex.workers == 6
+        ex.close()
+
+    def test_env_hosts_fallback(self, monkeypatch):
+        monkeypatch.setenv(HOSTS_ENV, "envhost:7010")
+        ex = make_executor(backend="remote")
+        assert isinstance(ex, RemoteExecutor)
+        assert ex.workers == 1
+        ex.close()
+
+    def test_remote_without_hosts_rejected(self, monkeypatch):
+        monkeypatch.delenv(HOSTS_ENV, raising=False)
+        with pytest.raises(ValueError, match="hosts"):
+            make_executor(backend="remote")
+
+    def test_hosts_with_local_backend_rejected(self):
+        with pytest.raises(ValueError, match="remote"):
+            make_executor(workers=2, backend="process", hosts="a:1")
+
+    def test_auto_never_picks_remote(self, monkeypatch):
+        from repro.sweep.executor import ProcessExecutor
+
+        monkeypatch.setenv(HOSTS_ENV, "a:7001")
+        with make_executor(workers=2, backend="auto") as ex:
+            assert isinstance(ex, ProcessExecutor)
+
+
+# ----------------------------------------------------------------------
+# Parity: serial == process == remote, bitwise
+# ----------------------------------------------------------------------
+
+@pytest.fixture()
+def loopback_pair():
+    with LoopbackWorker(slots=2) as w1, LoopbackWorker(slots=2) as w2:
+        yield [w1.address, w2.address]
+
+
+def run_remote(spec, hosts, **executor_options):
+    ex = RemoteExecutor(hosts, **executor_options)
+    try:
+        return run_sweep(spec, executor=ex, cache=False)
+    finally:
+        ex.close()
+
+
+class TestRemoteParity:
+    def test_fixed_excursion(self, loopback_pair):
+        spec = small_spec()
+        serial = run_sweep(spec, cache=False)
+        process = run_sweep(spec, cache=False, workers=2)
+        remote = run_remote(spec, loopback_pair, slots=2)
+        assert_sweeps_equal(serial, process)
+        assert_sweeps_equal(serial, remote)
+
+    def test_fixed_walker(self, loopback_pair):
+        spec = small_spec(algorithm="random_walk", horizon=500.0, ks=(2, 4))
+        assert_sweeps_equal(
+            run_sweep(spec, cache=False),
+            run_remote(spec, loopback_pair),
+        )
+
+    def test_adaptive_excursion(self, loopback_pair):
+        spec = adaptive()
+        serial = run_sweep(spec, cache=False)
+        process = run_sweep(spec, cache=False, workers=2)
+        remote = run_remote(spec, loopback_pair, slots=2)
+        assert_sweeps_equal(serial, process)
+        assert_sweeps_equal(serial, remote)
+
+    def test_dynamic_world(self, loopback_pair):
+        spec = small_spec(
+            trials=10,
+            horizon=1500.0,
+            distances=tuple(range(4, 15)),
+            ks=(2,),
+            world={
+                "n_targets": 2, "motion": "drift", "motion_rate": 0.1,
+                "arrival": "geometric", "arrival_hazard": 0.005,
+            },
+        )
+        assert_sweeps_equal(
+            run_sweep(spec, cache=False),
+            run_remote(spec, loopback_pair, slots=2),
+        )
+
+    def test_dynamic_world_adaptive(self, loopback_pair):
+        spec = adaptive(
+            max_trials=64,
+            trials=10,
+            horizon=1500.0,
+            distances=(6, 10),
+            ks=(2,),
+            world={"n_targets": 2, "motion": "walk", "motion_rate": 0.1},
+        )
+        assert_sweeps_equal(
+            run_sweep(spec, cache=False),
+            run_remote(spec, loopback_pair),
+        )
+
+    def test_persistent_remote_executor_across_sweeps(self, loopback_pair):
+        fixed, adapt = small_spec(), adaptive(max_trials=64)
+        ex = RemoteExecutor(loopback_pair, slots=2)
+        try:
+            first = run_sweep(fixed, cache=False, executor=ex)
+            second = run_sweep(adapt, cache=False, executor=ex)
+        finally:
+            ex.close()
+        assert_sweeps_equal(first, run_sweep(fixed, cache=False))
+        assert_sweeps_equal(second, run_sweep(adapt, cache=False))
+
+
+# ----------------------------------------------------------------------
+# Subprocess workers: the real `repro-ants worker` + kill mid-sweep
+# ----------------------------------------------------------------------
+
+def _spawn_worker(tmp_path, tag, crash_after=None):
+    """Start `python -m repro worker --port 0`; return (proc, address)."""
+    env = os.environ.copy()
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop(CRASH_ENV, None)
+    if crash_after is not None:
+        crash_file = tmp_path / f"crash_{tag}"
+        crash_file.write_text(str(crash_after))
+        env[CRASH_ENV] = str(crash_file)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"listening on ([0-9.]+):(\d+)", line)
+    assert match, f"unexpected worker banner: {line!r}"
+    return proc, (match.group(1), int(match.group(2)))
+
+
+class TestSubprocessWorkers:
+    def test_worker_kill_mid_sweep_is_bitwise_invisible(self, tmp_path):
+        spec = adaptive()
+        serial = run_sweep(spec, cache=False)
+        doomed, addr_doomed = _spawn_worker(tmp_path, "doomed", crash_after=1)
+        healthy, addr_healthy = _spawn_worker(tmp_path, "healthy")
+        try:
+            remote = run_remote(
+                spec,
+                [addr_doomed, addr_healthy],
+                heartbeat_interval=0.5,
+            )
+            assert_sweeps_equal(serial, remote)
+            # The kill really happened: the doomed worker exited.
+            assert doomed.wait(timeout=10) is not None
+        finally:
+            for proc in (doomed, healthy):
+                proc.terminate()
+                proc.wait(timeout=10)
+
+    def test_worker_survives_driver_departure(self, tmp_path):
+        proc, address = _spawn_worker(tmp_path, "longlived")
+        try:
+            first = run_remote(small_spec(), [address])
+            second = run_remote(small_spec(), [address])
+            assert_sweeps_equal(first, second)
+            assert proc.poll() is None  # still serving after two drivers
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
