@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import ast
 import os
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from .findings import Finding
 
@@ -100,7 +100,11 @@ _CLOCK_CALLS = frozenset(
 #: may appear inside a seed-derivation argument or a SweepSpec field.
 #: The second group covers the remote backend: which hosts a sweep is
 #: sharded across is layout too, and a host list in a spec would fork
-#: the cache per cluster.
+#: the cache per cluster.  The third group covers observability
+#: (``repro.obs``): traces, metrics, and spans describe *how* a run
+#: executed — wall-clock, scheduling, worker identity — and feeding any
+#: of it back into seeds or spec fields would make results depend on
+#: machine speed and load.
 _TAINTED_NAMES = frozenset(
     {
         "workers",
@@ -122,6 +126,20 @@ _TAINTED_NAMES = frozenset(
         "endpoint",
         "endpoints",
         "slots",
+        "trace",
+        "tracer",
+        "traces",
+        "metrics",
+        "metric",
+        "span",
+        "spans",
+        "sink",
+        "sinks",
+        "bus",
+        "event_bus",
+        "obs",
+        "profiler",
+        "utilization",
     }
 )
 

@@ -19,6 +19,11 @@ Examples::
     repro-ants run E3 --target-rel-ci 0.03   # precision-targeted trials
     repro-ants cache list                    # inspect the sweep cache
     repro-ants cache prune --older-than 30   # drop entries > 30 days old
+    repro-ants sweep nonuniform --distances 16,32 --ks 1,4 \
+        --trace sweep.trace.jsonl        # record a structured trace
+    repro-ants trace report sweep.trace.jsonl   # wall-clock breakdown
+    repro-ants trace export sweep.trace.jsonl --chrome -o sweep.chrome.json
+    repro-ants trace validate sweep.trace.jsonl # schema-check every event
     repro-ants demo                      # 30-second guided demo
 
 Experiment runs and ad-hoc sweeps share the cached sweep engine: re-running
@@ -43,6 +48,14 @@ worker`` processes on other hosts instead (DESIGN.md §11)::
         --backend remote --hosts hostA:7077,hostB:7077
 
 Serial, pooled, and remote runs produce bitwise-identical results.
+
+``--trace FILE`` (run + sweep) records a JSONL trace of the sweep
+stack's structured events — spans, counters, gauges (DESIGN.md §12) —
+which ``repro-ants trace report`` turns into a wall-clock breakdown and
+``trace export --chrome`` into a ``chrome://tracing`` / Perfetto
+timeline.  ``$REPRO_TRACE_FILE`` does the same for library callers.
+Tracing is observational only: traced and untraced runs are
+bitwise identical.
 """
 
 from __future__ import annotations
@@ -232,6 +245,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_path_p.add_argument("--cache-dir", default=None)
 
+    trace_p = sub.add_parser(
+        "trace",
+        help=(
+            "inspect JSONL traces recorded with --trace / "
+            "$REPRO_TRACE_FILE (see DESIGN.md §12)"
+        ),
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    trace_report = trace_sub.add_parser(
+        "report",
+        help=(
+            "wall-clock breakdown: top cells by time, worker "
+            "utilization, cache hit rate, steal/speculation efficacy"
+        ),
+    )
+    trace_report.add_argument("file", help="JSONL trace file")
+    trace_report.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="number of cells in the per-cell table (default 10)",
+    )
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="convert a trace for external timeline viewers",
+    )
+    trace_export.add_argument("file", help="JSONL trace file")
+    trace_export.add_argument(
+        "--chrome",
+        action="store_true",
+        required=True,
+        help=(
+            "emit Chrome trace-event JSON (load in chrome://tracing "
+            "or https://ui.perfetto.dev)"
+        ),
+    )
+    trace_export.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="output path (default: stdout)",
+    )
+    trace_validate = trace_sub.add_parser(
+        "validate",
+        help="schema-check every event; exit 1 on any invalid record",
+    )
+    trace_validate.add_argument("file", help="JSONL trace file")
+
     check_p = sub.add_parser(
         "check",
         help=(
@@ -341,6 +404,16 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
             "(default port 7077)"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "record a JSONL trace of the sweep stack's structured "
+            "events (inspect with 'repro-ants trace report'); "
+            "observational only — results are unaffected"
+        ),
+    )
 
 
 def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
@@ -437,10 +510,13 @@ def _cmd_run(
     cache: bool = True,
     budget=None,
     progress=None,
+    trace_file: Optional[str] = None,
 ) -> int:
+    import contextlib
     import inspect
 
     from .experiments.registry import EXPERIMENTS, list_experiments, run_experiment
+    from .obs import tracing
     from .sweep.executor import make_executor, resolve_workers
 
     if any(x.lower() == "all" for x in ids):
@@ -458,7 +534,10 @@ def _cmd_run(
         )
     except ValueError as error:
         raise SystemExit(str(error))
-    with executor:
+    recorder = (
+        tracing(trace_file) if trace_file else contextlib.nullcontext()
+    )
+    with recorder, executor:
         for experiment_id in ids:
             started = time.perf_counter()
             info = EXPERIMENTS.get(experiment_id.upper())
@@ -502,7 +581,10 @@ def _parse_int_list(text: str, label: str) -> tuple:
 
 
 def _cmd_sweep(args) -> int:
+    import contextlib
+
     from .analysis.competitiveness import competitiveness
+    from .obs import tracing
     from .scenarios import ScenarioSpec
     from .sim.world import WorldSpec
     from .sweep import ALGORITHM_BUILDERS, SweepSpec, run_sweep
@@ -568,8 +650,11 @@ def _cmd_sweep(args) -> int:
         )
     except ValueError as error:  # e.g. --hosts without --backend remote
         raise SystemExit(str(error))
+    recorder = (
+        tracing(args.trace) if args.trace else contextlib.nullcontext()
+    )
     try:
-        with executor:
+        with recorder, executor:
             result = run_sweep(
                 spec,
                 executor=executor,
@@ -689,6 +774,58 @@ def _cmd_cache(args) -> int:
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
+def _cmd_trace(args) -> int:
+    import json
+
+    from .obs import (
+        SCHEMA_VERSION,
+        build_report,
+        read_trace,
+        to_chrome,
+        validate_event,
+    )
+
+    try:
+        records = read_trace(args.file)
+    except FileNotFoundError:
+        raise SystemExit(f"no such trace file: {args.file}")
+    except ValueError as error:  # malformed JSONL
+        raise SystemExit(str(error))
+
+    if args.trace_command == "report":
+        if args.top < 1:
+            raise SystemExit(f"--top expects a count >= 1, got {args.top}")
+        print(build_report(records).render(top=args.top))
+        return 0
+    if args.trace_command == "export":
+        document = json.dumps(to_chrome(records), indent=2)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(document + "\n")
+            print(
+                f"wrote {len(records)} events to {args.output} "
+                f"(load in chrome://tracing or https://ui.perfetto.dev)"
+            )
+        else:
+            print(document)
+        return 0
+    if args.trace_command == "validate":
+        invalid = 0
+        for index, record in enumerate(records, start=1):
+            for problem in validate_event(record):
+                invalid += 1
+                print(f"{args.file}:{index}: {problem}")
+        if invalid:
+            print(f"{invalid} invalid event(s) in {len(records)} records")
+            return 1
+        print(
+            f"{len(records)} events, all schema-valid "
+            f"(schema v{SCHEMA_VERSION})"
+        )
+        return 0
+    raise AssertionError(f"unhandled trace command {args.trace_command!r}")
+
+
 def _cmd_check(args) -> int:
     from .checks import format_findings, run_checks
     from .checks.manifest import DEFAULT_MANIFEST_PATH, write_manifest
@@ -771,11 +908,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache=not args.no_cache,
             budget=_budget_from_args(args),
             progress=_progress_printer if args.progress else None,
+            trace_file=args.trace,
         )
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "check":
         return _cmd_check(args)
     if args.command == "worker":

@@ -45,6 +45,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..obs import BUS
 from .spec import SweepCell, SweepSpec
 
 __all__ = [
@@ -115,18 +116,26 @@ def load_result(
     a hash collision or a hand-edited file can never smuggle in results for
     a different sweep.
     """
+    loaded = None
     try:
         with np.load(path, allow_pickle=False) as archive:
             meta = json.loads(str(archive["meta"]))
             times = np.asarray(archive["times"], dtype=np.float64)
     except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile):
-        return None
-    if meta.get("spec") != spec.to_dict():
-        return None
-    cells = [SweepCell(distance=d, k=k) for d, k in meta.get("cells", [])]
-    if times.ndim != 2 or times.shape != (len(cells), spec.trials):
-        return None
-    return cells, times
+        meta, times = None, None
+    if meta is not None and meta.get("spec") == spec.to_dict():
+        cells = [SweepCell(distance=d, k=k) for d, k in meta.get("cells", [])]
+        if times.ndim == 2 and times.shape == (len(cells), spec.trials):
+            loaded = (cells, times)
+    if BUS.enabled:
+        if loaded is None:
+            BUS.counter("cache.miss", kind="sweep", algorithm=spec.algorithm)
+        else:
+            BUS.counter(
+                "cache.hit", kind="sweep", algorithm=spec.algorithm,
+                cells=len(loaded[0]), trials=int(loaded[1].size),
+            )
+    return loaded
 
 
 def save_result(
@@ -156,6 +165,23 @@ def load_blocks(spec: SweepSpec, path: str) -> Dict[CellKey, np.ndarray]:
     or foreign stores (a different data identity behind the same file
     name) load as empty — the adaptive runner then just simulates.
     """
+    out = _load_blocks(spec, path)
+    if BUS.enabled:
+        # Only runner-initiated lookups count toward the hit rate;
+        # append_blocks' internal merge-read goes through _load_blocks.
+        if out:
+            BUS.counter(
+                "cache.hit", kind="blocks", algorithm=spec.algorithm,
+                cells=len(out),
+                trials=int(sum(times.size for times in out.values())),
+            )
+        else:
+            BUS.counter("cache.miss", kind="blocks", algorithm=spec.algorithm)
+    return out
+
+
+def _load_blocks(spec: SweepSpec, path: str) -> Dict[CellKey, np.ndarray]:
+    """:func:`load_blocks` without the cache hit/miss accounting."""
     out: Dict[CellKey, np.ndarray] = {}
     try:
         with np.load(path, allow_pickle=False) as archive:
@@ -216,7 +242,8 @@ def _store_lock(path: str) -> Iterator[bool]:
     """
     lock_path = path + LOCK_SUFFIX
     directory = os.path.dirname(path)
-    deadline = time.monotonic() + LOCK_TIMEOUT_SECONDS
+    waited_from = time.monotonic()
+    deadline = waited_from + LOCK_TIMEOUT_SECONDS
     acquired = False
     while True:
         try:
@@ -249,6 +276,12 @@ def _store_lock(path: str) -> Iterator[bool]:
             except OSError:
                 pass  # contents are debug-only
             break
+    if BUS.enabled:
+        BUS.gauge(
+            "cache.lock_wait",
+            time.monotonic() - waited_from,
+            acquired=acquired,
+        )
     try:
         yield acquired
     finally:
@@ -278,10 +311,16 @@ def append_blocks(
     """
     with _store_lock(path):
         merged: Dict[CellKey, np.ndarray] = dict(blocks)
-        for key, times in load_blocks(spec, path).items():
+        for key, times in _load_blocks(spec, path).items():
             if key not in merged or times.size > merged[key].size:
                 merged[key] = times
-        return save_blocks(spec, path, merged)
+        saved = save_blocks(spec, path, merged)
+    if BUS.enabled:
+        BUS.counter(
+            "cache.append", kind="blocks", algorithm=spec.algorithm,
+            cells=len(merged),
+        )
+    return saved
 
 
 def _manifest_record(meta: Dict, npz_size: int) -> Dict:

@@ -60,6 +60,7 @@ import itertools
 import os
 import queue
 import threading
+import time
 from concurrent.futures import BrokenExecutor, CancelledError, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -75,6 +76,8 @@ from typing import (
 )
 
 import numpy as np
+
+from ..obs import BUS
 
 __all__ = [
     "SweepExecutor",
@@ -209,27 +212,32 @@ def _attach_shm(name: str):
 def _invoke_task(fn: TaskFn, payload, shm_name: Optional[str]):
     """Worker-side wrapper: run the task, ship the result (pool target).
 
-    Returns ``("shm", shape)`` after writing the array into the parent's
-    pre-allocated segment, or ``("inline", array)`` when no segment was
-    offered or attaching/fitting failed.
+    Returns ``("shm", shape, exec_s)`` after writing the array into the
+    parent's pre-allocated segment, or ``("inline", array, exec_s)``
+    when no segment was offered or attaching/fitting failed.  The third
+    element is the measured execution time: the worker's own event bus
+    is disabled by design (process-local; DESIGN.md §12), so timing
+    travels back as result metadata and the *driver* emits it.
     """
     _maybe_crash()
+    started = time.perf_counter()
     result = np.ascontiguousarray(np.asarray(fn(payload), dtype=np.float64))
+    exec_s = time.perf_counter() - started
     if shm_name is not None:
         try:
             segment = _attach_shm(shm_name)
         except (OSError, ValueError, ImportError):
-            return ("inline", result)
+            return ("inline", result, exec_s)
         try:
             if result.nbytes <= segment.size:
                 view = np.ndarray(
                     result.shape, dtype=np.float64, buffer=segment.buf
                 )
                 view[...] = result
-                return ("shm", result.shape)
+                return ("shm", result.shape, exec_s)
         finally:
             segment.close()
-    return ("inline", result)
+    return ("inline", result, exec_s)
 
 
 class SweepExecutor:
@@ -309,6 +317,11 @@ class SerialExecutor(SweepExecutor):
         ticket = next(self._tickets)
         self._tasks[ticket] = (fn, payload)
         self._order.append(ticket)
+        if BUS.enabled:
+            BUS.counter("executor.submit", ticket=ticket, backend=self.backend)
+            BUS.gauge(
+                "executor.queue_depth", len(self._order), backend=self.backend
+            )
         return ticket
 
     def next_completed(self) -> Tuple[int, np.ndarray]:
@@ -316,7 +329,14 @@ class SerialExecutor(SweepExecutor):
             raise RuntimeError("next_completed() with no pending tasks")
         ticket = self._order.pop(0)
         fn, payload = self._tasks.pop(ticket)
-        return ticket, np.asarray(fn(payload), dtype=np.float64)
+        started = time.perf_counter()
+        result = np.asarray(fn(payload), dtype=np.float64)
+        if BUS.enabled:
+            BUS.counter(
+                "executor.complete", ticket=ticket, backend=self.backend,
+                exec_s=time.perf_counter() - started,
+            )
+        return ticket, result
 
     def discard(self, tickets: Iterable[int]) -> None:
         dropped = {t for t in tickets if t in self._tasks}
@@ -393,14 +413,27 @@ class VirtualExecutor(SweepExecutor):
         start = max(self._clock, self._free[worker])
         finish = start + cost
         self._free[worker] = finish
-        heapq.heappush(self._heap, (finish, next(self._seq), ticket, result))
+        heapq.heappush(
+            self._heap, (finish, next(self._seq), ticket, result, cost)
+        )
+        if BUS.enabled:
+            BUS.counter("executor.submit", ticket=ticket, backend=self.backend)
+            BUS.gauge(
+                "executor.queue_depth", len(self._heap), backend=self.backend
+            )
         return ticket
 
     def next_completed(self) -> Tuple[int, np.ndarray]:
         if not self._heap:
             raise RuntimeError("next_completed() with no pending tasks")
-        finish, _, ticket, result = heapq.heappop(self._heap)
+        finish, _, ticket, result, cost = heapq.heappop(self._heap)
         self._clock = max(self._clock, finish)
+        if BUS.enabled:
+            # exec_s is in the virtual clock's modelled units.
+            BUS.counter(
+                "executor.complete", ticket=ticket, backend=self.backend,
+                exec_s=cost,
+            )
         return ticket, result
 
     def discard(self, tickets: Iterable[int]) -> None:
@@ -528,6 +561,10 @@ class ProcessExecutor(SweepExecutor):
             )
             self._records[ticket] = record
             self._launch(record)
+            depth = len(self._records)
+        if BUS.enabled:
+            BUS.counter("executor.submit", ticket=ticket, backend=self.backend)
+            BUS.gauge("executor.queue_depth", depth, backend=self.backend)
         return ticket
 
     def _launch(self, record: _Record) -> None:
@@ -594,6 +631,7 @@ class ProcessExecutor(SweepExecutor):
                         self._release_shm(record)
                         self._ready.put((record.ticket, failure))
                 return
+            resubmitted = 0
             for record in self._records.values():
                 if record.done:
                     # Orphan sweep: a *failed* record still holding a
@@ -605,7 +643,18 @@ class ProcessExecutor(SweepExecutor):
                     if record.failed:
                         self._release_shm(record)
                 else:
+                    if BUS.enabled:
+                        BUS.counter(
+                            "executor.resubmit",
+                            ticket=record.ticket, cause="pool_crash",
+                        )
                     self._launch(record)
+                    resubmitted += 1
+            if BUS.enabled:
+                BUS.counter(
+                    "executor.restart",
+                    generation=self._generation, resubmitted=resubmitted,
+                )
 
     def next_completed(self) -> Tuple[int, np.ndarray]:
         while True:
@@ -622,7 +671,12 @@ class ProcessExecutor(SweepExecutor):
             try:
                 if isinstance(outcome, BaseException):
                     raise outcome
-                kind, value = outcome
+                kind, value, exec_s = outcome
+                if BUS.enabled:
+                    BUS.counter(
+                        "executor.complete", ticket=ticket,
+                        backend=self.backend, exec_s=exec_s,
+                    )
                 if kind == "shm":
                     view = np.ndarray(
                         tuple(value), dtype=np.float64, buffer=record.shm.buf

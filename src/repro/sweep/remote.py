@@ -110,6 +110,7 @@ from typing import (
 
 import numpy as np
 
+from ..obs import BUS
 from .executor import SweepExecutor, TaskFn, _maybe_crash
 from .spec import BLOCK_SCHEDULE_VERSION, SPEC_VERSION
 
@@ -292,10 +293,17 @@ def _resolve_task_fn(name: str) -> TaskFn:
 # Worker side
 # ----------------------------------------------------------------------
 
-def _run_payload(fn: TaskFn, payload: object) -> np.ndarray:
-    """Execute one task on a worker thread (shares the crash-test hook)."""
+def _run_payload(fn: TaskFn, payload: object) -> Tuple[np.ndarray, float]:
+    """Execute one task on a worker thread (shares the crash-test hook).
+
+    Returns the result plus its measured execution time: the worker
+    never emits events itself (the bus is process-local), so timing
+    rides the result header back to the driver, which emits it.
+    """
     _maybe_crash()
-    return np.ascontiguousarray(np.asarray(fn(payload), dtype=np.float64))
+    started = time.perf_counter()
+    result = np.ascontiguousarray(np.asarray(fn(payload), dtype=np.float64))
+    return result, time.perf_counter() - started
 
 
 async def _handle_connection(
@@ -347,11 +355,11 @@ async def _handle_connection(
             try:
                 fn = _resolve_task_fn(str(fn_name))
                 payload = pickle.loads(blob)
-                result = await loop.run_in_executor(
+                result, exec_s = await loop.run_in_executor(
                     pool, _run_payload, fn, payload
                 )
                 head, body = encode_array(result)
-                head.update({"type": "result", "id": ticket})
+                head.update({"type": "result", "id": ticket, "exec_s": exec_s})
                 await send(head, body)
             except asyncio.CancelledError:
                 raise
@@ -521,7 +529,7 @@ class _RemoteTask:
 class _Conn:
     __slots__ = (
         "name", "reader", "writer", "wlock", "slots", "inflight",
-        "alive", "last_seen", "reader_task", "hb_task",
+        "alive", "last_seen", "last_ping", "reader_task", "hb_task",
     )
 
     def __init__(self, name, reader, writer, slots) -> None:
@@ -533,6 +541,7 @@ class _Conn:
         self.inflight: Dict[int, float] = {}  # ticket -> deadline
         self.alive = True
         self.last_seen = time.monotonic()
+        self.last_ping: Optional[float] = None  # heartbeat RTT probe
         self.reader_task: Optional[asyncio.Task] = None
         self.hb_task: Optional[asyncio.Task] = None
 
@@ -706,6 +715,9 @@ class RemoteExecutor(SweepExecutor):
                 await conn.writer.drain()
         except (ConnectionError, OSError):
             self._worker_failed(conn, "send failed")
+            return
+        if BUS.enabled:
+            BUS.counter("remote.dispatch", ticket=ticket, worker=conn.name)
 
     async def _reader_loop(self, conn: _Conn) -> None:
         try:
@@ -723,6 +735,17 @@ class RemoteExecutor(SweepExecutor):
                             f"undecodable result from {conn.name}: {error}"
                         ))
                     else:
+                        if BUS.enabled:
+                            exec_s = header.get("exec_s")
+                            BUS.counter(
+                                "executor.complete", ticket=ticket,
+                                backend=self.backend, worker=conn.name,
+                                exec_s=(
+                                    float(exec_s)
+                                    if isinstance(exec_s, (int, float))
+                                    else None
+                                ),
+                            )
                         self._finish(ticket, value)
                     self._pump()
                 elif kind == "error":
@@ -733,7 +756,14 @@ class RemoteExecutor(SweepExecutor):
                         f"{header.get('error', 'unknown error')}"
                     ))
                     self._pump()
-                # pong (and unknown types): last_seen is already updated.
+                elif kind == "pong":
+                    if BUS.enabled and conn.last_ping is not None:
+                        BUS.gauge(
+                            "remote.heartbeat",
+                            time.monotonic() - conn.last_ping,
+                            worker=conn.name,
+                        )
+                # Unknown types: last_seen is already updated.
         except asyncio.CancelledError:
             return
         except (asyncio.IncompleteReadError, ConnectionError, OSError) as err:
@@ -755,6 +785,7 @@ class RemoteExecutor(SweepExecutor):
                     self._worker_failed(conn, "task timeout")
                     return
                 try:
+                    conn.last_ping = time.monotonic()
                     async with conn.wlock:
                         conn.writer.write(encode_frame({"type": "ping"}))
                         await conn.writer.drain()
@@ -787,6 +818,11 @@ class RemoteExecutor(SweepExecutor):
             pass
         inflight = list(conn.inflight)
         conn.inflight.clear()
+        if BUS.enabled:
+            BUS.counter(
+                "remote.worker_lost", worker=conn.name, reason=reason,
+                inflight=len(inflight),
+            )
         for ticket in inflight:
             with self._lock:
                 record = self._records.get(ticket)
@@ -799,6 +835,11 @@ class RemoteExecutor(SweepExecutor):
                     f"without completing (last worker {conn.name}: {reason})"
                 ))
             else:
+                if BUS.enabled:
+                    BUS.counter(
+                        "remote.resubmit", ticket=ticket, worker=conn.name,
+                        cause=reason,
+                    )
                 self._backlog.append(ticket)
         if any(c.alive for c in self._conns):
             self._pump()
@@ -830,6 +871,10 @@ class RemoteExecutor(SweepExecutor):
                 raise RuntimeError("executor is closed")
             ticket = next(self._tickets)
             self._records[ticket] = _RemoteTask(ticket, name, blob)
+            depth = len(self._records)
+        if BUS.enabled:
+            BUS.counter("executor.submit", ticket=ticket, backend=self.backend)
+            BUS.gauge("executor.queue_depth", depth, backend=self.backend)
         assert self._loop is not None
         self._loop.call_soon_threadsafe(self._enqueue, ticket)
         return ticket

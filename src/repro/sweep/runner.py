@@ -80,6 +80,7 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -88,6 +89,7 @@ import numpy as np
 from ..algorithms.belief import AdaptiveSearcher
 from ..checks import trace
 from ..checks.registry import register_stream
+from ..obs import BUS, ensure_env_tracing
 from ..sim.events import (
     find_time_statistics,
     simulate_find_times,
@@ -233,14 +235,52 @@ class SweepResult:
         return len(self.cells)
 
 
+class _ProgressGuard:
+    """Shield a sweep from a raising progress callback.
+
+    Progress consumers are observers: a callback that raises must not
+    poison the (possibly shared) executor mid-sweep by unwinding through
+    the scheduler's submit/collect loop — that would discard every
+    outstanding ticket of a run whose *results* are perfectly healthy.
+    The guard swallows callback exceptions, keeps the first one, and
+    ``run_sweep`` surfaces it once as a ``RuntimeWarning`` at sweep end.
+    """
+
+    __slots__ = ("callback", "first_error", "errors")
+
+    def __init__(self, callback: ProgressCallback) -> None:
+        self.callback = callback
+        self.first_error: Optional[BaseException] = None
+        self.errors = 0
+
+    def __call__(self, event: "ProgressEvent") -> None:
+        try:
+            self.callback(event)
+        except Exception as error:
+            if self.first_error is None:
+                self.first_error = error
+            self.errors += 1
+
+    def warn_if_failed(self) -> None:
+        if not self.errors:
+            return
+        warnings.warn(
+            f"progress callback raised {self.errors} time(s) during the "
+            f"sweep (first: {type(self.first_error).__name__}: "
+            f"{self.first_error}); sweep results are unaffected",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
 def _emit(
     progress: Optional[ProgressCallback],
     spec: SweepSpec,
     cell: CellResult,
     new_trials: int,
 ) -> None:
-    """Report one finished cell to the progress callback, if any."""
-    if progress is None:
+    """Report one finished cell: progress callback + obs event."""
+    if progress is None and not BUS.enabled:
         return
     summary = cell.summary(horizon=spec.horizon)
     if new_trials == 0:
@@ -249,6 +289,13 @@ def _emit(
         source = "topped-up"
     else:
         source = "computed"
+    if BUS.enabled:
+        BUS.counter(
+            "cell.finish", distance=cell.distance, k=cell.k,
+            trials=cell.trials, new_trials=new_trials, source=source,
+        )
+    if progress is None:
+        return
     progress(
         ProgressEvent(
             distance=cell.distance,
@@ -407,6 +454,7 @@ def _run_fixed(
     tasks = _fixed_tasks(spec, executor.workers)
     tickets = {}
     cells_by_task: List[List[CellResult]] = [[] for _ in tasks]
+    span_starts: Dict[int, float] = {}
     try:
         for index, task in enumerate(tasks):
             ticket = executor.submit(
@@ -414,10 +462,21 @@ def _run_fixed(
                 result_shape=(len(task[2]), spec.trials),
             )
             tickets[ticket] = index
+            if BUS.enabled:
+                span_starts[ticket] = BUS.span_start(
+                    "cell.block", ticket=ticket, kind="chunk",
+                    k=task[1], distances=list(task[2]), block=index,
+                )
         while tickets:
             ticket, matrix = executor.next_completed()
             index = tickets.pop(ticket)
             _, k, distances, *_ = tasks[index]
+            if BUS.enabled and ticket in span_starts:
+                BUS.span_end(
+                    "cell.block", span_starts.pop(ticket), ticket=ticket,
+                    kind="chunk", k=k, distances=list(distances),
+                    block=index,
+                )
             for row, distance in enumerate(distances):
                 cell = CellResult(distance=distance, k=k, times=matrix[row])
                 cells_by_task[index].append(cell)
@@ -643,6 +702,12 @@ def _fold_ready(state: _CellState, policy) -> None:
         if policy.satisfied(state.count, summary, state.elapsed()):
             state.done = True
             state.pending.clear()
+            if BUS.enabled:
+                BUS.counter(
+                    "cell.stop", distance=state.distance, k=state.k,
+                    trials=state.count, blocks=state.blocks,
+                    reason="satisfied",
+                )
         else:
             state.need = _estimate_need(policy, state.count, summary)
 
@@ -674,6 +739,12 @@ def _run_adaptive(
     for state in states:
         if policy.satisfied(state.count, state.acc.summary(), 0.0):
             state.done = True
+            if BUS.enabled:
+                BUS.counter(
+                    "cell.stop", distance=state.distance, k=state.k,
+                    trials=state.count, blocks=state.blocks,
+                    reason="cached",
+                )
             finish(state)
 
     tickets: Dict[int, object] = {}
@@ -693,6 +764,14 @@ def _run_adaptive(
     updated: Dict[Tuple[int, int], np.ndarray] = {}
     any_new = False
     for state in states:
+        if not state.done and BUS.enabled:
+            # The scheduler drained without the policy reporting
+            # satisfaction — the cell ran out of submittable blocks.
+            BUS.counter(
+                "cell.stop", distance=state.distance, k=state.k,
+                trials=state.count, blocks=state.blocks,
+                reason="exhausted",
+            )
         times = state.times()
         cells.append(CellResult(distance=state.distance, k=state.k, times=times))
         if state.count > state.cached:
@@ -726,6 +805,7 @@ def _schedule_wall_cells(
     Wall allocations are machine-dependent by design, so the block
     scheduler's determinism machinery has nothing to protect here.
     """
+    span_starts: Dict[int, float] = {}
     for state in states:
         if state.done:
             continue
@@ -734,9 +814,19 @@ def _schedule_wall_cells(
             (spec, state.distance, state.k, state.times()),
         )
         tickets[ticket] = state
+        if BUS.enabled:
+            span_starts[ticket] = BUS.span_start(
+                "cell.block", ticket=ticket, kind="cell",
+                distance=state.distance, k=state.k, block=0,
+            )
     while tickets:
         ticket, times = executor.next_completed()
         state = tickets.pop(ticket)
+        if BUS.enabled and ticket in span_starts:
+            BUS.span_end(
+                "cell.block", span_starts.pop(ticket), ticket=ticket,
+                kind="cell", distance=state.distance, k=state.k, block=0,
+            )
         state.parts = [times]
         state.count = int(times.size)
         state.done = True
@@ -752,6 +842,7 @@ def _schedule_blocks(
 ) -> None:
     """The block-granular work-stealing scheduler (see module docstring)."""
     policy = spec.budget
+    span_starts: Dict[int, float] = {}
     while True:
         # Fill the pool greedily: each free slot goes to the live cell
         # with the highest estimated per-trial cost *per in-flight
@@ -784,6 +875,8 @@ def _schedule_blocks(
                 key=lambda s: s.weight() / (len(s.inflight) + 1),
             )
             block = state.next_submit
+            speculative = block > state.blocks  # past the decision frontier
+            steal = bool(state.inflight)  # another block already pipelining
             state.next_submit += 1
             state.inflight.add(block)
             if state.started is None:
@@ -794,13 +887,48 @@ def _schedule_blocks(
                 result_shape=(block_trials(block),),
             )
             tickets[ticket] = (state, block)
+            if BUS.enabled:
+                if speculative:
+                    BUS.counter(
+                        "executor.speculate",
+                        distance=state.distance, k=state.k, block=block,
+                    )
+                if steal:
+                    BUS.counter(
+                        "executor.steal",
+                        distance=state.distance, k=state.k, block=block,
+                    )
+                span_starts[ticket] = BUS.span_start(
+                    "cell.block", ticket=ticket, kind="block",
+                    distance=state.distance, k=state.k, block=block,
+                    speculative=speculative, steal=steal,
+                )
         if not tickets:
             break
         ticket, times = executor.next_completed()
         state, block = tickets.pop(ticket)
         state.inflight.discard(block)
         if state.done:
-            continue  # speculative overshoot of an already-satisfied cell
+            # Speculative overshoot of an already-satisfied cell.
+            if BUS.enabled:
+                BUS.counter(
+                    "executor.discard",
+                    distance=state.distance, k=state.k, block=block,
+                )
+                if ticket in span_starts:
+                    BUS.span_end(
+                        "cell.block", span_starts.pop(ticket),
+                        ticket=ticket, kind="block",
+                        distance=state.distance, k=state.k, block=block,
+                        discarded=True,
+                    )
+            continue
+        if BUS.enabled and ticket in span_starts:
+            BUS.span_end(
+                "cell.block", span_starts.pop(ticket), ticket=ticket,
+                kind="block", distance=state.distance, k=state.k,
+                block=block, discarded=False,
+            )
         state.pending[block] = times
         _fold_ready(state, policy)
         if state.done:
@@ -858,7 +986,47 @@ def run_sweep(
             "moving or late-arriving targets make unbounded searches "
             "non-terminating"
         )
+    ensure_env_tracing()
     with ensure_executor(executor, workers=workers, backend=backend) as ex:
-        if spec.budget is None:
-            return _run_fixed(spec, ex, cache, cache_dir, progress)
-        return _run_adaptive(spec, ex, cache, cache_dir, progress)
+        guard = _ProgressGuard(progress) if progress is not None else None
+        span_started: Optional[float] = None
+        busy0 = 0.0
+        if BUS.enabled:
+            busy0 = BUS.metrics.total("executor.complete.exec_s")
+            span_started = BUS.span_start(
+                "sweep",
+                algorithm=spec.algorithm,
+                spec=spec.spec_hash(),
+                cells=len(spec.cells()),
+                backend=ex.backend,
+                workers=ex.workers,
+                budget=(spec.budget.kind if spec.budget else None),
+                cache=cache,
+            )
+        try:
+            if spec.budget is None:
+                result = _run_fixed(spec, ex, cache, cache_dir, guard)
+            else:
+                result = _run_adaptive(spec, ex, cache, cache_dir, guard)
+        finally:
+            if guard is not None:
+                guard.warn_if_failed()
+        if span_started is not None and BUS.enabled:
+            wall = time.perf_counter() - span_started
+            busy = BUS.metrics.total("executor.complete.exec_s") - busy0
+            slots = max(1, int(ex.workers))
+            BUS.gauge(
+                "worker.utilization",
+                busy / (slots * wall) if wall > 0 else 0.0,
+                busy_s=busy, wall_s=wall, workers=slots,
+                backend=ex.backend,
+            )
+            BUS.span_end(
+                "sweep", span_started,
+                algorithm=spec.algorithm,
+                spec=spec.spec_hash(),
+                cells=len(result.cells),
+                total_trials=result.total_trials,
+                from_cache=result.from_cache,
+            )
+        return result

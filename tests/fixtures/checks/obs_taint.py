@@ -1,0 +1,41 @@
+"""Seeded R004 violations: observability state leaking into seeds/specs.
+
+Traces, metrics, and spans describe how a run executed — wall-clock,
+scheduling, worker identity — so deriving seeds or spec fields from any
+of them would make results depend on machine speed and load.
+"""
+
+from repro.sim.rng import derive_seed
+from repro.sweep import SweepSpec
+
+
+def seed_from_trace(root: int, trace) -> int:
+    return derive_seed(root, len(trace))
+
+
+def seed_from_metrics(root: int, metrics) -> int:
+    return derive_seed(root, metrics.count("executor.complete"))
+
+
+def seed_from_span(root: int, span: float) -> int:
+    return derive_seed(root, int(span * 1000))
+
+
+def spec_from_bus(bus) -> SweepSpec:
+    return SweepSpec(
+        algorithm="uniform",
+        distances=(4,),
+        ks=(1,),
+        trials=8,
+        seed=bus.seq,
+    )
+
+
+def spec_from_utilization(utilization: float) -> SweepSpec:
+    return SweepSpec(
+        algorithm="uniform",
+        distances=(4,),
+        ks=(1,),
+        trials=8,
+        seed=int(utilization * 100),
+    )

@@ -83,6 +83,19 @@ class TestLintRules:
         # violations one each.
         assert len(findings) == 5
 
+    def test_obs_state_fires_r004(self):
+        # Observability taints: wall-clock traces, metrics, spans, and
+        # the event bus are execution-layout facts exactly like worker
+        # counts — none may reach a seed or a hashed SweepSpec field.
+        findings = lint_file(fixture("obs_taint.py"))
+        assert {f.rule for f in findings} == {"R004"}
+        messages = " ".join(f.message for f in findings)
+        for name in ("trace", "metrics", "span", "bus", "utilization"):
+            assert f"`{name}`" in messages
+        assert "derive_seed" in messages
+        assert "SweepSpec" in messages
+        assert len(findings) == 5
+
     def test_clean_module_and_suppression_comment(self):
         # clean.py contains one deliberate ambient draw behind a
         # `# repro: allow(R001)` marker; nothing may fire.

@@ -488,3 +488,75 @@ class TestExecutorFlags:
         )
         assert main(["run", "E1", "E9", "--quick", "--no-cache"]) == 0
         assert len(created) == 1
+
+
+class TestTraceCommand:
+    def _traced_sweep(self, tmp_path):
+        trace_file = tmp_path / "sweep.trace.jsonl"
+        assert (
+            main(
+                ["sweep", "nonuniform", "--distances", "8,16",
+                 "--ks", "1,4", "--trials", "10", "--seed", "3",
+                 "--no-cache", "--trace", str(trace_file)]
+            )
+            == 0
+        )
+        return trace_file
+
+    def test_parse_trace_arguments(self):
+        args = build_parser().parse_args(
+            ["trace", "report", "t.jsonl", "--top", "5"]
+        )
+        assert args.command == "trace"
+        assert args.trace_command == "report"
+        assert args.file == "t.jsonl" and args.top == 5
+
+    def test_sweep_trace_records_schema_valid_events(self, tmp_path, capsys):
+        from repro.obs import read_trace, trace_metrics, validate_event
+
+        trace_file = self._traced_sweep(tmp_path)
+        capsys.readouterr()
+        records = read_trace(str(trace_file))
+        assert [p for r in records for p in validate_event(r)] == []
+        assert trace_metrics(records) is not None  # scoped trace footer
+
+    def test_trace_validate_and_report(self, tmp_path, capsys):
+        trace_file = self._traced_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "validate", str(trace_file)]) == 0
+        assert "all schema-valid" in capsys.readouterr().out
+        assert main(["trace", "report", str(trace_file), "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "worker utilization" in out
+        assert "cells by submit-to-collect time" in out
+
+    def test_trace_validate_flags_bad_events(self, tmp_path, capsys):
+        import json
+
+        trace_file = tmp_path / "bad.jsonl"
+        trace_file.write_text(
+            json.dumps({"schema": 1, "name": "no.such.event",
+                        "type": "counter", "ts": 1.0, "seq": 1, "pid": 1,
+                        "data": {}}) + "\n"
+        )
+        assert main(["trace", "validate", str(trace_file)]) == 1
+        assert "unknown event name" in capsys.readouterr().out
+
+    def test_trace_export_chrome(self, tmp_path, capsys):
+        import json
+
+        trace_file = self._traced_sweep(tmp_path)
+        out_file = tmp_path / "chrome.json"
+        assert (
+            main(["trace", "export", str(trace_file), "--chrome",
+                  "-o", str(out_file)])
+            == 0
+        )
+        document = json.loads(out_file.read_text())
+        assert document["traceEvents"]
+        phases = {event["ph"] for event in document["traceEvents"]}
+        assert "X" in phases
+
+    def test_trace_commands_reject_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such trace file"):
+            main(["trace", "report", str(tmp_path / "absent.jsonl")])
