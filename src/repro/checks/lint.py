@@ -104,7 +104,12 @@ _CLOCK_CALLS = frozenset(
 #: (``repro.obs``): traces, metrics, and spans describe *how* a run
 #: executed — wall-clock, scheduling, worker identity — and feeding any
 #: of it back into seeds or spec fields would make results depend on
-#: machine speed and load.
+#: machine speed and load.  The fourth group covers fault tolerance
+#: (``repro.faults``): fault plans, retry/backoff state, degradation
+#: tiers, and checkpoint/resume bookkeeping describe what *failed*
+#: during a run — seeding from any of it would fork results between
+#: faulted and clean executions, the exact dependence the chaos-parity
+#: suite exists to rule out.
 _TAINTED_NAMES = frozenset(
     {
         "workers",
@@ -140,6 +145,21 @@ _TAINTED_NAMES = frozenset(
         "obs",
         "profiler",
         "utilization",
+        "fault",
+        "faults",
+        "fault_plan",
+        "injector",
+        "degrade",
+        "degraded",
+        "quarantine",
+        "quarantined",
+        "resume",
+        "resumed",
+        "checkpoint",
+        "journal",
+        "retry",
+        "retries",
+        "backoff",
     }
 )
 

@@ -212,6 +212,24 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--no-cache", action="store_true")
     sweep_p.add_argument("--cache-dir", default=None)
     sweep_p.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "recover an interrupted sweep from its checkpoint journal "
+            "(bitwise identical to an uninterrupted run; needs the cache)"
+        ),
+    )
+    sweep_p.add_argument(
+        "--checkpoint",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help=(
+            "seconds between checkpoint journal writes while the sweep "
+            "runs (0 = after every chunk; negative disables; default 5)"
+        ),
+    )
+    sweep_p.add_argument(
         "--csv", metavar="FILE", default=None, help="also write the table as CSV"
     )
     _add_budget_arguments(sweep_p)
@@ -414,6 +432,16 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
             "observational only — results are unaffected"
         ),
     )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help=(
+            "activate a repro.faults chaos plan (JSON file, or inline "
+            "JSON) injecting failures at instrumented seams; recoverable "
+            "faults leave results bitwise unchanged (DESIGN.md §13)"
+        ),
+    )
 
 
 def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
@@ -511,6 +539,7 @@ def _cmd_run(
     budget=None,
     progress=None,
     trace_file: Optional[str] = None,
+    fault_plan: Optional[str] = None,
 ) -> int:
     import contextlib
     import inspect
@@ -519,6 +548,7 @@ def _cmd_run(
     from .obs import tracing
     from .sweep.executor import make_executor, resolve_workers
 
+    _activate_fault_plan(fault_plan)
     if any(x.lower() == "all" for x in ids):
         ids = [info.experiment_id for info in list_experiments()]
     if csv_dir:
@@ -571,6 +601,22 @@ def _cmd_run(
             print(f"[{experiment_id} completed in {elapsed:.1f}s]")
             print()
     return 0
+
+
+def _activate_fault_plan(source: Optional[str]) -> None:
+    """Arm ``--fault-plan`` on the process singleton (and, via the
+    environment, on every worker process this run spawns)."""
+    if not source:
+        return
+    from .faults import FAULT_PLAN_ENV, activate, load_plan
+
+    try:
+        activate(load_plan(source))
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"--fault-plan {source!r}: {error}")
+    # Workers re-load the plan from the environment (ensure_env_plan in
+    # the task wrapper), so worker-side seams see the same schedule.
+    os.environ[FAULT_PLAN_ENV] = source
 
 
 def _parse_int_list(text: str, label: str) -> tuple:
@@ -641,6 +687,7 @@ def _cmd_sweep(args) -> int:
         )
     except (TypeError, ValueError) as error:
         raise SystemExit(str(error))
+    _activate_fault_plan(args.fault_plan)
     started = time.perf_counter()
     try:
         executor = make_executor(
@@ -661,6 +708,10 @@ def _cmd_sweep(args) -> int:
                 cache=not args.no_cache,
                 cache_dir=args.cache_dir,
                 progress=_progress_printer if args.progress else None,
+                resume=args.resume,
+                checkpoint_s=(
+                    None if args.checkpoint < 0 else args.checkpoint
+                ),
             )
     except ValueError as error:  # e.g. walker strategy without --horizon
         raise SystemExit(str(error))
@@ -759,6 +810,9 @@ def _cmd_cache(args) -> int:
                 f"--older-than expects a non-negative number of days, "
                 f"got {args.older_than}"
             )
+        from .sweep.cache import clean_stale_files
+
+        reclaimed = [] if args.dry_run else clean_stale_files(directory)
         pruned = prune_entries(
             directory, older_than_days=args.older_than, dry_run=args.dry_run
         )
@@ -770,6 +824,11 @@ def _cmd_cache(args) -> int:
         )
         for entry in pruned:
             print(f"  {os.path.basename(entry.path)}")
+        if reclaimed:
+            print(
+                f"reclaimed {len(reclaimed)} stale temp/quarantine "
+                f"file(s) left by crashed writers"
+            )
         return 0
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
@@ -909,6 +968,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             budget=_budget_from_args(args),
             progress=_progress_printer if args.progress else None,
             trace_file=args.trace,
+            fault_plan=args.fault_plan,
         )
     if args.command == "sweep":
         return _cmd_sweep(args)

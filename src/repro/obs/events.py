@@ -85,6 +85,16 @@ EVENT_SCHEMAS: Dict[str, Tuple[str, Tuple[str, ...]]] = {
     "cache.miss": ("counter", ("kind", "algorithm")),
     "cache.append": ("counter", ("kind", "algorithm", "cells")),
     "cache.lock_wait": ("gauge", ("value", "acquired")),
+    # Fault tolerance (repro.faults; DESIGN.md §13): injected faults,
+    # degraded backend tiers, quarantined cache entries, checkpoint
+    # resume, retry/backoff attempts, stale-temp reclamation.
+    "fault.inject": ("counter", ("site", "mode", "rule")),
+    "fault.degrade": ("counter", ("tier", "fallback", "reason")),
+    "cache.quarantine": ("counter", ("kind", "path")),
+    "cache.tmp_clean": ("counter", ("removed",)),
+    "sweep.resume": ("counter", ("algorithm", "kind", "tasks", "trials")),
+    "retry.attempt": ("counter", ("site", "attempt")),
+    "sweep.checkpoint": ("counter", ("algorithm", "kind", "tasks")),
     # Remote backend (driver side; workers never emit).
     "remote.dispatch": ("counter", ("ticket", "worker")),
     "remote.heartbeat": ("gauge", ("value", "worker")),

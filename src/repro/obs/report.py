@@ -52,6 +52,12 @@ class TraceReport:
     remote_dispatches: int = 0
     remote_workers_lost: int = 0
     heartbeat_rtt_s: Optional[float] = None
+    faults_injected: int = 0
+    degrades: int = 0
+    quarantines: int = 0
+    retries: int = 0
+    checkpoints: int = 0
+    resumes: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -87,6 +93,17 @@ class TraceReport:
             lines.append(
                 f"remote: {self.remote_dispatches} dispatches, "
                 f"{self.remote_workers_lost} workers lost{rtt}"
+            )
+        if (
+            self.faults_injected or self.degrades or self.quarantines
+            or self.retries or self.checkpoints or self.resumes
+        ):
+            lines.append(
+                f"faults: {self.faults_injected} injected, "
+                f"{self.degrades} tier degrades, "
+                f"{self.quarantines} quarantined entries, "
+                f"{self.retries} retries, "
+                f"{self.checkpoints} checkpoints, {self.resumes} resumes"
             )
         lines.append("")
         shown = self.cells[:top]
@@ -243,4 +260,10 @@ def build_report(
         remote_dispatches=counters.get("remote.dispatch", 0),
         remote_workers_lost=counters.get("remote.worker_lost", 0),
         heartbeat_rtt_s=(rtt_total / rtt_count) if rtt_count else None,
+        faults_injected=counters.get("fault.inject", 0),
+        degrades=counters.get("fault.degrade", 0),
+        quarantines=counters.get("cache.quarantine", 0),
+        retries=counters.get("retry.attempt", 0),
+        checkpoints=counters.get("sweep.checkpoint", 0),
+        resumes=counters.get("sweep.resume", 0),
     )

@@ -41,10 +41,11 @@ import time
 import zipfile
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..faults import FAULTS, FaultError, backoff_delays
 from ..obs import BUS
 from .spec import SweepCell, SweepSpec
 
@@ -57,6 +58,11 @@ __all__ = [
     "load_blocks",
     "save_blocks",
     "append_blocks",
+    "journal_path",
+    "load_journal",
+    "save_journal",
+    "clear_journal",
+    "clean_stale_files",
     "CacheEntry",
     "list_entries",
     "prune_entries",
@@ -87,10 +93,52 @@ LOCK_STALE_SECONDS = 30.0
 #: top-up lost, never a foreign cell).
 LOCK_TIMEOUT_SECONDS = 10.0
 
-#: Poll interval while waiting on a held lock.
+#: Poll interval while waiting on a held lock (the backoff base; waits
+#: grow from here via :func:`repro.faults.backoff_delays`).
 _LOCK_POLL_SECONDS = 0.01
 
+#: Longest single backoff while polling a held lock.
+_LOCK_POLL_MAX_SECONDS = 0.25
+
+#: Temp-file prefix shared by every atomic write in this directory; a
+#: crash between write and rename leaves one of these behind, reclaimed
+#: by :func:`clean_stale_files`.
+TMP_PREFIX = ".sweep_tmp_"
+
+#: A corrupt entry is renamed aside with this suffix (quarantined)
+#: instead of being retried forever; :func:`clean_stale_files` reclaims
+#: old quarantines.
+QUARANTINE_SUFFIX = ".quarantine"
+
+#: Temp droppings and quarantined entries older than this are presumed
+#: abandoned.  Live atomic writes last milliseconds, so five minutes is
+#: orders of magnitude past any writer that is still coming back.
+STALE_FILE_SECONDS = 300.0
+
 CellKey = Tuple[int, int]
+
+
+def _quarantine(path: str, kind: str) -> bool:
+    """Rename a corrupt entry aside so the slot can be rebuilt cleanly.
+
+    A corrupt archive would otherwise be re-opened (and re-fail) on
+    every lookup, and — worse for block stores — a fresh merge would
+    race the broken file's name.  Renaming is atomic, keeps the bytes
+    for forensics, and frees the path for the recomputed entry.
+    """
+    try:
+        os.replace(path, path + QUARANTINE_SUFFIX)
+    except OSError:
+        return False
+    try:
+        os.unlink(path + MANIFEST_SUFFIX)
+    except OSError:
+        pass
+    if BUS.enabled:
+        BUS.counter(
+            "cache.quarantine", kind=kind, path=os.path.basename(path)
+        )
+    return True
 
 
 def default_cache_dir() -> str:
@@ -118,11 +166,21 @@ def load_result(
     """
     loaded = None
     try:
+        if FAULTS.enabled:
+            _check_read_faults()
         with np.load(path, allow_pickle=False) as archive:
             meta = json.loads(str(archive["meta"]))
             times = np.asarray(archive["times"], dtype=np.float64)
-    except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile):
+    except OSError:
+        # Missing file or transient I/O (incl. injected read errors):
+        # a plain miss, recomputed — never quarantined.
         meta, times = None, None
+    except (KeyError, ValueError, EOFError, zipfile.BadZipFile):
+        # The file is present but its content is broken: quarantine it
+        # so the slot rebuilds instead of re-failing every lookup.
+        meta, times = None, None
+        if os.path.exists(path):
+            _quarantine(path, kind="sweep")
     if meta is not None and meta.get("spec") == spec.to_dict():
         cells = [SweepCell(distance=d, k=k) for d, k in meta.get("cells", [])]
         if times.ndim == 2 and times.shape == (len(cells), spec.trials):
@@ -184,6 +242,8 @@ def _load_blocks(spec: SweepSpec, path: str) -> Dict[CellKey, np.ndarray]:
     """:func:`load_blocks` without the cache hit/miss accounting."""
     out: Dict[CellKey, np.ndarray] = {}
     try:
+        if FAULTS.enabled:
+            _check_read_faults()
         with np.load(path, allow_pickle=False) as archive:
             meta = json.loads(str(archive["meta"]))
             if meta.get("format") != 2:
@@ -195,9 +255,27 @@ def _load_blocks(spec: SweepSpec, path: str) -> Dict[CellKey, np.ndarray]:
                 if times.ndim != 1 or times.size != trials:
                     continue  # truncated entry; drop just this cell
                 out[(int(distance), int(k))] = times
-    except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile):
+    except OSError:
+        return {}  # missing or transiently unreadable: plain miss
+    except (KeyError, ValueError, EOFError, zipfile.BadZipFile):
+        if os.path.exists(path):
+            _quarantine(path, kind="blocks")
         return {}
     return out
+
+
+def _check_read_faults() -> None:
+    """The injection seam shared by every cache read path.
+
+    ``cache.read`` simulates the I/O error class (plain miss),
+    ``cache.corrupt`` the truncated-archive class (quarantine + rebuild)
+    — each raises into the *real* recovery handler above, so chaos runs
+    exercise production code, not injection-aware shims.
+    """
+    if FAULTS.check("cache.read") is not None:
+        raise FaultError("injected cache read failure")
+    if FAULTS.check("cache.corrupt") is not None:
+        raise zipfile.BadZipFile("injected cache corruption")
 
 
 def save_blocks(
@@ -244,6 +322,14 @@ def _store_lock(path: str) -> Iterator[bool]:
     directory = os.path.dirname(path)
     waited_from = time.monotonic()
     deadline = waited_from + LOCK_TIMEOUT_SECONDS
+    # Unified backoff (repro.faults): polls start at the historical
+    # 10 ms and grow, jittered, to a cap — herds of writers contending
+    # for one store de-synchronise instead of stampeding each retry.
+    delays = backoff_delays(
+        attempts=1 << 16,
+        base_delay=_LOCK_POLL_SECONDS,
+        max_delay=_LOCK_POLL_MAX_SECONDS,
+    )
     acquired = False
     while True:
         try:
@@ -263,7 +349,7 @@ def _store_lock(path: str) -> Iterator[bool]:
                 continue
             if time.monotonic() >= deadline:
                 break  # proceed unlocked; see docstring
-            time.sleep(_LOCK_POLL_SECONDS)
+            time.sleep(next(delays, _LOCK_POLL_MAX_SECONDS))
         except OSError:
             break  # unwritable cache dir: the save will no-op anyway
         else:
@@ -323,8 +409,170 @@ def append_blocks(
     return saved
 
 
+# ----------------------------------------------------------------------
+# Checkpoint journals (crash-only fixed-path sweeps; DESIGN.md §13)
+# ----------------------------------------------------------------------
+
+def journal_path(spec: SweepSpec, cache_dir: Optional[str] = None) -> str:
+    """The checkpoint journal a fixed-path sweep writes while running.
+
+    Keyed by the *full* spec hash (like the v1 entry it will become).
+    Task indices alone do not identify work — walker groups chunk by
+    worker count — so each journal entry also records its ``(k,
+    distances)`` identity, and :func:`load_journal` drops entries that
+    do not match the resuming run's layout.
+    """
+    directory = cache_dir if cache_dir is not None else default_cache_dir()
+    return os.path.join(
+        directory, f"journal_{spec.algorithm}_{spec.spec_hash()}.npz"
+    )
+
+
+def load_journal(
+    spec: SweepSpec,
+    path: str,
+    layout: Optional[Sequence[Tuple[int, Sequence[int]]]] = None,
+) -> Dict[int, np.ndarray]:
+    """Completed task matrices of an interrupted sweep, by task index.
+
+    Absent, corrupt, or foreign journals load as empty — the sweep then
+    simply runs cold.  The stored spec dict is compared against ``spec``
+    so a resumed run can never splice in another sweep's chunks, and
+    ``layout`` (the resuming run's task list as ``(k, distances)``
+    pairs) drops any entry whose recorded identity no longer matches —
+    e.g. a walker sweep resumed with a different worker count.
+    """
+    out: Dict[int, np.ndarray] = {}
+    try:
+        if FAULTS.enabled:
+            _check_read_faults()
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            if meta.get("format") != "journal":
+                return {}
+            if meta.get("spec") != spec.to_dict():
+                return {}
+            for entry in meta.get("tasks", []):
+                index, k, distances = entry
+                index = int(index)
+                if layout is not None:
+                    if not 0 <= index < len(layout):
+                        continue
+                    want_k, want_distances = layout[index]
+                    if int(k) != int(want_k) or (
+                        [int(d) for d in distances]
+                        != [int(d) for d in want_distances]
+                    ):
+                        continue  # layout drifted; recompute this task
+                times = np.asarray(archive[f"task_{index}"], dtype=np.float64)
+                if times.ndim != 2 or times.shape[1] != spec.trials:
+                    continue  # truncated entry; recompute just this task
+                if times.shape[0] != len(distances):
+                    continue
+                out[index] = times
+    except OSError:
+        return {}
+    except (KeyError, TypeError, ValueError, EOFError, zipfile.BadZipFile):
+        if os.path.exists(path):
+            _quarantine(path, kind="journal")
+        return {}
+    return out
+
+
+def save_journal(
+    spec: SweepSpec,
+    path: str,
+    done: Mapping[int, np.ndarray],
+    layout: Sequence[Tuple[int, Sequence[int]]],
+) -> bool:
+    """Atomically persist the completed-task map of a running sweep.
+
+    ``layout`` is the full task list as ``(k, distances)`` pairs; each
+    journal entry records its own identity from it (see
+    :func:`load_journal`).  Each write replaces the whole journal via
+    the same temp-file + rename path as every other entry, so a driver
+    killed mid-checkpoint leaves either the previous journal or the new
+    one — never a torn file (the SIGKILL property test in
+    ``tests/test_resume.py``).
+    """
+    ordered = sorted(done.items())
+    meta = {
+        "format": "journal",
+        "spec": spec.to_dict(),
+        "tasks": [
+            [index, int(layout[index][0]), [int(d) for d in layout[index][1]]]
+            for index, _ in ordered
+        ],
+    }
+    arrays = {
+        f"task_{index}": np.asarray(times, dtype=np.float64)
+        for index, times in ordered
+    }
+    return _atomic_savez(path, meta, arrays)
+
+
+def clear_journal(path: str) -> None:
+    """Remove a completed sweep's journal (and its manifest sidecar)."""
+    for target in (path, path + MANIFEST_SUFFIX):
+        try:
+            os.unlink(target)
+        except OSError:
+            pass
+
+
+def clean_stale_files(
+    cache_dir: Optional[str] = None,
+    *,
+    max_age_s: float = STALE_FILE_SECONDS,
+    now: Optional[float] = None,
+) -> List[str]:
+    """Reclaim crash droppings: stale temp files and old quarantines.
+
+    A writer killed between temp write and rename orphans a
+    ``.sweep_tmp_*`` file forever (nothing else ever looks at it), and
+    quarantined entries keep their bytes only for forensics.  Both are
+    removed once older than ``max_age_s`` — young files are left alone
+    so a *live* concurrent writer's temp is never pulled out from under
+    it.  Called at sweep startup and by ``repro-ants cache prune``;
+    returns the removed paths.
+    """
+    directory = cache_dir if cache_dir is not None else default_cache_dir()
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    cutoff = (now if now is not None else time.time()) - max_age_s
+    removed: List[str] = []
+    for name in sorted(names):
+        if not (
+            name.startswith(TMP_PREFIX) or name.endswith(QUARANTINE_SUFFIX)
+        ):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            if os.stat(path).st_mtime > cutoff:
+                continue
+            os.unlink(path)
+        except OSError:
+            continue  # vanished or unwritable; best-effort
+        removed.append(path)
+    if removed and BUS.enabled:
+        BUS.counter("cache.tmp_clean", removed=len(removed))
+    return removed
+
+
 def _manifest_record(meta: Dict, npz_size: int) -> Dict:
     """The listing-facing summary of one entry's metadata."""
+    if meta.get("format") == "journal":
+        spec = meta.get("spec", {})
+        tasks = meta.get("tasks", [])
+        return {
+            "kind": "journal",
+            "algorithm": spec.get("algorithm", "?"),
+            "cells": len(tasks),
+            "trials": 0,  # partial work; counted when it becomes a v1 entry
+            "npz_size": npz_size,
+        }
     if meta.get("format") == 2:
         cells = meta.get("cells", [])
         return {
@@ -352,16 +600,28 @@ def _atomic_savez(path: str, meta: Dict, arrays: Dict[str, np.ndarray]) -> bool:
     written after the rename; it is pure derived data, so a failed or
     missing sidecar only costs ``list_entries`` an archive open.
     """
+    crash_before_rename = False
+    if FAULTS.enabled:
+        rule = FAULTS.check("cache.write")
+        if rule is not None:
+            if rule.mode != "crash":
+                return False  # the ENOSPC/EIO class: write just fails
+            # The kill-between-write-and-rename class: the temp file is
+            # deliberately orphaned, exactly what a dead writer leaves
+            # for clean_stale_files to reclaim.
+            crash_before_rename = True
     try:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(
-            dir=os.path.dirname(path), prefix=".sweep_tmp_", suffix=".npz"
+            dir=os.path.dirname(path), prefix=TMP_PREFIX, suffix=".npz"
         )
         try:
             with os.fdopen(fd, "wb") as handle:
                 np.savez_compressed(
                     handle, meta=np.asarray(json.dumps(meta)), **arrays
                 )
+            if crash_before_rename:
+                return False
             os.replace(tmp, path)
         except BaseException:
             if os.path.exists(tmp):
@@ -372,7 +632,7 @@ def _atomic_savez(path: str, meta: Dict, arrays: Dict[str, np.ndarray]) -> bool:
     try:
         manifest = _manifest_record(meta, os.path.getsize(path))
         fd, tmp = tempfile.mkstemp(
-            dir=os.path.dirname(path), prefix=".sweep_tmp_", suffix=".json"
+            dir=os.path.dirname(path), prefix=TMP_PREFIX, suffix=".json"
         )
         try:
             with os.fdopen(fd, "w") as handle:
@@ -392,7 +652,7 @@ class CacheEntry:
     """One cache file as seen by ``repro-ants cache list``."""
 
     path: str
-    kind: str  # "sweep" (v1 full matrix), "blocks" (v2), or "unreadable"
+    kind: str  # "sweep" (v1), "blocks" (v2), "journal", or "unreadable"
     algorithm: str
     cells: int
     trials: int  # total trials stored across cells
@@ -416,7 +676,7 @@ def _read_manifest(path: str, npz_size: int) -> Optional[Dict]:
         return None
     if manifest.get("npz_size") != npz_size:
         return None
-    if manifest.get("kind") not in ("sweep", "blocks"):
+    if manifest.get("kind") not in ("sweep", "blocks", "journal"):
         return None
     return manifest
 
@@ -495,12 +755,17 @@ def prune_entries(
 ) -> List[CacheEntry]:
     """Delete (or, with ``dry_run``, just report) entries older than a cutoff.
 
-    ``older_than_days=0`` prunes everything.  Returns the pruned entries.
+    ``older_than_days=0`` prunes everything.  Returns the pruned
+    entries.  Crash droppings — stale temp files, old quarantines —
+    are reclaimed alongside (see :func:`clean_stale_files`) unless
+    ``dry_run`` is set.
     """
     import time as _time
 
     if older_than_days < 0:
         raise ValueError(f"older_than_days must be >= 0, got {older_than_days}")
+    if not dry_run:
+        clean_stale_files(cache_dir, now=now)
     cutoff = (now if now is not None else _time.time()) - older_than_days * 86400
     pruned = []
     for entry in list_entries(cache_dir):

@@ -61,6 +61,7 @@ import os
 import queue
 import threading
 import time
+import warnings
 from concurrent.futures import BrokenExecutor, CancelledError, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -77,6 +78,7 @@ from typing import (
 
 import numpy as np
 
+from ..faults import FAULTS, ensure_env_plan
 from ..obs import BUS
 
 __all__ = [
@@ -219,12 +221,15 @@ def _invoke_task(fn: TaskFn, payload, shm_name: Optional[str]):
     is disabled by design (process-local; DESIGN.md §12), so timing
     travels back as result metadata and the *driver* emits it.
     """
+    ensure_env_plan()  # pool workers inherit REPRO_FAULT_PLAN
     _maybe_crash()
     started = time.perf_counter()
     result = np.ascontiguousarray(np.asarray(fn(payload), dtype=np.float64))
     exec_s = time.perf_counter() - started
     if shm_name is not None:
         try:
+            if FAULTS.enabled and FAULTS.check("shm.attach") is not None:
+                raise OSError("injected shm attach failure")
             segment = _attach_shm(shm_name)
         except (OSError, ValueError, ImportError):
             return ("inline", result, exec_s)
@@ -717,42 +722,99 @@ class ProcessExecutor(SweepExecutor):
             self._release_shm(record)
 
 
+def _degrade(tier: str, fallback: str, reason: str) -> None:
+    """Announce one degradation step: a single warning plus one event."""
+    warnings.warn(
+        f"backend tier {tier!r} unavailable ({reason}); "
+        f"degrading to {fallback!r}",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+    if BUS.enabled:
+        BUS.counter("fault.degrade", tier=tier, fallback=fallback, reason=reason)
+
+
+#: Constructor options consumed by the remote tier; the degradation
+#: chain forwards these to RemoteExecutor and the rest to the local
+#: tiers, so one ``make_executor(backend="auto", ...)`` call can carry
+#: knobs for whichever tier ends up serving it.
+_REMOTE_OPTIONS = frozenset({
+    "slots", "connect_timeout", "heartbeat_interval", "heartbeat_misses",
+    "task_timeout", "max_attempts",
+})
+
+
 def make_executor(
     workers: WorkersLike = 0, backend: str = "auto", **options: object
 ) -> SweepExecutor:
     """Build an executor from the ``--workers`` / ``--backend`` knobs.
 
-    ``backend="auto"`` picks the process pool when the resolved worker
-    count exceeds one and serial execution otherwise; explicit
-    ``"serial"`` / ``"process"`` force the choice (``"process"`` with one
-    worker still exercises the full IPC path).  ``backend="remote"``
-    builds a :class:`~repro.sweep.remote.RemoteExecutor` from the
-    ``hosts`` option (or the ``REPRO_REMOTE_HOSTS`` environment
-    variable); ``auto`` never chooses it — distributing a sweep is an
-    explicit decision.  ``workers`` accepts an integer or ``"auto"``
-    (see :func:`resolve_workers`).  Remaining ``options`` are forwarded
-    to the chosen executor class.
+    ``backend="auto"`` resolves down a documented **degradation chain**
+    — remote → process → serial (DESIGN.md §13).  The remote tier is
+    considered only when hosts are configured (the ``hosts`` option or
+    ``REPRO_REMOTE_HOSTS``); it is probed eagerly, and unreachable
+    workers degrade to the process tier with a single
+    ``RuntimeWarning`` and a ``fault.degrade`` event instead of failing
+    the run.  The process tier serves resolved worker counts above one
+    and degrades to serial the same way if the pool cannot be built.
+    Results are backend-independent by the determinism contract, so a
+    degraded run returns bitwise-identical data, just slower.
+
+    Explicit ``"serial"`` / ``"process"`` / ``"remote"`` force the
+    choice and *fail* rather than degrade (``"process"`` with one
+    worker still exercises the full IPC path; ``"remote"`` without
+    reachable hosts raises).  ``workers`` accepts an integer or
+    ``"auto"`` (see :func:`resolve_workers`).  Remaining ``options``
+    are forwarded to the chosen executor class.
     """
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; known: {', '.join(BACKENDS)}"
         )
-    if backend == "remote":
+    count = resolve_workers(workers)
+    if backend in ("remote", "auto"):
         from .remote import HOSTS_ENV, RemoteExecutor
 
         hosts = options.pop("hosts", None) or os.environ.get(HOSTS_ENV)
-        if not hosts:
-            raise ValueError(
-                "remote backend needs hosts: pass hosts=... "
-                f"(CLI: --hosts) or set {HOSTS_ENV}"
-            )
-        return RemoteExecutor(hosts, **options)  # type: ignore[arg-type]
-    if options.pop("hosts", None):
+        if backend == "remote":
+            if not hosts:
+                raise ValueError(
+                    "remote backend needs hosts: pass hosts=... "
+                    f"(CLI: --hosts) or set {HOSTS_ENV}"
+                )
+            return RemoteExecutor(hosts, **options)  # type: ignore[arg-type]
+        if hosts:
+            remote_options = {
+                k: v for k, v in options.items() if k in _REMOTE_OPTIONS
+            }
+            options = {
+                k: v for k, v in options.items() if k not in _REMOTE_OPTIONS
+            }
+            fallback = "process" if count > 1 else "serial"
+            executor = RemoteExecutor(hosts, **remote_options)  # type: ignore[arg-type]
+            try:
+                # Probe eagerly: the lazy connect would surface an
+                # unreachable fleet as a mid-sweep submit failure,
+                # past the point where degrading is cheap.
+                executor._ensure_started()
+            except RuntimeError as error:
+                executor.close()
+                _degrade("remote", fallback, str(error))
+            else:
+                return executor
+    elif options.pop("hosts", None):
         raise ValueError("hosts= only applies to backend='remote'")
-    count = resolve_workers(workers)
     if backend == "serial" or (backend == "auto" and count <= 1):
         return SerialExecutor()
-    return ProcessExecutor(count, **options)
+    try:
+        if FAULTS.enabled and FAULTS.check("executor.process") is not None:
+            raise RuntimeError("injected process tier failure")
+        return ProcessExecutor(count, **options)
+    except Exception as error:
+        if backend == "process":
+            raise
+        _degrade("process", "serial", str(error))
+        return SerialExecutor()
 
 
 @contextmanager

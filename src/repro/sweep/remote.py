@@ -110,6 +110,7 @@ from typing import (
 
 import numpy as np
 
+from ..faults import FAULTS, FaultError, backoff_delays
 from ..obs import BUS
 from .executor import SweepExecutor, TaskFn, _maybe_crash
 from .spec import BLOCK_SCHEDULE_VERSION, SPEC_VERSION
@@ -139,6 +140,12 @@ DEFAULT_PORT = 7077
 
 #: Environment fallback for ``--hosts`` / ``make_executor(hosts=...)``.
 HOSTS_ENV = "REPRO_REMOTE_HOSTS"
+
+#: Connect attempts per host before giving up (jittered backoff between
+#: tries; see :func:`repro.faults.backoff_delays`).  A refused or
+#: flaky dial is retried; a *rejected handshake* (version mismatch) is
+#: deterministic and never retried.
+CONNECT_ATTEMPTS = 3
 
 #: Frame prefix: header length, payload length (both uint32, big-endian).
 _PREFIX = struct.Struct(">II")
@@ -596,6 +603,9 @@ class RemoteExecutor(SweepExecutor):
         self._backlog: Deque[int] = deque()
         self._closed = False
         self._broken: Optional[str] = None
+        # concurrent.futures.Future for the in-flight _connect_all, kept
+        # so close() can cancel a dial blocked on an unresponsive host.
+        self._connect_future: Optional[object] = None
 
     # -- lifecycle -----------------------------------------------------
     def _ensure_started(self) -> None:
@@ -615,13 +625,23 @@ class RemoteExecutor(SweepExecutor):
             self._loop, self._thread = loop, thread
             thread.start()
         future = asyncio.run_coroutine_threadsafe(self._connect_all(), loop)
+        with self._lock:
+            self._connect_future = future
         try:
-            future.result(timeout=self._connect_timeout + 10.0)
+            future.result(
+                timeout=self._connect_timeout * CONNECT_ATTEMPTS + 10.0
+            )
         except BaseException as error:
-            message = f"remote backend failed to start: {error}"
+            message = (
+                "remote backend failed to start: "
+                f"{error or type(error).__name__}"
+            )
             with self._lock:
                 self._broken = message
             raise RuntimeError(message) from error
+        finally:
+            with self._lock:
+                self._connect_future = None
 
     async def _connect_all(self) -> None:
         attempts = await asyncio.gather(
@@ -633,13 +653,41 @@ class RemoteExecutor(SweepExecutor):
             raise RuntimeError(f"no remote workers reachable: {reasons}")
 
     async def _connect(self, host: str, port: int) -> None:
+        """Dial one worker, retrying transient failures with backoff.
+
+        Refused/timed-out dials and connections lost mid-handshake are
+        transient: they retry up to :data:`CONNECT_ATTEMPTS` times on
+        the unified jittered schedule (each retry obs-counted).
+        Deterministic rejections — version mismatches, a peer that is
+        not a worker — raise immediately as ``RuntimeError``.
+        """
         name = f"{host}:{port}"
-        try:
-            reader, writer = await asyncio.wait_for(
-                asyncio.open_connection(host, port), self._connect_timeout
-            )
-        except (OSError, asyncio.TimeoutError) as error:
-            raise RuntimeError(f"{name}: {error or 'connect timeout'}")
+        delays = backoff_delays(attempts=CONNECT_ATTEMPTS)
+        attempt = 1
+        while True:
+            try:
+                await self._connect_once(name, host, port)
+                return
+            except RuntimeError:
+                raise  # deterministic rejection: retrying cannot help
+            except (OSError, asyncio.TimeoutError) as error:
+                delay = next(delays, None)
+                if delay is None:
+                    raise RuntimeError(f"{name}: {error or 'connect timeout'}")
+                if BUS.enabled:
+                    BUS.counter(
+                        "retry.attempt", site="remote.connect",
+                        attempt=attempt,
+                    )
+                attempt += 1
+                await asyncio.sleep(delay)
+
+    async def _connect_once(self, name: str, host: str, port: int) -> None:
+        if FAULTS.enabled and FAULTS.check("remote.connect") is not None:
+            raise FaultError("injected connect refusal")
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), self._connect_timeout
+        )
         try:
             writer.write(encode_frame(
                 {"type": "hello", "versions": version_record()}
@@ -651,7 +699,9 @@ class RemoteExecutor(SweepExecutor):
         except (asyncio.IncompleteReadError, ConnectionError, OSError,
                 asyncio.TimeoutError) as error:
             writer.close()
-            raise RuntimeError(f"{name}: handshake failed ({error!r})")
+            # A connection lost mid-handshake is as transient as a
+            # refused dial: surface it as OSError so _connect retries.
+            raise OSError(f"{name}: handshake failed ({error!r})")
         if header.get("type") == "reject":
             writer.close()
             raise RuntimeError(
@@ -705,6 +755,15 @@ class RemoteExecutor(SweepExecutor):
     async def _send_task(
         self, conn: _Conn, ticket: int, record: _RemoteTask
     ) -> None:
+        if FAULTS.enabled:
+            rule = FAULTS.check("remote.slow")
+            if rule is not None and rule.delay > 0.0:
+                await asyncio.sleep(rule.delay)
+            if FAULTS.check("remote.disconnect") is not None:
+                # The link drops mid-dispatch: the worker never saw the
+                # task, so the normal lost-worker path must requeue it.
+                self._worker_failed(conn, "injected disconnect")
+                return
         frame = encode_frame(
             {"type": "task", "id": ticket, "fn": record.fn_name},
             record.payload,
@@ -776,6 +835,16 @@ class RemoteExecutor(SweepExecutor):
             while conn.alive:
                 await asyncio.sleep(self._hb_interval)
                 if not conn.alive:
+                    return
+                if (
+                    FAULTS.enabled
+                    and FAULTS.check("remote.blackhole") is not None
+                ):
+                    # The worker has gone silent: exactly what a missed
+                    # heartbeat budget detects, declared immediately.
+                    self._worker_failed(
+                        conn, "injected heartbeat blackhole"
+                    )
                     return
                 now = time.monotonic()
                 if now - conn.last_seen > self._hb_interval * self._hb_misses:
@@ -914,7 +983,15 @@ class RemoteExecutor(SweepExecutor):
             self._closed = True
             self._records.clear()
             loop, thread = self._loop, self._thread
+            connect = self._connect_future
             self._loop = self._thread = None
+        if connect is not None:
+            # A dial can sit inside wait_for against an unresponsive
+            # host for the full connect budget.  Cancelling the
+            # threadsafe future cancels the loop-side _connect_all
+            # task, which unblocks any _ensure_started() caller — so
+            # close() stays bounded even mid-handshake.
+            connect.cancel()  # type: ignore[attr-defined]
         if loop is None:
             return
         try:

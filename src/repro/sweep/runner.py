@@ -89,6 +89,7 @@ import numpy as np
 from ..algorithms.belief import AdaptiveSearcher
 from ..checks import trace
 from ..checks.registry import register_stream
+from ..faults import ensure_env_plan
 from ..obs import BUS, ensure_env_tracing
 from ..sim.events import (
     find_time_statistics,
@@ -104,8 +105,13 @@ from .cache import (
     append_blocks,
     block_store_path,
     cache_path,
+    clean_stale_files,
+    clear_journal,
+    journal_path,
     load_blocks,
+    load_journal,
     load_result,
+    save_journal,
     save_result,
 )
 from .executor import SweepExecutor, ensure_executor
@@ -437,6 +443,8 @@ def _run_fixed(
     cache: bool,
     cache_dir: Optional[str],
     progress: Optional[ProgressCallback],
+    resume: bool = False,
+    checkpoint_s: Optional[float] = 5.0,
 ) -> SweepResult:
     path = cache_path(spec, cache_dir) if cache else None
     if path is not None:
@@ -452,11 +460,42 @@ def _run_fixed(
             return SweepResult(spec=spec, cells=cells, from_cache=True)
 
     tasks = _fixed_tasks(spec, executor.workers)
+    layout = [(task[1], list(task[2])) for task in tasks]
+    journal = (
+        journal_path(spec, cache_dir)
+        if path is not None and (resume or checkpoint_s is not None)
+        else None
+    )
+    #: Completed task matrices, by task index — the checkpoint unit.
+    done: Dict[int, np.ndarray] = {}
+    if journal is not None and resume:
+        done = load_journal(spec, journal, layout)
     tickets = {}
     cells_by_task: List[List[CellResult]] = [[] for _ in tasks]
     span_starts: Dict[int, float] = {}
+    if done:
+        # Recovered tasks surface like cache hits: their cells emit with
+        # zero *new* trials, and their chunks are never resubmitted — a
+        # resumed run simulates strictly less than it lost.
+        if BUS.enabled:
+            BUS.counter(
+                "sweep.resume", algorithm=spec.algorithm, kind="fixed",
+                tasks=len(done),
+                trials=sum(int(m.size) for m in done.values()),
+            )
+        for index in sorted(done):
+            _, k, distances, *_ = tasks[index]
+            for row, distance in enumerate(distances):
+                cell = CellResult(
+                    distance=distance, k=k, times=done[index][row]
+                )
+                cells_by_task[index].append(cell)
+                _emit(progress, spec, cell, 0)
+    last_checkpoint = time.monotonic()
     try:
         for index, task in enumerate(tasks):
+            if index in done:
+                continue
             ticket = executor.submit(
                 _execute_chunk, task,
                 result_shape=(len(task[2]), spec.trials),
@@ -477,10 +516,23 @@ def _run_fixed(
                     kind="chunk", k=k, distances=list(distances),
                     block=index,
                 )
+            done[index] = np.asarray(matrix)
             for row, distance in enumerate(distances):
                 cell = CellResult(distance=distance, k=k, times=matrix[row])
                 cells_by_task[index].append(cell)
                 _emit(progress, spec, cell, cell.trials)
+            if journal is not None and checkpoint_s is not None and tickets:
+                now = time.monotonic()
+                if now - last_checkpoint >= checkpoint_s:
+                    if (
+                        save_journal(spec, journal, done, layout)
+                        and BUS.enabled
+                    ):
+                        BUS.counter(
+                            "sweep.checkpoint", algorithm=spec.algorithm,
+                            kind="fixed", tasks=len(done),
+                        )
+                    last_checkpoint = now
     except BaseException:
         # Leave nothing of this sweep behind in a (possibly shared)
         # executor: a stale ticket would surface in the next caller's
@@ -496,6 +548,10 @@ def _run_fixed(
             [SweepCell(distance=c.distance, k=c.k) for c in cells],
             np.stack([c.times for c in cells]),
         )
+        if journal is not None:
+            # The v1 entry now owns these results; a surviving journal
+            # would only re-feed them to the next resume.
+            clear_journal(journal)
     return SweepResult(spec=spec, cells=cells, from_cache=False)
 
 
@@ -718,6 +774,8 @@ def _run_adaptive(
     cache: bool,
     cache_dir: Optional[str],
     progress: Optional[ProgressCallback],
+    resume: bool = False,
+    checkpoint_s: Optional[float] = 5.0,
 ) -> SweepResult:
     policy = spec.budget
     path = block_store_path(spec, cache_dir) if cache else None
@@ -747,12 +805,59 @@ def _run_adaptive(
                 )
             finish(state)
 
+    if resume and BUS.enabled:
+        # The block store *is* the adaptive path's journal: everything a
+        # crashed run flushed is already in ``states`` as cached trials.
+        recovered_cells = sum(1 for s in states if s.cached)
+        if recovered_cells:
+            BUS.counter(
+                "sweep.resume", algorithm=spec.algorithm, kind="adaptive",
+                tasks=recovered_cells,
+                trials=sum(s.cached for s in states),
+            )
+
     tickets: Dict[int, object] = {}
+    last_flush = time.monotonic()
+    flushed: Dict[Tuple[int, int], int] = {}  # cell -> trials on disk
+
+    def flush_partial() -> None:
+        """Rate-limited mid-sweep block-store flush (the checkpoint)."""
+        nonlocal last_flush
+        if path is None or checkpoint_s is None:
+            return
+        now = time.monotonic()
+        if now - last_flush < checkpoint_s:
+            return
+        last_flush = now
+        partial = {
+            (s.distance, s.k): s.times()
+            for s in states
+            if s.count > s.cached
+            and s.count > flushed.get((s.distance, s.k), 0)
+        }
+        if not partial:
+            return
+        merged = dict(store)
+        merged.update(partial)
+        if append_blocks(spec, path, merged):
+            for key, times in partial.items():
+                flushed[key] = int(times.size)
+            if BUS.enabled:
+                BUS.counter(
+                    "sweep.checkpoint", algorithm=spec.algorithm,
+                    kind="adaptive", tasks=len(partial),
+                )
+
     try:
         if policy.kind == "wall":
+            # Wall cells land whole; there is no mid-cell prefix worth
+            # journaling (counts are machine-dependent by design).
             _schedule_wall_cells(spec, executor, states, tickets, finish)
         else:
-            _schedule_blocks(spec, executor, states, tickets, finish)
+            _schedule_blocks(
+                spec, executor, states, tickets, finish,
+                checkpoint=flush_partial,
+            )
     except BaseException:
         # Leave nothing of this sweep behind in a (possibly shared)
         # executor: a stale ticket would surface in the next caller's
@@ -839,8 +944,14 @@ def _schedule_blocks(
     states: List[_CellState],
     tickets: Dict[int, object],
     finish,
+    checkpoint=None,
 ) -> None:
-    """The block-granular work-stealing scheduler (see module docstring)."""
+    """The block-granular work-stealing scheduler (see module docstring).
+
+    ``checkpoint`` (optional, rate-limited by the caller) runs after
+    every fold so an interrupted adaptive sweep loses at most one
+    checkpoint interval of folded blocks, not the whole run.
+    """
     policy = spec.budget
     span_starts: Dict[int, float] = {}
     while True:
@@ -933,6 +1044,8 @@ def _schedule_blocks(
         _fold_ready(state, policy)
         if state.done:
             finish(state)
+        if checkpoint is not None:
+            checkpoint()
 
 
 def run_sweep(
@@ -944,6 +1057,8 @@ def run_sweep(
     cache: bool = True,
     cache_dir: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    resume: bool = False,
+    checkpoint_s: Optional[float] = 5.0,
 ) -> SweepResult:
     """Execute a sweep spec (or load/top it up from the cache).
 
@@ -962,6 +1077,16 @@ def run_sweep(
     ``cache_dir`` overrides the default cache location (see
     :func:`repro.sweep.cache.default_cache_dir`).  ``progress`` is
     called once per finished cell with a :class:`ProgressEvent`.
+
+    Crash recovery (DESIGN.md §13): while a cached fixed-path sweep
+    runs, completed chunks checkpoint every ``checkpoint_s`` seconds
+    into an atomic per-spec journal (``0`` checkpoints after every
+    chunk; ``None`` disables); adaptive sweeps flush folded blocks to
+    the block store on the same cadence.  After a driver crash,
+    ``resume=True`` (CLI: ``repro-ants sweep --resume``) reloads the
+    journal, re-simulates only what never completed, and produces a
+    result bitwise identical to an uninterrupted run.  The journal is
+    deleted once the final result is cached.
 
     Walker strategies (``random_walk``, ``biased_walk``, ``levy``) require
     the spec to carry a finite ``horizon``: memoryless walks on ``Z^2``
@@ -987,6 +1112,12 @@ def run_sweep(
             "non-terminating"
         )
     ensure_env_tracing()
+    ensure_env_plan()
+    if cache:
+        # Reclaim droppings of crashed writers (orphaned *.tmp from a
+        # kill mid-save, aged-out quarantined entries) before this run
+        # adds its own files to the same directory.
+        clean_stale_files(cache_dir)
     with ensure_executor(executor, workers=workers, backend=backend) as ex:
         guard = _ProgressGuard(progress) if progress is not None else None
         span_started: Optional[float] = None
@@ -1005,9 +1136,15 @@ def run_sweep(
             )
         try:
             if spec.budget is None:
-                result = _run_fixed(spec, ex, cache, cache_dir, guard)
+                result = _run_fixed(
+                    spec, ex, cache, cache_dir, guard,
+                    resume=resume, checkpoint_s=checkpoint_s,
+                )
             else:
-                result = _run_adaptive(spec, ex, cache, cache_dir, guard)
+                result = _run_adaptive(
+                    spec, ex, cache, cache_dir, guard,
+                    resume=resume, checkpoint_s=checkpoint_s,
+                )
         finally:
             if guard is not None:
                 guard.warn_if_failed()

@@ -1,0 +1,42 @@
+"""Seeded R004 violations: fault-tolerance state leaking into seeds/specs.
+
+Fault plans, retry counters, degradation tiers, and checkpoint/resume
+bookkeeping describe what *failed* during a run — deriving seeds or
+spec fields from any of them would fork results between faulted and
+clean executions, breaking chaos parity.
+"""
+
+from repro.sim.rng import derive_seed
+from repro.sweep import SweepSpec
+
+
+def seed_from_fault_plan(root: int, fault_plan) -> int:
+    return derive_seed(root, fault_plan.seed)
+
+
+def seed_from_retries(root: int, retries: int) -> int:
+    return derive_seed(root, retries)
+
+
+def seed_from_checkpoint(root: int, checkpoint: float) -> int:
+    return derive_seed(root, int(checkpoint * 1000))
+
+
+def spec_from_quarantine(quarantine) -> SweepSpec:
+    return SweepSpec(
+        algorithm="uniform",
+        distances=(4,),
+        ks=(1,),
+        trials=8,
+        seed=len(quarantine),
+    )
+
+
+def spec_from_journal(journal) -> SweepSpec:
+    return SweepSpec(
+        algorithm="uniform",
+        distances=(4,),
+        ks=(1,),
+        trials=8,
+        seed=journal.tasks,
+    )

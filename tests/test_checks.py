@@ -96,6 +96,22 @@ class TestLintRules:
         assert "SweepSpec" in messages
         assert len(findings) == 5
 
+    def test_fault_state_fires_r004(self):
+        # Fault-tolerance taints: chaos plans, retry counters, and
+        # checkpoint/resume bookkeeping record what *failed* during a
+        # run — seeding from them would fork faulted vs clean results,
+        # the dependence the chaos-parity suite rules out.
+        findings = lint_file(fixture("fault_taint.py"))
+        assert {f.rule for f in findings} == {"R004"}
+        messages = " ".join(f.message for f in findings)
+        for name in (
+            "fault_plan", "retries", "checkpoint", "quarantine", "journal",
+        ):
+            assert f"`{name}`" in messages
+        assert "derive_seed" in messages
+        assert "SweepSpec" in messages
+        assert len(findings) == 5
+
     def test_clean_module_and_suppression_comment(self):
         # clean.py contains one deliberate ambient draw behind a
         # `# repro: allow(R001)` marker; nothing may fire.

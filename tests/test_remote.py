@@ -540,12 +540,16 @@ class TestMakeExecutorRemote:
         with pytest.raises(ValueError, match="remote"):
             make_executor(workers=2, backend="process", hosts="a:1")
 
-    def test_auto_never_picks_remote(self, monkeypatch):
+    def test_auto_degrades_from_unreachable_remote(self, monkeypatch):
+        # auto + hosts probes the remote tier first; an unreachable
+        # host degrades to the process pool with a single warning
+        # (DESIGN.md §13) instead of failing the sweep.
         from repro.sweep.executor import ProcessExecutor
 
         monkeypatch.setenv(HOSTS_ENV, "a:7001")
-        with make_executor(workers=2, backend="auto") as ex:
-            assert isinstance(ex, ProcessExecutor)
+        with pytest.warns(RuntimeWarning, match="degrading to 'process'"):
+            with make_executor(workers=2, backend="auto") as ex:
+                assert isinstance(ex, ProcessExecutor)
 
 
 # ----------------------------------------------------------------------

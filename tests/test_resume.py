@@ -1,0 +1,331 @@
+"""Checkpoint/resume tests: crash-only sweeps (DESIGN.md §13).
+
+The contract under test:
+
+* while a cached fixed-path sweep runs, completed chunks checkpoint
+  into an atomic per-spec journal; a driver killed with ``SIGKILL``
+  mid-sweep leaves either the previous journal or the next — never a
+  torn file — and the v1 entry is only ever written whole;
+* ``run_sweep(..., resume=True)`` after the kill tops the sweep up —
+  simulating strictly fewer trials than a cold run — and the result is
+  bitwise identical to an uninterrupted run;
+* the journal validates spec identity *and* task layout, so a foreign
+  or stale journal can never splice wrong chunks into a result;
+* adaptive sweeps flush folded blocks on the checkpoint cadence, so a
+  killed driver loses at most one interval of work and the block store
+  stays loadable.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.stats import BudgetPolicy
+from repro.sweep import SweepSpec, run_sweep
+from repro.sweep.cache import (
+    QUARANTINE_SUFFIX,
+    block_store_path,
+    cache_path,
+    clear_journal,
+    journal_path,
+    load_journal,
+    save_journal,
+)
+from repro.sweep.runner import _execute_chunk, _fixed_tasks
+
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "src")
+)
+
+#: Shared by the in-process tests and the killed-child scripts below:
+#: four k-groups => four fixed tasks, so a mid-sweep kill always lands
+#: between checkpoints.
+SPEC_ARGS = dict(
+    algorithm="nonuniform",
+    distances=(8, 16),
+    ks=(1, 2, 4, 8),
+    trials=50,
+    seed=42,
+)
+
+
+def spec_of(**overrides):
+    base = dict(SPEC_ARGS)
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+def assert_sweeps_equal(a, b):
+    assert len(a.cells) == len(b.cells)
+    for x, y in zip(a.cells, b.cells):
+        assert (x.distance, x.k) == (y.distance, y.k)
+        assert np.array_equal(x.times, y.times), (x.distance, x.k)
+
+
+def layout_of(spec, workers=1):
+    return [(t[1], list(t[2])) for t in _fixed_tasks(spec, workers)]
+
+
+class TestJournalStore:
+    def test_roundtrip_by_task_index(self, tmp_path):
+        spec = spec_of()
+        tasks = _fixed_tasks(spec, 1)
+        layout = layout_of(spec)
+        done = {0: _execute_chunk(tasks[0]), 2: _execute_chunk(tasks[2])}
+        path = journal_path(spec, str(tmp_path))
+        assert save_journal(spec, path, done, layout)
+        back = load_journal(spec, path, layout)
+        assert sorted(back) == [0, 2]
+        for index in back:
+            assert np.array_equal(back[index], done[index])
+
+    def test_foreign_spec_loads_empty(self, tmp_path):
+        spec = spec_of()
+        layout = layout_of(spec)
+        path = journal_path(spec, str(tmp_path))
+        save_journal(
+            spec, path, {0: np.zeros((2, spec.trials))}, layout
+        )
+        other = spec_of(seed=43)
+        assert load_journal(other, path, layout_of(other)) == {}
+
+    def test_layout_drift_drops_mismatched_entries(self, tmp_path):
+        # The walker case: task chunking depends on the worker count,
+        # so a journal written under one layout must not feed entries
+        # into a run whose indices mean different work.
+        spec = spec_of()
+        layout = layout_of(spec)
+        path = journal_path(spec, str(tmp_path))
+        save_journal(
+            spec, path, {0: np.zeros((2, spec.trials))}, layout
+        )
+        drifted = [(9, [999])] + layout[1:]
+        assert load_journal(spec, path, drifted) == {}
+
+    def test_wrong_shape_entries_are_dropped(self, tmp_path):
+        spec = spec_of()
+        layout = layout_of(spec)
+        path = journal_path(spec, str(tmp_path))
+        save_journal(
+            spec, path,
+            {0: np.zeros((2, spec.trials + 1))},  # trailing-column junk
+            layout,
+        )
+        assert load_journal(spec, path, layout) == {}
+
+    def test_corrupt_journal_is_quarantined(self, tmp_path):
+        spec = spec_of()
+        path = journal_path(spec, str(tmp_path))
+        with open(path, "wb") as handle:
+            handle.write(b"not a zip archive")
+        assert load_journal(spec, path, layout_of(spec)) == {}
+        assert not os.path.exists(path)
+        assert os.path.exists(path + QUARANTINE_SUFFIX)
+
+    def test_clear_removes_journal_and_sidecar(self, tmp_path):
+        spec = spec_of()
+        path = journal_path(spec, str(tmp_path))
+        save_journal(
+            spec, path, {0: np.zeros((2, spec.trials))}, layout_of(spec)
+        )
+        clear_journal(path)
+        assert not os.path.exists(path)
+
+
+class TestResumeSemantics:
+    def test_completed_run_leaves_no_journal(self, tmp_path):
+        spec = spec_of()
+        run_sweep(
+            spec, cache=True, cache_dir=str(tmp_path), checkpoint_s=0.0
+        )
+        assert not os.path.exists(journal_path(spec, str(tmp_path)))
+        assert os.path.exists(cache_path(spec, str(tmp_path)))
+
+    def test_resume_without_journal_runs_cold(self, tmp_path):
+        spec = spec_of()
+        clean = run_sweep(spec, cache=False)
+        resumed = run_sweep(
+            spec, cache=True, cache_dir=str(tmp_path), resume=True
+        )
+        assert_sweeps_equal(clean, resumed)
+
+    def test_resume_skips_journaled_tasks_bitwise(self, tmp_path):
+        spec = spec_of()
+        clean = run_sweep(spec, cache=False)
+        tasks = _fixed_tasks(spec, 1)
+        layout = layout_of(spec)
+        done = {0: _execute_chunk(tasks[0]), 1: _execute_chunk(tasks[1])}
+        save_journal(
+            spec, journal_path(spec, str(tmp_path)), done, layout
+        )
+        events = []
+        resumed = run_sweep(
+            spec, cache=True, cache_dir=str(tmp_path), resume=True,
+            progress=events.append,
+        )
+        assert_sweeps_equal(clean, resumed)
+        total = sum(c.times.size for c in clean.cells)
+        new = sum(e.new_trials for e in events)
+        assert 0 < new < total  # topped up, strictly less than cold
+        # The journal is consumed into the v1 entry.
+        assert not os.path.exists(journal_path(spec, str(tmp_path)))
+        assert run_sweep(
+            spec, cache=True, cache_dir=str(tmp_path)
+        ).from_cache
+
+    def test_checkpoint_none_disables_journaling(self, tmp_path):
+        spec = spec_of()
+        tasks = _fixed_tasks(spec, 1)
+        done = {0: _execute_chunk(tasks[0])}
+        save_journal(
+            spec, journal_path(spec, str(tmp_path)), done, layout_of(spec)
+        )
+        events = []
+        run_sweep(
+            spec, cache=True, cache_dir=str(tmp_path), resume=False,
+            checkpoint_s=None, progress=events.append,
+        )
+        # resume=False + checkpoint_s=None: the journal is neither read
+        # nor replaced, and every trial was simulated fresh.
+        assert all(e.new_trials > 0 for e in events)
+        assert os.path.exists(journal_path(spec, str(tmp_path)))
+
+
+#: Driver script killed with SIGKILL mid-sweep.  The progress callback
+#: sleeps so the parent can land the kill between task checkpoints;
+#: ``checkpoint_s=0`` journals after every completed chunk.
+_KILLED_FIXED_DRIVER = """\
+import sys, time
+from repro.sweep import SweepSpec, run_sweep
+
+spec = SweepSpec(**{spec_args!r})
+
+def report(event):
+    print(f"cell {{event.distance}} {{event.k}}", flush=True)
+    time.sleep(0.2)
+
+run_sweep(
+    spec, cache=True, cache_dir=sys.argv[1], workers=1,
+    backend="serial", checkpoint_s=0.0, progress=report,
+)
+print("DONE", flush=True)
+"""
+
+_KILLED_ADAPTIVE_DRIVER = """\
+import sys
+from repro.stats import BudgetPolicy
+from repro.sweep import SweepSpec, run_sweep
+
+spec = SweepSpec(
+    **{spec_args!r},
+    budget=BudgetPolicy.target_rel_ci(1e-9, min_trials=32, max_trials=1024),
+)
+run_sweep(
+    spec, cache=True, cache_dir=sys.argv[1], workers=1,
+    backend="serial", checkpoint_s=0.0,
+)
+print("DONE", flush=True)
+"""
+
+
+def _spawn_driver(script, cache_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-c", script, str(cache_dir)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+class TestDriverKill:
+    def test_sigkill_then_resume_is_bitwise_and_cheaper(self, tmp_path):
+        """The headline property: kill -9 mid-sweep, --resume, bitwise."""
+        spec = spec_of()
+        script = _KILLED_FIXED_DRIVER.format(spec_args=SPEC_ARGS)
+        child = _spawn_driver(script, tmp_path)
+        try:
+            # Wait until a second k-group starts reporting: the first
+            # group's chunk is then definitely journaled (the journal
+            # write precedes the next group's progress lines).
+            seen_ks = set()
+            for _ in range(64):
+                line = child.stdout.readline()
+                assert line and "DONE" not in line, (
+                    "driver finished before the kill landed"
+                )
+                seen_ks.add(line.split()[-1])
+                if len(seen_ks) >= 2:
+                    break
+            os.kill(child.pid, signal.SIGKILL)
+            child.wait(timeout=30.0)
+        finally:
+            if child.poll() is None:
+                child.kill()
+            child.stdout.close()
+            child.stderr.close()
+        assert child.returncode == -signal.SIGKILL
+
+        # The kill left a consistent cache directory: a valid journal,
+        # no v1 entry, no torn files a resume would trip over.
+        journal = journal_path(spec, str(tmp_path))
+        assert os.path.exists(journal)
+        recovered = load_journal(spec, journal, layout_of(spec))
+        assert recovered  # at least the first chunk survived
+        assert not os.path.exists(cache_path(spec, str(tmp_path)))
+
+        clean = run_sweep(spec, cache=False)
+        events = []
+        resumed = run_sweep(
+            spec, cache=True, cache_dir=str(tmp_path), workers=1,
+            backend="serial", resume=True, progress=events.append,
+        )
+        assert_sweeps_equal(clean, resumed)
+        total = sum(c.times.size for c in clean.cells)
+        new = sum(e.new_trials for e in events)
+        assert new < total  # strictly fewer trials than a cold run
+        assert not os.path.exists(journal)  # consumed into the v1 entry
+
+    def test_sigkill_mid_adaptive_leaves_loadable_store(self, tmp_path):
+        spec = spec_of(
+            budget=BudgetPolicy.target_rel_ci(
+                1e-9, min_trials=32, max_trials=1024
+            ),
+        )
+        script = _KILLED_ADAPTIVE_DRIVER.format(spec_args=SPEC_ARGS)
+        child = _spawn_driver(script, tmp_path)
+        store = block_store_path(spec, str(tmp_path))
+        try:
+            # Kill as soon as the first mid-sweep flush lands on disk.
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if os.path.exists(store) or child.poll() is not None:
+                    break
+                time.sleep(0.01)
+            if child.poll() is None:
+                os.kill(child.pid, signal.SIGKILL)
+            child.wait(timeout=30.0)
+        finally:
+            if child.poll() is None:
+                child.kill()
+            child.stdout.close()
+            child.stderr.close()
+
+        clean = run_sweep(spec, cache=False)
+        events = []
+        resumed = run_sweep(
+            spec, cache=True, cache_dir=str(tmp_path), workers=1,
+            backend="serial", resume=True, progress=events.append,
+        )
+        assert_sweeps_equal(clean, resumed)
+        if child.returncode == -signal.SIGKILL:
+            # The flushed prefix gave the resume a real head start.
+            total = sum(c.times.size for c in clean.cells)
+            assert sum(e.new_trials for e in events) < total
